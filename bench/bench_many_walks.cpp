@@ -1,0 +1,83 @@
+// E3 (Theorem 2.8): k walks in O~(min(sqrt(k l D) + k, k + l)) rounds.
+//
+// Sweeps k at fixed l on an expander, reporting the stitched algorithm
+// against the k-token naive baseline and showing the fallback crossover:
+// when lambda(k, l) exceeds l the algorithm itself switches to k + l naive
+// tokens (printed in the "mode" column).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "congest/network.hpp"
+#include "core/random_walks.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace drw;
+
+void run_experiment() {
+  Rng rng(4040);
+  const Graph g = gen::random_regular(128, 4, rng);
+  const std::uint32_t diameter = exact_diameter(g);
+  const std::uint64_t l = 4096;
+
+  bench::banner("E3 / Theorem 2.8",
+                "k walks of length l = 4096 from one source on "
+                "expander(128,4): rounds vs k");
+  bench::Table table({"k", "rounds", "mode", "sqrt(klD)+k (model)",
+                      "k+l (naive model)"});
+  std::vector<double> ks;
+  std::vector<double> rounds_series;
+  for (std::uint64_t k = 1; k <= 64; k *= 2) {
+    const std::vector<NodeId> sources(k, 0);
+    RunningStats rounds;
+    bool fallback = false;
+    for (int rep = 0; rep < 2; ++rep) {
+      congest::Network net(g, 300 + rep);
+      const auto out = core::many_random_walks(
+          net, sources, l, core::Params::paper(), diameter);
+      rounds.add(static_cast<double>(out.stats.rounds));
+      fallback = out.used_naive_fallback;
+    }
+    ks.push_back(static_cast<double>(k));
+    rounds_series.push_back(rounds.mean());
+    const double model = std::sqrt(static_cast<double>(k * l * diameter)) +
+                         static_cast<double>(k);
+    table.add_row({bench::fmt_u64(k), bench::fmt_double(rounds.mean(), 0),
+                   fallback ? "naive-fallback" : "stitched",
+                   bench::fmt_double(model, 0),
+                   bench::fmt_u64(k + l)});
+  }
+  table.print();
+  bench::print_slope("rounds vs k", ks, rounds_series, 0.5);
+}
+
+void BM_ManyWalks(benchmark::State& state) {
+  Rng rng(4040);
+  const Graph g = gen::random_regular(64, 4, rng);
+  const auto diameter = exact_diameter(g);
+  const auto k = static_cast<std::uint64_t>(state.range(0));
+  const std::vector<NodeId> sources(k, 0);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    congest::Network net(g, seed++);
+    auto out = core::many_random_walks(net, sources, 1024,
+                                       core::Params::paper(), diameter);
+    benchmark::DoNotOptimize(out.destinations.data());
+    state.counters["rounds"] = static_cast<double>(out.stats.rounds);
+  }
+}
+BENCHMARK(BM_ManyWalks)->Arg(4)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// E8 (Theorem 4.6): decentralized mixing-time estimation in
+// O~(n^{1/2} + n^{1/4} sqrt(D tau_x)) rounds.
+//
+// For families with very different mixing behaviour (expander: O(log n);
+// odd cycle: Theta(n^2); barbell: bottleneck-dominated) we report the
+// estimate, the exact tau from the Markov oracle, the measured rounds and
+// the paper's round model. The shape to reproduce: the estimate tracks the
+// exact value across orders of magnitude, and rounds grow far slower than
+// tau itself (the naive Kempe-McSherry style alternative costs ~tau rounds).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "apps/mixing.hpp"
+#include "bench_common.hpp"
+#include "congest/network.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/markov.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace drw;
+
+void run_experiment() {
+  bench::banner("E8 / Theorem 4.6",
+                "decentralized tau_x estimate vs exact mixing time");
+  bench::Table table({"graph", "n", "D", "exact tau", "estimate", "rounds",
+                      "model n^.5+n^.25*sqrt(D*tau)", "rounds/tau"});
+  struct Case {
+    std::string name;
+    Graph graph;
+  };
+  Rng rng(31);
+  std::vector<Case> cases;
+  cases.push_back({"expander(64,4)", gen::random_regular(64, 4, rng)});
+  cases.push_back({"cycle(33)", gen::cycle(33)});
+  cases.push_back({"cycle(65)", gen::cycle(65)});
+  cases.push_back({"barbell(12,2)", gen::barbell(12, 2)});
+  cases.push_back({"lollipop(16,16)", gen::lollipop(16, 16)});
+
+  for (const Case& c : cases) {
+    const std::uint32_t diameter = exact_diameter(c.graph);
+    const MarkovOracle oracle(c.graph);
+    const auto exact = oracle.mixing_time_standard(0, 2000000);
+    apps::MixingOptions options;
+    options.samples = 500;
+    congest::Network net(c.graph, 71);
+    const auto est = apps::estimate_mixing_time(
+        net, 0, core::Params::paper(), diameter, options);
+    const double n = static_cast<double>(c.graph.node_count());
+    const double tau = exact ? static_cast<double>(*exact) : 0.0;
+    const double model =
+        std::sqrt(n) +
+        std::pow(n, 0.25) * std::sqrt(static_cast<double>(diameter) * tau);
+    table.add_row(
+        {c.name, bench::fmt_u64(c.graph.node_count()),
+         bench::fmt_u64(diameter),
+         exact ? bench::fmt_u64(*exact) : "n/a", bench::fmt_u64(est.tau),
+         bench::fmt_u64(est.stats.rounds), bench::fmt_double(model, 0),
+         tau > 0.0
+             ? bench::fmt_double(
+                   static_cast<double>(est.stats.rounds) / tau, 2)
+             : "n/a"});
+  }
+  table.print();
+  std::printf(
+      "Derived global metrics on cycle(65): spectral gap and conductance "
+      "brackets from the tau estimate --\n");
+  {
+    const Graph g = gen::cycle(65);
+    congest::Network net(g, 72);
+    apps::MixingOptions options;
+    options.samples = 400;
+    const auto est = apps::estimate_mixing_time(
+        net, 0, core::Params::paper(), 32, options);
+    const MarkovOracle oracle(g);
+    const double true_gap = 1.0 - oracle.second_eigenvalue();
+    std::printf("gap in [%.5f, %.5f], true %.5f; conductance in "
+                "[%.5f, %.5f]\n",
+                est.gap_lower, est.gap_upper, true_gap,
+                est.conductance_lower, est.conductance_upper);
+  }
+}
+
+void BM_MixingEstimate(benchmark::State& state) {
+  const Graph g = gen::cycle(33);
+  apps::MixingOptions options;
+  options.samples = 200;
+  options.binary_search = false;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    congest::Network net(g, seed++);
+    auto est = apps::estimate_mixing_time(net, 0, core::Params::paper(), 16,
+                                          options);
+    benchmark::DoNotOptimize(est.tau);
+    state.counters["rounds"] = static_cast<double>(est.stats.rounds);
+  }
+}
+BENCHMARK(BM_MixingEstimate);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// E6 (Theorems 3.2 / 3.7, Figures 3-5): the path-verification lower bound.
+//
+// On the gadget G_n (path + tree, diameter O(log n)) the interval-merging
+// verification needs Omega(sqrt(l / log l)) rounds. We sweep l, build G_n,
+// run the natural in-class algorithm and print: measured rounds, the lower
+// bound k = sqrt(l / log l), and the diameter -- the shape to reproduce is
+// rounds >= k >> D with rounds growing polynomially in l while D stays
+// logarithmic.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "congest/network.hpp"
+#include "graph/algorithms.hpp"
+#include "lowerbound/gadget.hpp"
+#include "lowerbound/path_verification.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace drw;
+using namespace drw::lowerbound;
+
+void run_experiment() {
+  bench::banner("E6 / Theorem 3.2",
+                "PATH-VERIFICATION on the gadget G_n: measured rounds vs "
+                "the Omega(sqrt(l / log l)) lower bound and the O(log n) "
+                "diameter");
+  bench::Table table({"l", "n", "D", "k=sqrt(l/log l)", "measured rounds",
+                      "rounds/k", "intervals@verifier"});
+  std::vector<double> ls;
+  std::vector<double> rounds_series;
+  for (std::uint64_t l = 1024; l <= 65536; l *= 4) {
+    const Gadget gadget = build_gadget(l);
+    congest::Network net(gadget.graph, 7);
+    std::vector<NodeId> sequence;
+    for (std::uint64_t i = 1; i <= l + 1; ++i) {
+      sequence.push_back(gadget.path_node(i));
+    }
+    const auto result = verify_path(net, sequence, gadget.root());
+    const std::uint32_t diameter =
+        double_sweep_diameter_estimate(gadget.graph, gadget.root());
+    ls.push_back(static_cast<double>(l));
+    rounds_series.push_back(static_cast<double>(result.stats.rounds));
+    table.add_row({bench::fmt_u64(l),
+                   bench::fmt_u64(gadget.graph.node_count()),
+                   bench::fmt_u64(diameter), bench::fmt_u64(gadget.k),
+                   bench::fmt_u64(result.stats.rounds),
+                   bench::fmt_double(static_cast<double>(result.stats.rounds) /
+                                         static_cast<double>(gadget.k),
+                                     2),
+                   bench::fmt_u64(result.intervals_received_at_verifier)});
+    if (!result.verified) std::printf("WARNING: verification failed!\n");
+  }
+  table.print();
+  bench::print_slope("measured rounds vs l (lower bound slope ~0.5)", ls,
+                     rounds_series, 0.5);
+
+  std::printf(
+      "\nReduction check (Theorem 3.7): weighted gadget forward "
+      "probabilities\n");
+  const WeightedGadget weighted = build_weighted_gadget(4096);
+  double min_p = 1.0;
+  for (std::uint64_t i = 1; i <= 4096; ++i) {
+    min_p = std::min(min_p, weighted.forward_probability(i));
+  }
+  const double n = static_cast<double>(weighted.base.graph.node_count());
+  std::printf("min forward prob over path = %.10f (needs >= 1 - 1/n^2 = "
+              "%.10f)\n",
+              min_p, 1.0 - 1.0 / (n * n));
+}
+
+void BM_PathVerification(benchmark::State& state) {
+  const auto l = static_cast<std::uint64_t>(state.range(0));
+  const Gadget gadget = build_gadget(l);
+  std::vector<NodeId> sequence;
+  for (std::uint64_t i = 1; i <= l + 1; ++i) {
+    sequence.push_back(gadget.path_node(i));
+  }
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    congest::Network net(gadget.graph, seed++);
+    auto result = verify_path(net, sequence, gadget.root());
+    benchmark::DoNotOptimize(result.verified);
+    state.counters["rounds"] = static_cast<double>(result.stats.rounds);
+    state.counters["k"] = static_cast<double>(gadget.k);
+  }
+}
+BENCHMARK(BM_PathVerification)->Arg(1024)->Arg(8192);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

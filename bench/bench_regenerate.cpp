@@ -1,0 +1,82 @@
+// E9 (Section 2.2): regenerating the entire walk costs O~(sqrt(l D)) extra
+// rounds -- the same order as sampling the endpoint alone.
+//
+// We run the stitched walk with and without trajectory recording and report
+// the regeneration surcharge, verifying it stays a constant factor of the
+// base cost as l grows.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "congest/network.hpp"
+#include "core/random_walks.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace drw;
+
+void run_experiment() {
+  bench::banner("E9 / Section 2.2",
+                "walk regeneration surcharge: rounds with full position "
+                "regeneration vs endpoint-only");
+  Rng rng(21);
+  const Graph g = gen::random_regular(96, 4, rng);
+  const std::uint32_t diameter = exact_diameter(g);
+  bench::Table table({"l", "endpoint-only rounds", "with regen rounds",
+                      "regen surcharge", "surcharge/base"});
+  for (std::uint64_t l = 512; l <= 16384; l *= 2) {
+    RunningStats base;
+    RunningStats with_regen;
+    RunningStats surcharge;
+    for (int rep = 0; rep < 3; ++rep) {
+      core::Params plain = core::Params::paper();
+      congest::Network net(g, 60 + rep);
+      base.add(static_cast<double>(
+          core::single_random_walk(net, 0, l, plain, diameter)
+              .result.stats.rounds));
+
+      core::Params recording = core::Params::paper();
+      recording.record_trajectories = true;
+      congest::Network net2(g, 60 + rep);
+      const auto out =
+          core::single_random_walk(net2, 0, l, recording, diameter);
+      with_regen.add(static_cast<double>(out.result.stats.rounds));
+      surcharge.add(static_cast<double>(out.result.counters.regen.rounds));
+    }
+    table.add_row({bench::fmt_u64(l), bench::fmt_double(base.mean(), 0),
+                   bench::fmt_double(with_regen.mean(), 0),
+                   bench::fmt_double(surcharge.mean(), 0),
+                   bench::fmt_double(surcharge.mean() / base.mean(), 3)});
+  }
+  table.print();
+  std::printf("Shape check: the surcharge stays a small fraction of the "
+              "base cost at every l (same O~(sqrt(l D)) order).\n");
+}
+
+void BM_WalkWithRegeneration(benchmark::State& state) {
+  Rng rng(21);
+  const Graph g = gen::random_regular(64, 4, rng);
+  const auto diameter = exact_diameter(g);
+  core::Params params = core::Params::paper();
+  params.record_trajectories = true;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    congest::Network net(g, seed++);
+    auto out = core::single_random_walk(
+        net, 0, static_cast<std::uint64_t>(state.range(0)), params,
+        diameter);
+    benchmark::DoNotOptimize(out.positions.data());
+  }
+}
+BENCHMARK(BM_WalkWithRegeneration)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

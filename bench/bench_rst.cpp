@@ -1,0 +1,142 @@
+// E7 (Theorem 4.1): random spanning trees in O~(sqrt(m D)) rounds.
+//
+// Part 1 -- rounds: sweep graph size on expanders and tori; report measured
+// rounds, the covering walk's length (what a token-forwarding Aldous-Broder
+// would pay) and the sqrt(m D) model.
+// Part 2 -- uniformity: chi-square of the distributed sampler against the
+// matrix-tree count on small graphs.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <map>
+
+#include "apps/rst.hpp"
+#include "bench_common.hpp"
+#include "congest/network.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace drw;
+
+void run_rounds_experiment() {
+  bench::banner("E7a / Theorem 4.1",
+                "distributed RST rounds vs the covering-walk length and the "
+                "sqrt(m D) model");
+  bench::Table table({"graph", "n", "m", "D", "rounds", "cover length",
+                      "rounds/cover", "sqrt(m*D)"});
+  struct Case {
+    std::string name;
+    Graph graph;
+  };
+  std::vector<Case> cases;
+  Rng rng(9);
+  for (std::size_t n : {64, 128, 256}) {
+    cases.push_back({"expander(" + std::to_string(n) + ",4)",
+                     gen::random_regular(n, 4, rng)});
+  }
+  cases.push_back({"torus(10x10)", gen::torus(10, 10)});
+  cases.push_back({"rgg(100)", gen::random_geometric(100, 0.18, rng)});
+
+  for (const Case& c : cases) {
+    const std::uint32_t diameter = exact_diameter(c.graph);
+    RunningStats rounds;
+    RunningStats cover;
+    for (int rep = 0; rep < 3; ++rep) {
+      congest::Network net(c.graph, 40 + rep);
+      const auto result = apps::random_spanning_tree(
+          net, 0, core::Params::paper(), diameter);
+      rounds.add(static_cast<double>(result.stats.rounds));
+      cover.add(static_cast<double>(result.cover_length));
+    }
+    table.add_row(
+        {c.name, bench::fmt_u64(c.graph.node_count()),
+         bench::fmt_u64(c.graph.edge_count()), bench::fmt_u64(diameter),
+         bench::fmt_double(rounds.mean(), 0),
+         bench::fmt_double(cover.mean(), 0),
+         bench::fmt_double(rounds.mean() / cover.mean(), 2),
+         bench::fmt_double(
+             std::sqrt(static_cast<double>(c.graph.edge_count()) * diameter),
+             0)});
+  }
+  table.print();
+  std::printf("Shape check: rounds/cover < 1 on low-diameter graphs (the "
+              "paper's win) and shrinking as n grows.\n");
+}
+
+void run_uniformity_experiment() {
+  bench::banner("E7b / Theorem 4.1",
+                "uniformity: distributed sampler vs matrix-tree counts "
+                "(chi-square p-values; > 0.001 = consistent with uniform)");
+  bench::Table table({"graph", "#trees", "samples", "chi2", "p-value"});
+  struct Case {
+    std::string name;
+    Graph graph;
+    int samples;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"cycle(4)", gen::cycle(4), 1200});
+  cases.push_back({"K4", gen::complete(4), 1600});
+  {
+    GraphBuilder b(5);
+    b.add_edge(0, 1);
+    b.add_edge(1, 2);
+    b.add_edge(2, 3);
+    b.add_edge(3, 4);
+    b.add_edge(4, 0);
+    b.add_edge(0, 2);
+    cases.push_back({"C5+chord", b.build(), 2200});
+  }
+  for (const Case& c : cases) {
+    const double tree_count = count_spanning_trees(c.graph);
+    std::map<std::string, std::uint64_t> histogram;
+    for (int i = 0; i < c.samples; ++i) {
+      congest::Network net(c.graph, 100000 + i);
+      const auto result = apps::random_spanning_tree(
+          net, 0, core::Params::paper(), exact_diameter(c.graph));
+      ++histogram[result.tree.canonical_key()];
+    }
+    std::vector<std::uint64_t> counts;
+    for (const auto& [key, count] : histogram) counts.push_back(count);
+    for (std::size_t i = histogram.size();
+         i < static_cast<std::size_t>(tree_count); ++i) {
+      counts.push_back(0);
+    }
+    const std::vector<double> expected(counts.size(), 1.0 / tree_count);
+    const auto chi = chi_square_test(counts, expected);
+    table.add_row({c.name, bench::fmt_double(tree_count, 0),
+                   bench::fmt_u64(c.samples),
+                   bench::fmt_double(chi.statistic, 2),
+                   bench::fmt_double(chi.p_value, 4)});
+  }
+  table.print();
+}
+
+void BM_DistributedRst(benchmark::State& state) {
+  Rng rng(9);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = gen::random_regular(n, 4, rng);
+  const auto diameter = exact_diameter(g);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    congest::Network net(g, seed++);
+    auto result =
+        apps::random_spanning_tree(net, 0, core::Params::paper(), diameter);
+    benchmark::DoNotOptimize(result.tree.edges.data());
+    state.counters["rounds"] = static_cast<double>(result.stats.rounds);
+  }
+}
+BENCHMARK(BM_DistributedRst)->Arg(64)->Arg(128);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_rounds_experiment();
+  run_uniformity_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,142 @@
+// E1 (Theorem 2.5): round complexity of one l-step walk.
+//
+// Series: naive token forwarding (l rounds), the PODC 2009 baseline
+// (O~(l^{2/3} D^{1/3})), and this paper's algorithm (O~(sqrt(l D))), swept
+// over l on three fixed low-diameter topologies. The shape to reproduce:
+// the paper's algorithm wins for l >> D, with a log-log slope of ~0.5 in l
+// versus 1.0 for naive and ~0.67 for PODC 2009.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "congest/network.hpp"
+#include "core/random_walks.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace drw;
+
+struct Topology {
+  std::string name;
+  Graph graph;
+  std::uint32_t diameter;
+};
+
+std::vector<Topology> topologies() {
+  Rng rng(2024);
+  std::vector<Topology> out;
+  {
+    Graph g = gen::random_regular(128, 4, rng);
+    const auto d = exact_diameter(g);
+    out.push_back({"expander(128,4)", std::move(g), d});
+  }
+  {
+    Graph g = gen::torus(12, 12);
+    const auto d = exact_diameter(g);
+    out.push_back({"torus(12x12)", std::move(g), d});
+  }
+  {
+    Graph g = gen::random_geometric(128, 0.16, rng);
+    const auto d = exact_diameter(g);
+    out.push_back({"rgg(128)", std::move(g), d});
+  }
+  return out;
+}
+
+std::uint64_t measured_rounds(const Graph& g, std::uint32_t diameter,
+                              std::uint64_t l, const core::Params& params,
+                              std::uint64_t seed) {
+  congest::Network net(g, seed);
+  return core::single_random_walk(net, 0, l, params, diameter)
+      .result.stats.rounds;
+}
+
+void run_experiment() {
+  bench::banner("E1 / Theorem 2.5",
+                "rounds to sample one l-step walk: naive (l) vs PODC'09 "
+                "(l^{2/3} D^{1/3}) vs this paper (sqrt(l D))");
+  for (const Topology& topo : topologies()) {
+    std::printf("\n-- %s  D=%u  %s --\n", topo.name.c_str(), topo.diameter,
+                topo.graph.summary().c_str());
+    bench::Table table({"l", "naive", "podc09", "paper", "paper/naive",
+                        "sqrt(l*D) (model)"});
+    std::vector<double> ls;
+    std::vector<double> paper_rounds;
+    std::vector<double> podc_rounds;
+    for (std::uint64_t l = 256; l <= 32768; l *= 2) {
+      RunningStats naive;
+      RunningStats podc;
+      RunningStats paper;
+      for (int rep = 0; rep < 3; ++rep) {
+        const std::uint64_t seed = 17 + 1000 * rep;
+        congest::Network net(topo.graph, seed);
+        naive.add(static_cast<double>(
+            core::naive_random_walk(net, 0, l).stats.rounds));
+        podc.add(static_cast<double>(measured_rounds(
+            topo.graph, topo.diameter, l, core::Params::podc09(), seed)));
+        paper.add(static_cast<double>(measured_rounds(
+            topo.graph, topo.diameter, l, core::Params::paper(), seed)));
+      }
+      ls.push_back(static_cast<double>(l));
+      paper_rounds.push_back(paper.mean());
+      podc_rounds.push_back(podc.mean());
+      table.add_row(
+          {bench::fmt_u64(l), bench::fmt_double(naive.mean(), 0),
+           bench::fmt_double(podc.mean(), 0),
+           bench::fmt_double(paper.mean(), 0),
+           bench::fmt_double(paper.mean() / naive.mean(), 3),
+           bench::fmt_double(
+               std::sqrt(static_cast<double>(l) * topo.diameter), 0)});
+    }
+    table.print();
+    bench::print_slope("paper rounds vs l", ls, paper_rounds, 0.5);
+    bench::print_slope("podc09 rounds vs l", ls, podc_rounds, 0.67);
+  }
+}
+
+// Wall-clock timing of the full protocol stack (simulator throughput).
+void BM_SingleWalkSimulation(benchmark::State& state) {
+  Rng rng(7);
+  const Graph g = gen::random_regular(64, 4, rng);
+  const auto diameter = exact_diameter(g);
+  const auto l = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    congest::Network net(g, seed++);
+    auto out = core::single_random_walk(net, 0, l, core::Params::paper(),
+                                        diameter);
+    benchmark::DoNotOptimize(out.result.destination);
+    state.counters["rounds"] =
+        static_cast<double>(out.result.stats.rounds);
+    state.counters["messages"] =
+        static_cast<double>(out.result.stats.messages);
+  }
+}
+BENCHMARK(BM_SingleWalkSimulation)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_NaiveWalkSimulation(benchmark::State& state) {
+  Rng rng(7);
+  const Graph g = gen::random_regular(64, 4, rng);
+  const auto l = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    congest::Network net(g, seed++);
+    auto result = core::naive_random_walk(net, 0, l);
+    benchmark::DoNotOptimize(result.destination);
+    state.counters["rounds"] = static_cast<double>(result.stats.rounds);
+  }
+}
+BENCHMARK(BM_NaiveWalkSimulation)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// E4 (Lemma 2.6): no node x is visited more than 24 d(x) sqrt(l+1) log n + 1
+// times in an l-step walk, on any graph, from any start.
+//
+// For each family we measure max_x visits(x)/d(x) over many walks and
+// compare with the paper's bound and with the sqrt(l) growth the lemma
+// predicts (tight on the line).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace drw;
+
+std::vector<std::uint64_t> central_walk_visits(const Graph& g, NodeId source,
+                                               std::uint64_t l, Rng& rng) {
+  std::vector<std::uint64_t> visits(g.node_count(), 0);
+  NodeId at = source;
+  ++visits[at];
+  for (std::uint64_t i = 0; i < l; ++i) {
+    at = g.neighbor(at, static_cast<std::uint32_t>(
+                            rng.next_below(g.degree(at))));
+    ++visits[at];
+  }
+  return visits;
+}
+
+double max_normalized_visits(const Graph& g, std::uint64_t l, int trials,
+                             Rng& rng) {
+  double worst = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const auto visits = central_walk_visits(g, 0, l, rng);
+    for (NodeId x = 0; x < g.node_count(); ++x) {
+      worst = std::max(worst, static_cast<double>(visits[x]) /
+                                  static_cast<double>(g.degree(x)));
+    }
+  }
+  return worst;
+}
+
+void run_experiment() {
+  bench::banner("E4 / Lemma 2.6",
+                "max over nodes of visits(x)/d(x) in an l-step walk vs the "
+                "24 sqrt(l+1) log n bound (worst of 20 trials)");
+  struct Family {
+    std::string name;
+    Graph graph;
+  };
+  Rng gen_rng(2024);
+  std::vector<Family> families;
+  families.push_back({"line(128)", gen::path(128)});
+  families.push_back({"star(128)", gen::star(128)});
+  families.push_back({"lollipop(32,64)", gen::lollipop(32, 64)});
+  families.push_back({"expander(128,4)",
+                      gen::random_regular(128, 4, gen_rng)});
+
+  for (const Family& family : families) {
+    std::printf("\n-- %s --\n", family.name.c_str());
+    bench::Table table({"l", "max visits/deg", "bound 24*sqrt(l+1)*log n",
+                        "ratio"});
+    const double logn =
+        std::log2(static_cast<double>(family.graph.node_count()));
+    std::vector<double> ls;
+    std::vector<double> observed;
+    Rng rng(7);
+    for (std::uint64_t l = 1024; l <= 65536; l *= 4) {
+      const double worst = max_normalized_visits(family.graph, l, 20, rng);
+      const double bound =
+          24.0 * std::sqrt(static_cast<double>(l + 1)) * logn;
+      ls.push_back(static_cast<double>(l));
+      observed.push_back(worst);
+      table.add_row({bench::fmt_u64(l), bench::fmt_double(worst, 1),
+                     bench::fmt_double(bound, 0),
+                     bench::fmt_double(worst / bound, 4)});
+    }
+    table.print();
+    // Lemma 2.6's content is the BOUND (always respected, see ratio column);
+    // growth rates differ: ~sqrt(l) on the line (the tight case) vs ~l once
+    // past mixing (visits ~ l * pi(x)) on rapidly-mixing families.
+    const bool line = family.name.substr(0, 4) == "line";
+    bench::print_slope(line ? "max visits/deg vs l (tight case: ~sqrt(l))"
+                            : "max visits/deg vs l (stationary regime: ~l)",
+                       ls, observed, line ? 0.5 : 1.0);
+  }
+}
+
+void BM_CentralWalk(benchmark::State& state) {
+  const Graph g = gen::path(128);
+  Rng rng(3);
+  const auto l = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    auto visits = central_walk_visits(g, 0, l, rng);
+    benchmark::DoNotOptimize(visits.data());
+  }
+}
+BENCHMARK(BM_CentralWalk)->Arg(4096)->Arg(65536);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Topology-aware network health monitoring (Section 4.2).
+//
+// A node wants to know -- without any global view -- whether its network is
+// well-connected (fast mixing, large spectral gap, no bottleneck cut). It
+// runs the decentralized mixing-time estimator on two contrasting
+// topologies: a healthy expander overlay and a barbell (two communities
+// joined by a thin bridge). The derived spectral-gap and conductance
+// brackets flag the bottleneck.
+//
+//   $ ./examples/mixing_monitor
+#include <cstdio>
+
+#include "apps/mixing.hpp"
+#include "congest/network.hpp"
+#include "core/params.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/markov.hpp"
+
+namespace {
+
+void monitor(const char* name, const drw::Graph& g) {
+  using namespace drw;
+  const std::uint32_t diameter = exact_diameter(g);
+  congest::Network net(g, 77);
+  apps::MixingOptions options;
+  options.samples = 500;
+  const auto est = apps::estimate_mixing_time(
+      net, /*source=*/0, core::Params::paper(), diameter, options);
+
+  const MarkovOracle oracle(g);
+  const auto exact = oracle.mixing_time_standard(0, 1000000);
+
+  std::printf("\n== %s ==  (%s, D=%u)\n", name, g.summary().c_str(),
+              diameter);
+  std::printf("  estimated tau_mix : %llu steps  (exact: %s)\n",
+              static_cast<unsigned long long>(est.tau),
+              exact ? std::to_string(*exact).c_str() : "n/a");
+  std::printf("  cost              : %llu rounds, %u lengths tested, "
+              "K=%u samples each\n",
+              static_cast<unsigned long long>(est.stats.rounds),
+              est.lengths_tested, est.samples);
+  std::printf("  spectral gap      : [%.5f, %.5f]\n", est.gap_lower,
+              est.gap_upper);
+  std::printf("  conductance       : [%.5f, %.5f]\n",
+              est.conductance_lower, est.conductance_upper);
+  if (est.conductance_upper < 0.2) {
+    std::printf("  !! bottleneck suspected: conductance upper bound is "
+                "low -- consider adding links across the cut\n");
+  } else {
+    std::printf("  network looks well-connected\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace drw;
+  Rng rng(5);
+  const Graph healthy = gen::random_regular(48, 4, rng);
+  const Graph bottleneck = gen::barbell(20, 2);
+  monitor("healthy expander overlay", healthy);
+  monitor("two communities, thin bridge (barbell)", bottleneck);
+  std::printf("\nBoth estimates used only local message passing: no node "
+              "ever saw the topology.\n");
+  return 0;
+}

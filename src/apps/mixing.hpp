@@ -1,0 +1,112 @@
+// Application 2 (Section 4.2): decentralized estimation of mixing time,
+// spectral gap and conductance.
+//
+// The estimator runs K = O~(sqrt(n)) walks of doubling length l from the
+// source and tests whether the endpoint distribution X = pi_x(l) is close to
+// the stationary distribution Y = pi (known analytically: pi(v) = d(v)/2m).
+// The closeness tester is the Batu et al. [6] construction the paper invokes
+// (Theorem 4.5), realized with two statistics computed at the source from
+// the collected samples:
+//
+//   * bucket L1 -- nodes are bucketed geometrically by their stationary
+//     probability ("the algorithm partitions the set of nodes into buckets
+//     based on the steady state probabilities", Appendix C.1); the sampled
+//     bucket histogram is compared with the exact bucket masses.
+//   * collision l2 -- an unbiased estimator of ||X - Y||_2^2 from pairwise
+//     sample collisions plus the exactly-known <X,Y> and ||Y||_2^2 terms,
+//     scaled by sqrt(n) into an L1 bound. This supplies the within-bucket
+//     resolution of the Batu et al. test (bucket counts alone are blind on
+//     regular graphs, where all nodes share one bucket).
+//
+// The test PASSes iff both statistics are below the threshold; monotonicity
+// of ||pi_x(t) - pi||_1 (Lemma 4.4) then admits a binary search between the
+// last FAIL and the first PASS power of two.
+//
+// Round complexity: O~(n^{1/2} + n^{1/4} sqrt(D tau_x)) (Theorem 4.6);
+// sample records reach the source via a pipelined upcast in O(D + K) rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "core/params.hpp"
+#include "graph/graph.hpp"
+
+namespace drw::apps {
+
+struct MixingOptions {
+  /// Samples per tested length; 0 = auto (c_samples * sqrt(n) * log2(n)).
+  std::uint32_t samples = 0;
+  double c_samples = 4.0;
+  /// PASS threshold on both closeness statistics. Default 1/(2e), mirroring
+  /// Definition 4.3's epsilon.
+  double pass_threshold = 0.0;  // 0 = 1/(2e)
+  /// Geometric bucket growth factor for the stationary-probability buckets.
+  double bucket_ratio = 2.0;
+  /// Cap on the tested walk length (simulation guard). 0 = n^3.
+  std::uint64_t max_length = 0;
+  /// Refine the doubling bracket by binary search (the paper's final step);
+  /// disable to save rounds when only the power-of-two bracket is needed.
+  bool binary_search = true;
+};
+
+/// The source-side closeness statistics for one tested length.
+struct ClosenessStats {
+  double bucket_l1 = 0.0;   ///< sum_b |f_b - q_b| over stationary buckets
+  double l2_squared = 0.0;  ///< unbiased estimate of ||X - Y||_2^2
+  double l1_upper = 0.0;    ///< sqrt(n * max(0, l2_squared)) >= ||X - Y||_1 est
+};
+
+struct MixingEstimate {
+  std::uint64_t tau = 0;        ///< estimated mixing time ~tau_x
+  std::uint64_t last_fail = 0;  ///< largest tested l that FAILed
+  congest::RunStats stats;      ///< total rounds/messages
+  std::uint32_t samples = 0;    ///< K walks per tested length
+  std::uint32_t buckets = 0;    ///< number of stationary buckets
+  std::uint32_t lengths_tested = 0;
+  bool converged = false;       ///< false if max_length was hit
+  /// Spectral bounds derived from tau (Section 4.2): 1/(1-lambda_2) <= tau
+  /// <= log n/(1-lambda_2), and Cheeger: gap/2 <= Phi <= sqrt(2 gap).
+  double gap_lower = 0.0;
+  double gap_upper = 0.0;
+  double conductance_lower = 0.0;
+  double conductance_upper = 0.0;
+};
+
+/// Estimates tau_x for walks started at `source`. The graph should be
+/// non-bipartite (the paper's standing assumption for mixing).
+MixingEstimate estimate_mixing_time(congest::Network& net, NodeId source,
+                                    const core::Params& params,
+                                    std::uint32_t diameter,
+                                    const MixingOptions& options = {});
+
+/// Decentralized expander check (Section 1.3 lists "checking whether a
+/// graph is an expander" among the applications): a graph family is an
+/// expander iff the spectral gap is constant, i.e. the mixing time is
+/// O(log n). The check estimates tau_x and compares against
+/// `c_threshold * log2(n)^2` (the log^2 slack absorbs the tau <= log n/gap
+/// bound and estimator noise).
+struct ExpanderVerdict {
+  bool is_expander = false;
+  std::uint64_t tau = 0;          ///< estimated mixing time
+  double threshold = 0.0;         ///< tau threshold used
+  double gap_lower = 0.0;         ///< implied spectral-gap lower bound
+  congest::RunStats stats;
+};
+ExpanderVerdict check_expander(congest::Network& net, NodeId source,
+                               const core::Params& params,
+                               std::uint32_t diameter,
+                               double c_threshold = 2.0,
+                               const MixingOptions& options = {});
+
+/// Computes the closeness statistics from collected sample records.
+/// `dest_counts[i]` = (sample count, degree) for the i-th distinct endpoint;
+/// `two_m` = 2 * edge count; `sum_deg_sq` = sum over all nodes of degree^2;
+/// `n` = node count; `total` = number of samples. Exposed for tests.
+ClosenessStats closeness_statistics(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& dest_counts,
+    std::uint64_t two_m, std::uint64_t sum_deg_sq, std::size_t n,
+    std::uint64_t total, double bucket_ratio);
+
+}  // namespace drw::apps

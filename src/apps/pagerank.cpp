@@ -1,0 +1,170 @@
+#include "apps/pagerank.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "congest/primitives.hpp"
+
+namespace drw::apps {
+
+namespace {
+
+/// Anonymous terminating tokens with per-edge count aggregation: one message
+/// per directed edge per round, lockstep hops, geometric termination.
+class TerminatingWalkProtocol final : public congest::Protocol {
+ public:
+  TerminatingWalkProtocol(const Graph& g,
+                          std::vector<std::uint64_t> initial_tokens,
+                          double alpha, std::uint32_t max_length)
+      : graph_(&g), initial_(std::move(initial_tokens)), alpha_(alpha),
+        max_length_(max_length), tallies_(g.node_count(), 0) {
+    if (alpha <= 0.0 || alpha >= 1.0) {
+      throw std::invalid_argument("TerminatingWalk: alpha must be in (0,1)");
+    }
+  }
+
+  void on_round(congest::Context& ctx) override {
+    const NodeId v = ctx.self();
+    if (ctx.round() == 0) {
+      if (initial_[v] > 0) process(ctx, initial_[v], 0);
+      return;
+    }
+    std::uint64_t count = 0;
+    std::uint32_t steps = 0;
+    for (const congest::Delivery& d : ctx.inbox()) {
+      if (d.msg.type != kCount) continue;
+      count += d.msg.f[0];
+      steps = static_cast<std::uint32_t>(d.msg.f[1]);
+    }
+    if (count > 0) process(ctx, count, steps);
+  }
+
+  const std::vector<std::uint64_t>& tallies() const { return tallies_; }
+
+ private:
+  enum MsgType : std::uint16_t { kCount = 90 };
+
+  void process(congest::Context& ctx, std::uint64_t count,
+               std::uint32_t steps) {
+    const NodeId v = ctx.self();
+    if (steps >= max_length_) {
+      tallies_[v] += count;  // cap: tally the geometric tail in place
+      return;
+    }
+    // Terminate each token independently with probability alpha.
+    std::uint64_t stopped = 0;
+    for (std::uint64_t t = 0; t < count; ++t) {
+      if (ctx.rng().next_bool(alpha_)) ++stopped;
+    }
+    tallies_[v] += stopped;
+    const std::uint64_t surviving = count - stopped;
+    if (surviving == 0) return;
+    std::vector<std::uint64_t> per_slot(ctx.degree(), 0);
+    for (std::uint64_t t = 0; t < surviving; ++t) {
+      ++per_slot[ctx.rng().next_below(ctx.degree())];
+    }
+    for (std::uint32_t slot = 0; slot < ctx.degree(); ++slot) {
+      if (per_slot[slot] == 0) continue;
+      ctx.send(slot, congest::Message{kCount,
+                                      {per_slot[slot], steps + 1u, 0, 0}});
+    }
+  }
+
+  const Graph* graph_;
+  std::vector<std::uint64_t> initial_;
+  double alpha_;
+  std::uint32_t max_length_;
+  std::vector<std::uint64_t> tallies_;
+};
+
+PageRankResult run_tokens(congest::Network& net,
+                          std::vector<std::uint64_t> initial,
+                          const PageRankOptions& options) {
+  std::uint64_t total = 0;
+  for (auto c : initial) total += c;
+  if (total == 0) throw std::invalid_argument("pagerank: no tokens");
+
+  std::uint32_t max_length = options.max_length;
+  if (max_length == 0) {
+    // P(geometric > L) = (1-alpha)^L < 1/(n * total).
+    const double tail = 1.0 / (static_cast<double>(net.graph().node_count()) *
+                               static_cast<double>(total));
+    max_length = static_cast<std::uint32_t>(
+        std::ceil(std::log(tail) / std::log(1.0 - options.alpha)));
+  }
+
+  TerminatingWalkProtocol protocol(net.graph(), std::move(initial),
+                                   options.alpha, max_length);
+  PageRankResult result;
+  result.stats = net.run(protocol);
+  result.tallies = protocol.tallies();
+  result.total_tokens = total;
+  result.scores.resize(result.tallies.size());
+  for (std::size_t v = 0; v < result.tallies.size(); ++v) {
+    result.scores[v] = static_cast<double>(result.tallies[v]) /
+                       static_cast<double>(total);
+  }
+  return result;
+}
+
+}  // namespace
+
+PageRankResult estimate_pagerank(congest::Network& net,
+                                 const PageRankOptions& options) {
+  std::vector<std::uint64_t> initial(net.graph().node_count(),
+                                     options.tokens_per_node);
+  return run_tokens(net, std::move(initial), options);
+}
+
+PageRankResult estimate_personalized_pagerank(
+    congest::Network& net, NodeId source, std::uint32_t tokens,
+    const PageRankOptions& options) {
+  std::vector<std::uint64_t> initial(net.graph().node_count(), 0);
+  initial[source] = tokens;
+  return run_tokens(net, std::move(initial), options);
+}
+
+std::vector<double> pagerank_reference(const Graph& g, double alpha,
+                                       std::size_t iterations) {
+  const std::size_t n = g.node_count();
+  std::vector<double> pr(n, 1.0 / static_cast<double>(n));
+  for (std::size_t it = 0; it < iterations; ++it) {
+    std::vector<double> next(n, alpha / static_cast<double>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      const double share = (1.0 - alpha) * pr[v] / g.degree(v);
+      for (NodeId u : g.neighbors(v)) next[u] += share;
+    }
+    pr = std::move(next);
+  }
+  return pr;
+}
+
+std::vector<double> personalized_pagerank_reference(const Graph& g,
+                                                    NodeId source,
+                                                    double alpha,
+                                                    double tail_mass) {
+  const std::size_t n = g.node_count();
+  std::vector<double> ppr(n, 0.0);
+  std::vector<double> p(n, 0.0);
+  p[source] = 1.0;
+  double weight = alpha;  // alpha * (1-alpha)^t
+  double remaining = 1.0;
+  while (remaining > tail_mass) {
+    for (std::size_t v = 0; v < n; ++v) ppr[v] += weight * p[v];
+    remaining -= weight;
+    weight *= (1.0 - alpha);
+    // One simple-walk step.
+    std::vector<double> next(n, 0.0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (p[v] == 0.0) continue;
+      const double share = p[v] / g.degree(v);
+      for (NodeId u : g.neighbors(v)) next[u] += share;
+    }
+    p = std::move(next);
+  }
+  // Distribute the truncated tail proportionally to keep the sum at 1.
+  for (auto& value : ppr) value /= (1.0 - remaining);
+  return ppr;
+}
+
+}  // namespace drw::apps

@@ -1,0 +1,67 @@
+// PageRank estimation via terminating random walks -- the paper's Section 5
+// asks about extending the machinery toward PageRank; this implements the
+// standard random-surfer estimator on the CONGEST substrate.
+//
+// Model: the PageRank of the (undirected) network with damping 1-alpha is
+// the stationary distribution of "walk one simple step with probability
+// 1-alpha, teleport to a uniform node with probability alpha". Equivalently
+// PR(v) is the expected endpoint distribution of a walk started at a
+// uniform node and terminated with probability alpha per step.
+//
+// Distributed estimator: every node launches `tokens_per_node` anonymous
+// tokens; each round every surviving token terminates w.p. alpha (tallied
+// at its current node -- node-local knowledge!) or takes a simple step.
+// Because tokens are indistinguishable, per-edge COUNTS travel instead of
+// individual messages (the GET-MORE-WALKS aggregation trick, Lemma 2.2), so
+// the whole estimation runs in O(max walk length) = O(log(total)/alpha)
+// rounds with one message per edge per round, regardless of the number of
+// tokens.
+//
+// Personalized PageRank from a source s is the same process with all tokens
+// starting at s: PPR(s, v) = alpha * sum_t (1-alpha)^t P^t(s, v).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+
+namespace drw::apps {
+
+struct PageRankOptions {
+  double alpha = 0.15;             ///< teleport / termination probability
+  std::uint32_t tokens_per_node = 64;
+  /// Hard cap on walk length (survivors are tallied where they are). The
+  /// default covers the geometric tail: P(len > cap) < 1/(n * tokens).
+  std::uint32_t max_length = 0;    // 0 = auto
+};
+
+struct PageRankResult {
+  std::vector<double> scores;      ///< estimated PR, sums to 1
+  std::vector<std::uint64_t> tallies;  ///< raw per-node stop counts
+  std::uint64_t total_tokens = 0;
+  congest::RunStats stats;
+};
+
+/// Global PageRank: tokens start uniformly (tokens_per_node each).
+PageRankResult estimate_pagerank(congest::Network& net,
+                                 const PageRankOptions& options = {});
+
+/// Personalized PageRank from `source`: `tokens` walks start at the source.
+PageRankResult estimate_personalized_pagerank(
+    congest::Network& net, NodeId source, std::uint32_t tokens,
+    const PageRankOptions& options = {});
+
+/// Centralized reference: damped power iteration to fixed point.
+std::vector<double> pagerank_reference(const Graph& g, double alpha,
+                                       std::size_t iterations = 200);
+
+/// Centralized personalized reference: alpha * sum_t (1-alpha)^t P^t e_s,
+/// truncated when the remaining mass drops below `tail_mass`.
+std::vector<double> personalized_pagerank_reference(const Graph& g,
+                                                    NodeId source,
+                                                    double alpha,
+                                                    double tail_mass = 1e-9);
+
+}  // namespace drw::apps

@@ -1,0 +1,63 @@
+// Application 1 (Section 4.1): random spanning trees.
+//
+// Distributed algorithm = Aldous-Broder simulated with the stitched walk
+// engine: ONE walk from the root extended in doubling phases (l = n, 2n,
+// ...), a distributed cover check per phase, and -- once the walk has
+// covered -- a three-round first-visit-edge protocol in which every
+// non-root node locates the neighbor that held the preceding walk step.
+// Theorem 4.1: O~(sqrt(m D)) rounds with high probability.
+//
+// Deviation from the paper's phrasing (documented in DESIGN.md): the paper
+// restarts log n fresh length-l walks per phase and keeps the first one that
+// covers; selecting a walk conditioned on covering within l steps is
+// measurably non-uniform on small graphs. Extending a single walk is the
+// unconditioned Aldous-Broder process and is exactly uniform, at the same
+// asymptotic round cost.
+//
+// Centralized references (plain Aldous-Broder and Wilson's algorithm) are
+// provided for the uniformity validation in tests and E7.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "core/params.hpp"
+#include "graph/graph.hpp"
+#include "graph/spanning.hpp"
+#include "util/rng.hpp"
+
+namespace drw::apps {
+
+struct RstResult {
+  SpanningTree tree;
+  congest::RunStats stats;      ///< total rounds/messages
+  std::uint32_t phases = 0;     ///< doubling phases executed
+  std::uint32_t walks_run = 0;  ///< walk extensions performed (== phases)
+  std::uint64_t cover_length = 0;  ///< total steps until the walk covered
+};
+
+struct RstOptions {
+  /// Initial walk length; the paper starts at n. 0 = auto (n).
+  std::uint64_t initial_length = 0;
+  /// Hard cap on the walk length to bound simulation cost (0 = 64 * m * D).
+  std::uint64_t max_length = 0;
+};
+
+/// Distributed RST rooted at `root`. Throws std::runtime_error if no walk
+/// covered the graph within options.max_length (never observed in practice;
+/// the expected cover time is O(mD)).
+RstResult random_spanning_tree(congest::Network& net, NodeId root,
+                               const core::Params& params,
+                               std::uint32_t diameter,
+                               const RstOptions& options = {});
+
+/// Centralized Aldous-Broder reference: walk from `root` until all nodes are
+/// visited; each non-root node's tree edge is its first-entry edge.
+SpanningTree aldous_broder_reference(const Graph& g, NodeId root, Rng& rng);
+
+/// Centralized Wilson reference: loop-erased random walks from each node to
+/// the growing tree. Also exactly uniform; used to cross-validate.
+SpanningTree wilson_reference(const Graph& g, NodeId root, Rng& rng);
+
+}  // namespace drw::apps

@@ -1,0 +1,47 @@
+// Random-walk based search (Section 1.3 lists it among the applications
+// sped up by the walk machinery; the classic P2P use-case from the paper's
+// introduction).
+//
+// Setting: items (opaque 64-bit keys) are replicated on some nodes; a
+// querying node wants to locate a replica without any routing state. It
+// launches k random walks of length l; every node visited by a walk checks
+// its local store and reports a hit back along the walk's BFS path.
+//
+// With the stitched engine the walks cost O~(sqrt(k l D) + k) rounds instead
+// of l, and the visited set is obtained through walk regeneration
+// (Section 2.2) -- each node knows whether it was visited and at which step,
+// so the FIRST hit (by walk position) is well-defined. The hit report is a
+// single convergecast over the query's BFS tree, O(D) rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "core/params.hpp"
+#include "graph/graph.hpp"
+
+namespace drw::apps {
+
+struct SearchOptions {
+  std::uint32_t walks = 8;        ///< k walks per query
+  std::uint64_t walk_length = 0;  ///< 0 = auto (4 * n)
+};
+
+struct SearchResult {
+  bool found = false;
+  NodeId holder = kInvalidNode;     ///< replica location (if found)
+  std::uint64_t first_hit_step = 0; ///< earliest walk position that hit
+  congest::RunStats stats;
+  std::uint64_t walk_rounds = 0;    ///< rounds spent on the walks alone
+};
+
+/// Searches for `key` starting from `source`. `replicas[v]` is node v's
+/// local item store (node-local input, as in a real deployment).
+SearchResult random_walk_search(
+    congest::Network& net, NodeId source, std::uint64_t key,
+    const std::vector<std::vector<std::uint64_t>>& replicas,
+    const core::Params& params, std::uint32_t diameter,
+    const SearchOptions& options = {});
+
+}  // namespace drw::apps

@@ -1,0 +1,174 @@
+#include "congest/network.hpp"
+
+#include <stdexcept>
+
+namespace drw::congest {
+
+std::uint32_t Context::degree() const noexcept {
+  return net_->graph().degree(self_);
+}
+
+std::span<const NodeId> Context::neighbors() const noexcept {
+  return net_->graph().neighbors(self_);
+}
+
+NodeId Context::neighbor(std::uint32_t slot) const noexcept {
+  return net_->graph().neighbor(self_, slot);
+}
+
+std::uint32_t Context::slot_of(NodeId neighbor_id) const noexcept {
+  return net_->graph().slot_of(self_, neighbor_id);
+}
+
+void Context::send(std::uint32_t slot, const Message& m) {
+  net_->enqueue(self_, slot, m);
+}
+
+void Context::send_to(NodeId neighbor_id, const Message& m) {
+  const std::uint32_t slot = net_->graph().slot_of(self_, neighbor_id);
+  if (slot >= degree()) {
+    throw std::logic_error("Context::send_to: target is not a neighbor");
+  }
+  net_->enqueue(self_, slot, m);
+}
+
+void Context::wake_me() {
+  if (!net_->wake_flag_[self_]) {
+    net_->wake_flag_[self_] = 1;
+    net_->wake_list_.push_back(self_);
+    ++net_->wakes_next_round_;
+  }
+}
+
+Rng& Context::rng() { return net_->node_rngs_[self_]; }
+
+Network::Network(const Graph& g, std::uint64_t seed) : graph_(&g) {
+  const std::size_t n = g.node_count();
+  Rng master(seed);
+  node_rngs_.reserve(n);
+  for (NodeId v = 0; v < n; ++v) node_rngs_.push_back(master.split_key(v));
+
+  queues_.resize(g.directed_edge_count());
+  edge_source_.resize(g.directed_edge_count());
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::uint32_t slot = 0; slot < g.degree(v); ++slot) {
+      edge_source_[g.directed_edge_index(v, slot)] = v;
+    }
+  }
+  inbox_.resize(n);
+  wake_flag_.assign(n, 0);
+}
+
+void Network::enqueue(NodeId from, std::uint32_t slot, const Message& m) {
+  const std::size_t eid = graph_->directed_edge_index(from, slot);
+  auto& queue = queues_[eid];
+  if (queue.empty()) busy_edges_.push_back(static_cast<std::uint32_t>(eid));
+  queue.push_back(m);
+  if (queue.size() > max_backlog_) max_backlog_ = queue.size();
+  ++sends_this_round_;
+}
+
+RunStats Network::run(Protocol& protocol, std::uint64_t max_rounds) {
+  const std::size_t n = graph_->node_count();
+  RunStats stats;
+  max_backlog_ = 0;
+
+  // Round 0 activates every node once so protocols can initialize; this
+  // forced wake does not by itself count as a round.
+  std::vector<NodeId> current_wakes;
+  bool forced_global_wake = true;
+
+  for (std::uint64_t round = 0;; ++round) {
+    if (round > max_rounds) {
+      throw std::runtime_error("Network::run: max_rounds exceeded");
+    }
+
+    // Collect this round's activations (set up by the previous iteration).
+    if (!forced_global_wake) {
+      current_wakes.swap(wake_list_);
+      wake_list_.clear();
+      for (NodeId v : current_wakes) wake_flag_[v] = 0;
+    }
+    const std::uint64_t deliveries = [&] {
+      std::uint64_t count = 0;
+      for (NodeId v : inbox_nonempty_) count += inbox_[v].size();
+      return count;
+    }();
+    sends_this_round_ = 0;
+    wakes_next_round_ = 0;
+
+    // Process active nodes: first those with deliveries, then woken nodes
+    // that had no deliveries. (Inbox membership is tracked via inbox size.)
+    auto process = [&](NodeId v) {
+      Context ctx;
+      ctx.net_ = this;
+      ctx.self_ = v;
+      ctx.round_ = round;
+      ctx.inbox_ = std::span<const Delivery>(inbox_[v]);
+      protocol.on_round(ctx);
+    };
+    if (forced_global_wake) {
+      for (NodeId v = 0; v < n; ++v) process(v);
+    } else {
+      for (NodeId v : inbox_nonempty_) process(v);
+      for (NodeId v : current_wakes) {
+        if (inbox_[v].empty()) process(v);
+      }
+    }
+
+    // Clear consumed inboxes.
+    for (NodeId v : inbox_nonempty_) inbox_[v].clear();
+    inbox_nonempty_.clear();
+
+    stats.messages += deliveries;
+    forced_global_wake = false;
+    // Wakes scheduled during this iteration mark local-only work happening
+    // in this round (e.g. a lazy walk's self-loop step): they cost a round
+    // even with no transmission.
+    const std::uint64_t scheduled = wakes_next_round_;
+
+    if (protocol.done()) {
+      if (scheduled > 0 || sends_this_round_ > 0) ++stats.rounds;
+      break;
+    }
+
+    // Transmit: at most one queued message per directed edge moves into the
+    // next iteration's inboxes. Each iteration with at least one
+    // transmission (or an explicit waiting wake) is one CONGEST round --
+    // compute + send + delivery happen within a single round of the model.
+    std::uint64_t transmitted = 0;
+    std::vector<std::uint32_t> still_busy;
+    for (std::uint32_t eid : busy_edges_) {
+      auto& queue = queues_[eid];
+      const NodeId from = edge_source_[eid];
+      const NodeId to = graph_->neighbor(
+          from, static_cast<std::uint32_t>(
+                    eid - graph_->directed_edge_index(from, 0)));
+      if (inbox_[to].empty()) inbox_nonempty_.push_back(to);
+      inbox_[to].push_back(Delivery{queue.front(), from});
+      queue.pop_front();
+      ++transmitted;
+      if (!queue.empty()) still_busy.push_back(eid);
+    }
+    busy_edges_.swap(still_busy);
+    if (transmitted > 0 || scheduled > 0) ++stats.rounds;
+
+    // Quiescence: nothing queued, nothing scheduled, nothing to deliver.
+    if (busy_edges_.empty() && inbox_nonempty_.empty() &&
+        wake_list_.empty()) {
+      break;
+    }
+  }
+
+  stats.max_backlog = max_backlog_;
+  // Reset transient state so the network can host the next protocol run.
+  for (NodeId v : inbox_nonempty_) inbox_[v].clear();
+  inbox_nonempty_.clear();
+  for (NodeId v : wake_list_) wake_flag_[v] = 0;
+  wake_list_.clear();
+  for (std::uint32_t eid : busy_edges_) queues_[eid].clear();
+  busy_edges_.clear();
+  return stats;
+}
+
+}  // namespace drw::congest

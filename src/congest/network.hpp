@@ -1,0 +1,155 @@
+// Synchronous CONGEST-model network simulator (paper Section 1.1).
+//
+// Model contract:
+//   * Communication proceeds in discrete rounds. In each round every node may
+//     send one message of O(log n) bits through each incident edge; messages
+//     sent in round t are delivered at the beginning of round t+1.
+//   * Local computation is free; only rounds are counted.
+//
+// Faithfulness mechanics:
+//   * `Message` is a type tag plus at most four 64-bit words -- a constant
+//     number of node IDs / counters, i.e. O(log n) bits.
+//   * Each *directed* edge owns a FIFO backlog queue. Protocols may enqueue
+//     any number of sends per round; the network delivers at most one message
+//     per directed edge per round and the rest wait. Congestion therefore
+//     costs rounds *emergently*, exactly as in the paper's analysis (e.g.
+//     Lemma 2.1: "any iteration could require more than 1 round").
+//   * Round accounting: a round is counted iff it carried any activity
+//     (delivery, send, or a self-scheduled wake). Global termination
+//     detection is free for the driver, which matches the paper's phase
+//     composition (phases have known length bounds in the real algorithm).
+//
+// Protocols are event-driven: a node's `on_round` runs when it received
+// messages this round, asked to be woken, or during round 0 (all nodes wake
+// once so protocols can initialize). Per-node randomness comes from streams
+// split off the network's master seed, so runs are deterministic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace drw::congest {
+
+/// A CONGEST message: type tag + <= 4 payload words (O(log n) bits).
+struct Message {
+  std::uint16_t type = 0;
+  std::array<std::uint64_t, 4> f{};
+};
+static_assert(sizeof(Message) <= 48, "Message must stay O(log n) bits");
+
+/// A delivered message together with the neighbor it arrived from (the
+/// CONGEST model lets the receiver identify the incoming edge).
+struct Delivery {
+  Message msg;
+  NodeId from = kInvalidNode;
+};
+
+/// Statistics for one protocol run (or an accumulation of several).
+struct RunStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;     ///< total messages delivered
+  std::uint64_t max_backlog = 0;  ///< peak per-edge queue length observed
+
+  RunStats& operator+=(const RunStats& other) noexcept {
+    rounds += other.rounds;
+    messages += other.messages;
+    max_backlog = max_backlog > other.max_backlog ? max_backlog
+                                                  : other.max_backlog;
+    return *this;
+  }
+};
+
+class Network;
+
+/// Per-node view handed to Protocol::on_round. Only exposes information a
+/// real processor would have: its own ID, its neighbors, its inbox, its coin.
+class Context {
+ public:
+  NodeId self() const noexcept { return self_; }
+  std::uint64_t round() const noexcept { return round_; }
+  std::span<const Delivery> inbox() const noexcept { return inbox_; }
+
+  std::uint32_t degree() const noexcept;
+  std::span<const NodeId> neighbors() const noexcept;
+  NodeId neighbor(std::uint32_t slot) const noexcept;
+  /// Slot of an adjacent node (degree() if not adjacent).
+  std::uint32_t slot_of(NodeId neighbor_id) const noexcept;
+
+  /// Enqueues a message on the directed edge (self -> slot-th neighbor).
+  void send(std::uint32_t slot, const Message& m);
+  /// Enqueues to a neighbor by ID (binary-searches the slot; must be
+  /// adjacent).
+  void send_to(NodeId neighbor_id, const Message& m);
+  /// Requests on_round next round even if no message arrives.
+  void wake_me();
+  /// This node's private random stream.
+  Rng& rng();
+
+ private:
+  friend class Network;
+  Network* net_ = nullptr;
+  NodeId self_ = kInvalidNode;
+  std::uint64_t round_ = 0;
+  std::span<const Delivery> inbox_;
+};
+
+/// A distributed algorithm: one object holding the state of *all* nodes
+/// (indexed by NodeId), invoked per active node per round. Protocols must
+/// only let node v's logic read node v's slice of that state.
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Called for every active node each round (round 0 activates all nodes).
+  virtual void on_round(Context& ctx) = 0;
+
+  /// Optional early-stop: checked after each round. The default runs until
+  /// quiescence (no queued messages, no wakes).
+  virtual bool done() const { return false; }
+};
+
+class Network {
+ public:
+  /// The graph must be connected (the paper's standing assumption).
+  explicit Network(const Graph& g, std::uint64_t seed);
+
+  const Graph& graph() const noexcept { return *graph_; }
+
+  /// Runs `protocol` to completion (quiescence or protocol.done()).
+  /// Throws std::runtime_error if `max_rounds` is exceeded -- a protocol bug.
+  RunStats run(Protocol& protocol, std::uint64_t max_rounds = 10'000'000);
+
+  /// Node-private random stream (stable per node per network instance).
+  Rng& node_rng(NodeId v) { return node_rngs_[v]; }
+
+ private:
+  friend class Context;
+
+  void enqueue(NodeId from, std::uint32_t slot, const Message& m);
+
+  const Graph* graph_;
+  std::vector<Rng> node_rngs_;
+
+  // Directed edge e = adjacency index of (from -> to); queues_[e] is its
+  // backlog. edge_source_[e] caches `from` for delivery bookkeeping.
+  std::vector<std::deque<Message>> queues_;
+  std::vector<NodeId> edge_source_;
+  std::vector<std::uint32_t> busy_edges_;  // queues with pending messages
+
+  // Double-buffered inboxes + wake scheduling for the run loop.
+  std::vector<std::vector<Delivery>> inbox_;
+  std::vector<NodeId> inbox_nonempty_;
+  std::vector<std::uint8_t> wake_flag_;
+  std::vector<NodeId> wake_list_;
+  std::uint64_t sends_this_round_ = 0;
+  std::uint64_t wakes_next_round_ = 0;
+  std::uint64_t max_backlog_ = 0;
+};
+
+}  // namespace drw::congest

@@ -1,0 +1,176 @@
+// Reusable distributed building blocks on the CONGEST kernel:
+//
+//   * BfsTreeProtocol       -- breadth-first tree construction, O(D) rounds
+//   * BroadcastProtocol     -- root-to-all dissemination over a BFS tree
+//   * ConvergecastSum       -- aggregate a per-node word up the tree
+//   * PipelinedVectorUpcast -- aggregate a K-vector up the tree, O(D + K)
+//   * TokenWalkProtocol     -- many simultaneous random-walk tokens with
+//                              emergent congestion (Phase 1 of Algorithm 1)
+//
+// These correspond to the standard CONGEST toolbox the paper builds on
+// ("constructing a BFS tree clearly takes O(D) rounds", "the standard upcast
+// technique", Appendix A/C).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+
+namespace drw::congest {
+
+/// A rooted BFS tree: output of BfsTreeProtocol, input to the cast protocols.
+struct BfsTree {
+  NodeId root = kInvalidNode;
+  std::vector<NodeId> parent;                // parent[root] == root
+  std::vector<std::vector<NodeId>> children; // per node
+  std::vector<std::uint32_t> depth;          // hops from root
+  std::uint32_t height = 0;                  // max depth
+};
+
+/// Floods level messages from the root; each node adopts the smallest-ID
+/// first-round sender as parent and notifies it. Quiesces in O(D) rounds.
+class BfsTreeProtocol final : public Protocol {
+ public:
+  BfsTreeProtocol(const Graph& g, NodeId root);
+  void on_round(Context& ctx) override;
+
+  /// Valid after the run completes; throws if some node was never reached.
+  BfsTree take_tree();
+
+ private:
+  enum MsgType : std::uint16_t { kLevel = 1, kJoin = 2 };
+  NodeId root_;
+  BfsTree tree_;
+  std::vector<std::uint8_t> joined_;
+};
+
+/// Sends one payload message from the root to every node along tree edges.
+/// Each node's payload is observed via the `on_receive` callback (called with
+/// the receiving node's ID); O(height) rounds.
+class BroadcastProtocol final : public Protocol {
+ public:
+  BroadcastProtocol(const BfsTree& tree, Message payload,
+                    std::function<void(NodeId, const Message&)> on_receive);
+  void on_round(Context& ctx) override;
+
+ private:
+  enum MsgType : std::uint16_t { kDown = 1 };
+  const BfsTree* tree_;
+  Message payload_;
+  std::function<void(NodeId, const Message&)> on_receive_;
+};
+
+/// Sums a per-node 64-bit value up the tree; result available at the root
+/// after O(height) rounds via `root_sum()`.
+class ConvergecastSum final : public Protocol {
+ public:
+  ConvergecastSum(const BfsTree& tree, std::vector<std::uint64_t> values);
+  void on_round(Context& ctx) override;
+  std::uint64_t root_sum() const { return acc_[tree_->root]; }
+
+ private:
+  enum MsgType : std::uint16_t { kUp = 1 };
+  void maybe_forward(Context& ctx);
+  const BfsTree* tree_;
+  std::vector<std::uint64_t> acc_;
+  std::vector<std::uint32_t> pending_children_;
+  std::vector<std::uint8_t> sent_;
+};
+
+/// Element-wise sums per-node vectors of length K up the tree, pipelined one
+/// entry per tree edge per round: O(height + K) rounds, messages of
+/// (index, value) pairs. Used by the mixing-time estimator's bucket upcast
+/// (Appendix C.3's "standard upcast technique").
+class PipelinedVectorUpcast final : public Protocol {
+ public:
+  PipelinedVectorUpcast(const BfsTree& tree,
+                        std::vector<std::vector<std::uint64_t>> values);
+  void on_round(Context& ctx) override;
+  const std::vector<std::uint64_t>& root_vector() const {
+    return acc_[tree_->root];
+  }
+
+ private:
+  enum MsgType : std::uint16_t { kEntry = 1 };
+  void pump(Context& ctx);
+  const BfsTree* tree_;
+  std::size_t k_ = 0;
+  std::vector<std::vector<std::uint64_t>> acc_;
+  std::vector<std::vector<std::uint32_t>> entry_pending_;  // children missing
+  std::vector<std::uint32_t> next_send_;
+};
+
+/// Streams arbitrary per-node record lists (3 words each) to the tree root,
+/// one record per tree edge per round: O(height + total records) rounds.
+/// Used to deliver walk-sample records to the mixing-time estimator's source
+/// ("the source can obtain ... in O~(n^{1/2} poly(1/eps) + D) rounds").
+class PipelinedListUpcast final : public Protocol {
+ public:
+  using Record = std::array<std::uint64_t, 3>;
+
+  PipelinedListUpcast(const BfsTree& tree,
+                      std::vector<std::vector<Record>> records);
+  void on_round(Context& ctx) override;
+
+  /// All records collected at the root (order unspecified).
+  const std::vector<Record>& root_records() const {
+    return queue_[tree_->root];
+  }
+
+ private:
+  enum MsgType : std::uint16_t { kRecord = 5 };
+  void pump(Context& ctx);
+  const BfsTree* tree_;
+  std::vector<std::vector<Record>> queue_;
+  std::vector<std::size_t> next_send_;
+};
+
+/// A short-walk token in flight: walk from `source`, `remaining` hops to go,
+/// `total_len` the walk's full length (carried so the destination learns it).
+struct WalkToken {
+  NodeId source = kInvalidNode;
+  std::uint32_t remaining = 0;
+  std::uint32_t total_len = 0;
+};
+
+/// A walk endpoint stored at its destination node.
+struct StoredToken {
+  NodeId source = kInvalidNode;
+  std::uint32_t length = 0;
+};
+
+/// Moves every initial token along an independent random walk, one hop per
+/// delivered message, decrementing `remaining`; a token with remaining == 0
+/// is stored at the current node. One message carries one token, so edge
+/// congestion is real and the protocol's round count exhibits the
+/// O(lambda * eta * log n) behaviour of Lemma 2.1.
+class TokenWalkProtocol final : public Protocol {
+ public:
+  TokenWalkProtocol(const Graph& g,
+                    std::vector<std::vector<WalkToken>> initial_tokens);
+  void on_round(Context& ctx) override;
+
+  /// Tokens stored at each node after quiescence (destination-side record:
+  /// "only the destination of each of these walks is aware of its source").
+  const std::vector<std::vector<StoredToken>>& stored() const {
+    return stored_;
+  }
+  std::vector<std::vector<StoredToken>> take_stored() {
+    return std::move(stored_);
+  }
+
+ private:
+  enum MsgType : std::uint16_t { kToken = 1 };
+  void route(Context& ctx, const WalkToken& token);
+  std::vector<std::vector<WalkToken>> initial_;
+  std::vector<std::vector<StoredToken>> stored_;
+};
+
+/// Driver helper: builds a BFS tree rooted at `root`, accumulating rounds
+/// into `stats`.
+BfsTree build_bfs_tree(Network& net, NodeId root, RunStats& stats);
+
+}  // namespace drw::congest

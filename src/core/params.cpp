@@ -1,0 +1,95 @@
+#include "core/params.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace drw::core {
+
+namespace {
+
+double log2ceil(std::size_t n) {
+  return std::max(1.0, std::log2(static_cast<double>(std::max<std::size_t>(n, 2))));
+}
+
+}  // namespace
+
+std::uint32_t Params::lambda_single(std::uint64_t l, std::uint32_t diameter,
+                                    std::size_t n) const {
+  if (lambda_override != 0) return lambda_override;
+  const double dl = static_cast<double>(l);
+  const double dd = std::max<double>(diameter, 1.0);
+  double lambda = 0.0;
+  switch (preset) {
+    case Preset::kPaper:
+      lambda = lambda_scale * std::sqrt(dl * dd);
+      if (theory_constants) lambda *= 24.0 * std::pow(log2ceil(n), 3.0);
+      break;
+    case Preset::kPodc09:
+      lambda = lambda_scale * std::cbrt(dl) * std::pow(dd, 2.0 / 3.0);
+      break;
+  }
+  return static_cast<std::uint32_t>(
+      std::clamp(std::llround(lambda), 1LL, 1LL << 31));
+}
+
+std::uint32_t Params::lambda_many(std::uint64_t k, std::uint64_t l,
+                                  std::uint32_t diameter,
+                                  std::size_t n) const {
+  if (lambda_override != 0) return lambda_override;
+  const double dk = static_cast<double>(std::max<std::uint64_t>(k, 1));
+  const double dl = static_cast<double>(l);
+  const double dd = std::max<double>(diameter, 1.0);
+  const double logn = log2ceil(n);
+  double lambda = 0.0;
+  switch (preset) {
+    case Preset::kPaper:
+      // MANY-RANDOM-WALKS: lambda = (24 sqrt(k l D + 1) log n + k)(log n)^2.
+      lambda = lambda_scale * (std::sqrt(dk * dl * dd + 1.0) + dk);
+      if (theory_constants) {
+        lambda = (24.0 * std::sqrt(dk * dl * dd + 1.0) * logn + dk) *
+                 logn * logn * lambda_scale;
+      }
+      break;
+    case Preset::kPodc09:
+      lambda = lambda_scale * std::cbrt(dk * dl) * std::pow(dd, 2.0 / 3.0);
+      break;
+  }
+  return static_cast<std::uint32_t>(
+      std::clamp(std::llround(lambda), 1LL, 1LL << 31));
+}
+
+namespace {
+
+double podc09_eta(double eta, std::uint64_t l, std::uint32_t diameter) {
+  const double dd = std::max<double>(diameter, 1.0);
+  return eta * std::cbrt(static_cast<double>(std::max<std::uint64_t>(l, 1)) /
+                         dd);
+}
+
+}  // namespace
+
+std::uint32_t Params::walks_per_node(std::uint32_t deg, std::uint64_t l,
+                                     std::uint32_t diameter) const {
+  double base = 0.0;
+  if (preset == Preset::kPaper) {
+    base = degree_proportional ? eta * static_cast<double>(deg) : eta;
+  } else {
+    base = podc09_eta(eta, l, diameter);
+  }
+  return static_cast<std::uint32_t>(
+      std::clamp(std::llround(base), 1LL, 1LL << 20));
+}
+
+std::uint32_t Params::get_more_walks_count(std::uint64_t l,
+                                           std::uint32_t lambda,
+                                           std::uint32_t diameter) const {
+  if (preset == Preset::kPaper) {
+    return static_cast<std::uint32_t>(
+        std::clamp<std::uint64_t>(l / std::max<std::uint32_t>(lambda, 1), 1,
+                                  1u << 20));
+  }
+  return static_cast<std::uint32_t>(
+      std::clamp(std::llround(podc09_eta(eta, l, diameter)), 1LL, 1LL << 20));
+}
+
+}  // namespace drw::core

@@ -1,0 +1,367 @@
+#include "core/random_walks.hpp"
+
+#include <stdexcept>
+
+#include "congest/primitives.hpp"
+
+namespace drw::core {
+
+WalkCounters& WalkCounters::operator+=(const WalkCounters& other) noexcept {
+  lambda = other.lambda != 0 ? other.lambda : lambda;
+  walks_prepared += other.walks_prepared;
+  stitches += other.stitches;
+  sample_calls += other.sample_calls;
+  get_more_walks_calls += other.get_more_walks_calls;
+  naive_tail_steps += other.naive_tail_steps;
+  phase1 += other.phase1;
+  phase2 += other.phase2;
+  regen += other.regen;
+  return *this;
+}
+
+std::uint64_t StitchEngine::max_connector_visits() const noexcept {
+  std::uint64_t best = 0;
+  for (std::uint64_t c : connector_visits_) best = std::max(best, c);
+  return best;
+}
+
+StitchEngine::StitchEngine(congest::Network& net, Params params,
+                           std::uint32_t diameter)
+    : net_(&net), params_(params), diameter_(diameter),
+      store_(net.graph().node_count()),
+      trajectories_(net.graph().node_count()) {
+  if (params_.record_trajectories &&
+      params_.transition != TransitionModel::kSimple) {
+    // GET-MORE-WALKS tokens travel as anonymous aggregated counts; their
+    // reverse replay relies on every transit being an edge traversal.
+    throw std::invalid_argument(
+        "StitchEngine: walk regeneration requires the simple walk");
+  }
+  if (params_.record_trajectories) {
+    positions_.resize(net.graph().node_count());
+  }
+}
+
+void StitchEngine::prepare(std::uint64_t k, std::uint64_t l) {
+  const Graph& g = net_->graph();
+  // Reset all distributed walk state; a prepare() starts a fresh epoch.
+  store_ = WalkStore(g.node_count());
+  trajectories_ = TrajectoryStore(g.node_count());
+  if (params_.record_trajectories) {
+    positions_.assign(g.node_count(), {});
+  }
+  prepared_ = true;
+  prepared_l_ = l;
+  prepared_k_ = std::max<std::uint64_t>(k, 1);
+  connector_visits_.assign(g.node_count(), 0);
+
+  lambda_ = k <= 1 ? params_.lambda_single(l, diameter_, g.node_count())
+                   : params_.lambda_many(k, l, diameter_, g.node_count());
+  // MANY-RANDOM-WALKS: "If lambda > l then run the naive random walk
+  // algorithm". The same guard is the right call for a single walk.
+  naive_mode_ = lambda_ > l;
+  if (naive_mode_) return;
+
+  std::vector<ShortWalkPhaseProtocol::Job> jobs;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const std::uint32_t count =
+        params_.walks_per_node(g.degree(v), l, diameter_);
+    Rng& rng = net_->node_rng(v);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const auto extra =
+          params_.random_lengths
+              ? static_cast<std::uint32_t>(rng.next_below(lambda_))
+              : 0u;
+      jobs.push_back(ShortWalkPhaseProtocol::Job{v, i, lambda_ + extra});
+    }
+  }
+  const auto prepared_count = static_cast<std::uint64_t>(jobs.size());
+  ShortWalkPhaseProtocol phase1(
+      g, std::move(jobs), store_,
+      params_.record_trajectories ? &trajectories_ : nullptr,
+      params_.transition);
+  const congest::RunStats stats = net_->run(phase1);
+  total_ += stats;
+  // Stash Phase-1 cost so the next walk() can report it.
+  pending_phase1_ = stats;
+  pending_prepared_ = prepared_count;
+}
+
+WalkResult StitchEngine::naive_walk_result(NodeId source, std::uint64_t l,
+                                           std::uint32_t walk_id,
+                                           bool record_start) {
+  NaiveSegmentProtocol::Job job{source, l, walk_id, 0, record_start};
+  NaiveSegmentProtocol protocol(
+      net_->graph(), {job},
+      params_.record_trajectories ? &positions_ : nullptr,
+      params_.transition);
+  WalkResult result;
+  result.stats = net_->run(protocol);
+  result.counters.naive_tail_steps = l;
+  result.destination = protocol.destinations()[0];
+  total_ += result.stats;
+  return result;
+}
+
+WalkResult StitchEngine::walk(NodeId source, std::uint64_t l,
+                              std::uint32_t walk_id) {
+  return walk_impl(source, l, walk_id, /*defer_tail=*/false);
+}
+
+WalkResult StitchEngine::walk_deferring_tail(NodeId source, std::uint64_t l,
+                                             std::uint32_t walk_id) {
+  return walk_impl(source, l, walk_id, /*defer_tail=*/true);
+}
+
+WalkResult StitchEngine::continue_walk(NodeId source, std::uint64_t l,
+                                       std::uint32_t walk_id,
+                                       std::uint64_t start_step) {
+  return walk_impl(source, l, walk_id, /*defer_tail=*/false, start_step);
+}
+
+StitchEngine::TailOutcome StitchEngine::run_deferred_tails() {
+  TailOutcome outcome;
+  if (deferred_tails_.empty()) return outcome;
+  for (const auto& job : deferred_tails_) {
+    outcome.walk_ids.push_back(job.walk_id);
+  }
+  NaiveSegmentProtocol protocol(
+      net_->graph(), std::move(deferred_tails_),
+      params_.record_trajectories ? &positions_ : nullptr,
+      params_.transition);
+  deferred_tails_.clear();
+  outcome.stats = net_->run(protocol);
+  outcome.destinations = protocol.destinations();
+  total_ += outcome.stats;
+  return outcome;
+}
+
+WalkResult StitchEngine::walk_impl(NodeId source, std::uint64_t l,
+                                   std::uint32_t walk_id, bool defer_tail,
+                                   std::uint64_t start_step) {
+  if (!prepared_) throw std::logic_error("StitchEngine: prepare() first");
+  if (l > prepared_l_) {
+    throw std::logic_error("StitchEngine: walk longer than prepared for");
+  }
+  const Graph& g = net_->graph();
+
+  if (naive_mode_) {
+    WalkResult result = naive_walk_result(source, l, walk_id, true);
+    result.counters.lambda = lambda_;
+    return result;
+  }
+
+  WalkResult result;
+  result.counters.lambda = lambda_;
+  result.counters.phase1 = pending_phase1_;
+  result.counters.walks_prepared = pending_prepared_;
+  pending_phase1_ = {};
+  pending_prepared_ = 0;
+
+  // The source knows it is step `start_step` of the walk (node-local
+  // knowledge; for a continuation the previous phase already recorded it).
+  if (params_.record_trajectories && start_step == 0) {
+    positions_[source].push_back(WalkPosition{walk_id, 0});
+  }
+
+  // Phase 2: stitch short walks "while length of walk completed is at most
+  // l - 2*lambda" (Algorithm 1).
+  struct Segment {
+    SampleConvergecast::Candidate token;
+    NodeId from = kInvalidNode;
+    std::uint64_t offset = 0;
+  };
+  std::vector<Segment> segments;
+  congest::RunStats phase2;
+  NodeId current = source;
+  std::uint64_t completed = 0;
+  while (completed + 2 * static_cast<std::uint64_t>(lambda_) <= l) {
+    congest::BfsTree tree = congest::build_bfs_tree(*net_, current, phase2);
+
+    SampleConvergecast sample(tree, store_, current);
+    phase2 += net_->run(sample);
+    ++result.counters.sample_calls;
+    SampleConvergecast::Candidate candidate = sample.result();
+
+    if (candidate.count == 0) {
+      // All short walks from `current` are used up: GET-MORE-WALKS.
+      // When the engine serves k walks (MANY-RANDOM-WALKS), connectors can
+      // recur up to k times as often, so the batch is scaled by k -- the
+      // count aggregation makes the bigger batch free (still O(lambda)
+      // rounds, Lemma 2.2).
+      const std::uint32_t count = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(
+              static_cast<std::uint64_t>(
+                  params_.get_more_walks_count(l, lambda_, diameter_)) *
+                  prepared_k_,
+              1u << 20));
+      GetMoreWalksProtocol more(
+          g, current, count, lambda_, params_.random_lengths, store_,
+          params_.record_trajectories ? &trajectories_ : nullptr,
+          params_.transition);
+      phase2 += net_->run(more);
+      ++result.counters.get_more_walks_calls;
+
+      SampleConvergecast retry(tree, store_, current);
+      phase2 += net_->run(retry);
+      ++result.counters.sample_calls;
+      candidate = retry.result();
+      if (candidate.count == 0) {
+        throw std::logic_error("StitchEngine: GET-MORE-WALKS yielded none");
+      }
+    }
+
+    // Sweep 3: broadcast down the tree to delete the sampled token at its
+    // holder ("so that this random walk is not reused") and hand the walk
+    // token to it.
+    WalkStore* store = &store_;
+    const auto held_index = candidate.held_index;
+    congest::BroadcastProtocol commit(
+        tree,
+        congest::Message{0, {candidate.holder, candidate.held_index, 0, 0}},
+        [store, held_index](NodeId at, const congest::Message& m) {
+          if (at != static_cast<NodeId>(m.f[0])) return;
+          auto& held = store->held[at][held_index];
+          if (held.used) {
+            throw std::logic_error("StitchEngine: token already used");
+          }
+          held.used = true;
+        });
+    phase2 += net_->run(commit);
+
+    segments.push_back(Segment{candidate, current, start_step + completed});
+    ++connector_visits_[current];
+    completed += candidate.length;
+    current = candidate.holder;
+    ++result.counters.stitches;
+  }
+
+  // "Walk naively until l steps are completed (at most another 2*lambda)."
+  result.counters.phase2 = phase2;
+  result.stats += result.counters.phase1;
+  result.stats += phase2;
+  total_ += phase2;
+
+  NodeId destination = current;
+  const std::uint64_t tail = l - completed;
+  if (tail > 0) {
+    NaiveSegmentProtocol::Job job{current, tail, walk_id,
+                                  start_step + completed, false};
+    result.counters.naive_tail_steps = tail;
+    if (defer_tail) {
+      deferred_tails_.push_back(job);
+    } else {
+      NaiveSegmentProtocol protocol(
+          g, {job}, params_.record_trajectories ? &positions_ : nullptr,
+          params_.transition);
+      const congest::RunStats tail_stats = net_->run(protocol);
+      result.stats += tail_stats;
+      total_ += tail_stats;
+      destination = protocol.destinations()[0];
+    }
+  }
+  result.destination = destination;
+
+  // Regeneration (Section 2.2): replay every stitched segment in parallel so
+  // all nodes learn their position(s).
+  if (params_.record_trajectories && !segments.empty()) {
+    std::vector<RegenerateProtocol::ForwardJob> forward;
+    std::vector<RegenerateProtocol::ReverseJob> reverse;
+    for (const Segment& s : segments) {
+      if (s.token.kind == WalkKind::kPhase1) {
+        forward.push_back(RegenerateProtocol::ForwardJob{
+            s.from, s.token.seq, s.offset, walk_id});
+      } else {
+        const HeldToken& held = store_.held[s.token.holder][s.token.held_index];
+        reverse.push_back(RegenerateProtocol::ReverseJob{
+            s.token.holder, s.from, s.token.length, held.arrival_slot,
+            s.offset, walk_id});
+      }
+    }
+    RegenerateProtocol regen(g, std::move(forward), std::move(reverse),
+                             trajectories_, positions_);
+    const congest::RunStats regen_stats = net_->run(regen);
+    result.counters.regen = regen_stats;
+    result.stats += regen_stats;
+    total_ += regen_stats;
+  }
+  return result;
+}
+
+SingleWalkOutput single_random_walk(congest::Network& net, NodeId source,
+                                    std::uint64_t l, const Params& params,
+                                    std::uint32_t diameter) {
+  StitchEngine engine(net, params, diameter);
+  engine.prepare(1, l);
+  SingleWalkOutput out;
+  out.result = engine.walk(source, l, 0);
+  out.positions = engine.positions();
+  return out;
+}
+
+WalkResult naive_random_walk(congest::Network& net, NodeId source,
+                             std::uint64_t l, TransitionModel model) {
+  NaiveSegmentProtocol::Job job{source, l, 0, 0, true};
+  NaiveSegmentProtocol protocol(net.graph(), {job}, nullptr, model);
+  WalkResult result;
+  result.stats = net.run(protocol);
+  result.destination = protocol.destinations()[0];
+  result.counters.naive_tail_steps = l;
+  return result;
+}
+
+ManyWalksOutput many_random_walks(congest::Network& net,
+                                  std::span<const NodeId> sources,
+                                  std::uint64_t l, const Params& params,
+                                  std::uint32_t diameter) {
+  ManyWalksOutput out;
+  if (sources.empty()) return out;
+
+  StitchEngine engine(net, params, diameter);
+  engine.prepare(sources.size(), l);
+
+  if (engine.naive_mode()) {
+    // "If lambda > l then run the naive random walk algorithm, i.e., the
+    // sources find walks of length l simultaneously by sending tokens."
+    out.used_naive_fallback = true;
+    PositionTable positions;
+    if (params.record_trajectories) {
+      positions.resize(net.graph().node_count());
+    }
+    std::vector<NaiveSegmentProtocol::Job> jobs;
+    for (std::uint32_t i = 0; i < sources.size(); ++i) {
+      jobs.push_back(NaiveSegmentProtocol::Job{sources[i], l, i, 0, true});
+    }
+    NaiveSegmentProtocol protocol(
+        net.graph(), std::move(jobs),
+        params.record_trajectories ? &positions : nullptr,
+        params.transition);
+    out.stats = net.run(protocol);
+    out.destinations = protocol.destinations();
+    out.counters.lambda = engine.lambda();
+    out.counters.naive_tail_steps = l * sources.size();
+    out.positions = std::move(positions);
+    return out;
+  }
+
+  // Stitch the k walks one at a time (Section 2.3), but run all the naive
+  // tails concurrently at the end -- k independent tail tokens cost
+  // O(k + 2*lambda) rounds together instead of k * 2*lambda sequentially,
+  // keeping the total within Theorem 2.8's O~(sqrt(k l D) + k).
+  for (std::uint32_t i = 0; i < sources.size(); ++i) {
+    WalkResult walk = engine.walk_deferring_tail(sources[i], l, i);
+    out.destinations.push_back(walk.destination);
+    out.stats += walk.stats;
+    out.counters += walk.counters;
+  }
+  const StitchEngine::TailOutcome tails = engine.run_deferred_tails();
+  out.stats += tails.stats;
+  for (std::size_t t = 0; t < tails.walk_ids.size(); ++t) {
+    out.destinations[tails.walk_ids[t]] = tails.destinations[t];
+  }
+  out.counters.lambda = engine.lambda();
+  out.positions = engine.positions();
+  return out;
+}
+
+}  // namespace drw::core

@@ -1,0 +1,168 @@
+// Public API of the paper's core contribution.
+//
+//   * single_random_walk  -- Algorithm 1 / Theorem 2.5: an l-step walk from s
+//     in O~(sqrt(l D)) rounds. Las Vegas: the returned destination is an
+//     exact sample from the l-step walk distribution.
+//   * many_random_walks   -- Section 2.3 / Theorem 2.8: k walks in
+//     O~(min(sqrt(k l D) + k, k + l)) rounds (naive fallback included).
+//   * naive_random_walk   -- the l-round token-forwarding baseline.
+//   * StitchEngine        -- the underlying engine (Phase 1 preparation +
+//     per-walk stitching), exposed for applications that amortize Phase 1
+//     across walks (RST, mixing-time estimation) and for the benchmarks.
+//
+// All functions take the network's diameter as an input; the paper assumes
+// it is known (it can be obtained in O(D) rounds by two BFS sweeps, which is
+// asymptotically free next to any of these algorithms).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "core/params.hpp"
+#include "core/protocols.hpp"
+#include "core/walk_state.hpp"
+
+namespace drw::core {
+
+/// Per-walk instrumentation (experiment counters for E1-E5, E11).
+struct WalkCounters {
+  std::uint32_t lambda = 0;            ///< short-walk base length used
+  std::uint64_t walks_prepared = 0;    ///< Phase-1 short walks created
+  std::uint64_t stitches = 0;          ///< connector hand-offs (Phase 2)
+  std::uint64_t sample_calls = 0;      ///< SAMPLE-DESTINATION invocations
+  std::uint64_t get_more_walks_calls = 0;
+  std::uint64_t naive_tail_steps = 0;  ///< final "walk naively" steps
+  congest::RunStats phase1;            ///< Phase-1 rounds/messages
+  congest::RunStats phase2;            ///< stitching rounds/messages
+  congest::RunStats regen;             ///< regeneration rounds/messages
+
+  WalkCounters& operator+=(const WalkCounters& other) noexcept;
+};
+
+struct WalkResult {
+  NodeId destination = kInvalidNode;
+  congest::RunStats stats;   ///< total rounds/messages for this walk
+  WalkCounters counters;
+};
+
+/// The stitching engine: owns the distributed walk store, trajectories and
+/// positions across one `prepare()` + several `walk()` calls.
+class StitchEngine {
+ public:
+  StitchEngine(congest::Network& net, Params params, std::uint32_t diameter);
+
+  /// Phase 1: prepares short walks sized for `k` walks of length `l`
+  /// (Theorem 2.5 for k == 1, MANY-RANDOM-WALKS otherwise). Resets all
+  /// engine state. If the resulting lambda exceeds l, the engine enters
+  /// naive mode (Section 2.3's fallback) and prepares nothing.
+  void prepare(std::uint64_t k, std::uint64_t l);
+
+  bool naive_mode() const noexcept { return naive_mode_; }
+  std::uint32_t lambda() const noexcept { return lambda_; }
+
+  /// Phase 2: one l-step walk from `source`, stitching prepared short walks
+  /// (or walking naively in naive mode). `walk_id` tags recorded positions.
+  WalkResult walk(NodeId source, std::uint64_t l, std::uint32_t walk_id = 0);
+
+  /// Continues a logical walk whose first `start_step` steps were produced
+  /// earlier (possibly by a previous engine): performs l further steps from
+  /// `source`, recording positions offset by start_step. Used by the RST
+  /// application, where the Aldous-Broder walk must be *extended* across
+  /// doubling phases -- restarting and conditioning on covering would bias
+  /// the tree distribution.
+  WalkResult continue_walk(NodeId source, std::uint64_t l,
+                           std::uint32_t walk_id, std::uint64_t start_step);
+
+  /// Like walk(), but defers the final naive tail (the "walk naively until l
+  /// steps are completed" segment): the result's destination is the LAST
+  /// CONNECTOR until run_deferred_tails() finishes the tails of all deferred
+  /// walks concurrently. MANY-RANDOM-WALKS needs this to stay within
+  /// O~(sqrt(k l D) + k): k sequential tails of up to 2*lambda steps would
+  /// cost k*lambda rounds, while the k tail tokens together cost O(k + 2
+  /// lambda) (they are independent token walks, exactly like the naive
+  /// fallback). The paper's Theorem 2.8 round budget accounts Phase 1 +
+  /// stitching only, which is consistent with concurrent tails.
+  WalkResult walk_deferring_tail(NodeId source, std::uint64_t l,
+                                 std::uint32_t walk_id);
+
+  /// Completes all deferred tails in one protocol run; returns the final
+  /// destination per deferred walk_id (in deferral order) plus the stats.
+  struct TailOutcome {
+    std::vector<std::uint32_t> walk_ids;
+    std::vector<NodeId> destinations;
+    congest::RunStats stats;
+  };
+  TailOutcome run_deferred_tails();
+
+  /// Positions recorded so far (non-empty only when
+  /// params.record_trajectories was set). positions()[v] lists (walk_id,
+  /// step) pairs: node v was at step `step` of walk `walk_id`.
+  const PositionTable& positions() const noexcept { return positions_; }
+
+  /// Cumulative stats over prepare() + all walk() calls.
+  const congest::RunStats& total_stats() const noexcept { return total_; }
+
+  /// Times each node served as a connector (stitch point) since the last
+  /// prepare(); instruments Lemma 2.7 / experiment E5.
+  const std::vector<std::uint64_t>& connector_visits() const noexcept {
+    return connector_visits_;
+  }
+  std::uint64_t max_connector_visits() const noexcept;
+
+ private:
+  WalkResult naive_walk_result(NodeId source, std::uint64_t l,
+                               std::uint32_t walk_id, bool record_start);
+  WalkResult walk_impl(NodeId source, std::uint64_t l, std::uint32_t walk_id,
+                       bool defer_tail, std::uint64_t start_step = 0);
+
+  congest::Network* net_;
+  Params params_;
+  std::uint32_t diameter_;
+  std::uint32_t lambda_ = 0;
+  bool naive_mode_ = false;
+  bool prepared_ = false;
+  std::uint64_t prepared_l_ = 0;
+  std::uint64_t prepared_k_ = 1;
+  WalkStore store_;
+  TrajectoryStore trajectories_;
+  PositionTable positions_;
+  congest::RunStats total_;
+  congest::RunStats pending_phase1_;   ///< Phase-1 cost, charged to next walk
+  std::uint64_t pending_prepared_ = 0;
+  std::vector<std::uint64_t> connector_visits_;
+  std::vector<NaiveSegmentProtocol::Job> deferred_tails_;
+};
+
+/// Theorem 2.5: one walk of length l from `source`. Positions are recorded
+/// into the result only when params.record_trajectories is set.
+struct SingleWalkOutput {
+  WalkResult result;
+  PositionTable positions;
+};
+SingleWalkOutput single_random_walk(congest::Network& net, NodeId source,
+                                    std::uint64_t l, const Params& params,
+                                    std::uint32_t diameter);
+
+/// The naive baseline: token forwarding for l rounds (1-RW-DoS: the
+/// destination learns the source's ID directly from the token).
+WalkResult naive_random_walk(
+    congest::Network& net, NodeId source, std::uint64_t l,
+    TransitionModel model = TransitionModel::kSimple);
+
+/// Theorem 2.8: k walks of length l from `sources` (not necessarily
+/// distinct). Falls back to k parallel naive tokens when lambda > l.
+struct ManyWalksOutput {
+  std::vector<NodeId> destinations;
+  congest::RunStats stats;
+  WalkCounters counters;
+  bool used_naive_fallback = false;
+  PositionTable positions;
+};
+ManyWalksOutput many_random_walks(congest::Network& net,
+                                  std::span<const NodeId> sources,
+                                  std::uint64_t l, const Params& params,
+                                  std::uint32_t diameter);
+
+}  // namespace drw::core

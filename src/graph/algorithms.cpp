@@ -1,0 +1,104 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace drw {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
+  std::vector<std::uint32_t> dist(g.node_count(), kUnreachable);
+  std::queue<NodeId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (NodeId u : g.neighbors(v)) {
+      if (dist[u] == kUnreachable) {
+        dist[u] = dist[v] + 1;
+        frontier.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> bfs_parents(const Graph& g, NodeId source) {
+  std::vector<NodeId> parent(g.node_count(), kInvalidNode);
+  std::queue<NodeId> frontier;
+  parent[source] = source;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (NodeId u : g.neighbors(v)) {
+      if (parent[u] == kInvalidNode) {
+        parent[u] = v;
+        frontier.push(u);
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<std::uint32_t> connected_components(const Graph& g) {
+  std::vector<std::uint32_t> comp(g.node_count(), kUnreachable);
+  std::uint32_t label = 0;
+  for (NodeId start = 0; start < g.node_count(); ++start) {
+    if (comp[start] != kUnreachable) continue;
+    std::queue<NodeId> frontier;
+    comp[start] = label;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      for (NodeId u : g.neighbors(v)) {
+        if (comp[u] == kUnreachable) {
+          comp[u] = label;
+          frontier.push(u);
+        }
+      }
+    }
+    ++label;
+  }
+  return comp;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.node_count() == 0) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnreachable; });
+}
+
+std::uint32_t eccentricity(const Graph& g, NodeId v) {
+  const auto dist = bfs_distances(g, v);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : dist) {
+    if (d == kUnreachable) throw std::runtime_error("eccentricity: disconnected");
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t exact_diameter(const Graph& g) {
+  if (g.node_count() == 0) return 0;
+  std::uint32_t diameter = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    diameter = std::max(diameter, eccentricity(g, v));
+  }
+  return diameter;
+}
+
+std::uint32_t double_sweep_diameter_estimate(const Graph& g, NodeId start) {
+  if (g.node_count() == 0) return 0;
+  auto dist = bfs_distances(g, start);
+  NodeId far = start;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (dist[v] != kUnreachable && dist[v] > dist[far]) far = v;
+  }
+  return eccentricity(g, far);
+}
+
+}  // namespace drw

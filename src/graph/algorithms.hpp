@@ -1,0 +1,34 @@
+// Centralized graph algorithms used for validation and instrumentation:
+// BFS distances, exact/approximate diameter, connectivity. These run outside
+// the CONGEST model (the simulator has its own distributed BFS protocol).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace drw {
+
+/// Distance in hops from `source` to every node; kUnreachable if unreachable.
+inline constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source);
+
+/// BFS parent array (parent[source] == source; kInvalidNode if unreachable).
+std::vector<NodeId> bfs_parents(const Graph& g, NodeId source);
+
+/// Component label per node, labels 0..k-1 in discovery order.
+std::vector<std::uint32_t> connected_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// Exact diameter via BFS from every node; O(n(n+m)). Throws if disconnected.
+std::uint32_t exact_diameter(const Graph& g);
+
+/// Double-sweep lower bound on the diameter (exact on trees); O(n+m).
+std::uint32_t double_sweep_diameter_estimate(const Graph& g, NodeId start = 0);
+
+/// Eccentricity of `v` (max BFS distance). Throws if disconnected.
+std::uint32_t eccentricity(const Graph& g, NodeId v);
+
+}  // namespace drw

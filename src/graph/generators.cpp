@@ -1,0 +1,309 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+
+namespace drw::gen {
+
+namespace {
+
+/// Joins the connected components of the edge set described by `builder`'s
+/// graph by adding bridge edges between representatives of consecutive
+/// components (chosen by `pick` so randomized families stay randomized).
+Graph connect_components(GraphBuilder builder, Rng& rng) {
+  Graph g = builder.build();
+  auto comp = connected_components(g);
+  std::uint32_t num_components =
+      comp.empty() ? 0 : *std::max_element(comp.begin(), comp.end()) + 1;
+  while (num_components > 1) {
+    // Pick a random node from component 0 and from some other component.
+    std::vector<NodeId> in_zero;
+    std::vector<NodeId> outside;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      (comp[v] == 0 ? in_zero : outside).push_back(v);
+    }
+    const NodeId a = in_zero[rng.next_below(in_zero.size())];
+    const NodeId b = outside[rng.next_below(outside.size())];
+    builder.add_edge(a, b);
+    g = builder.build();
+    comp = connected_components(g);
+    num_components = *std::max_element(comp.begin(), comp.end()) + 1;
+  }
+  return g;
+}
+
+}  // namespace
+
+Graph path(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("path: n == 0");
+  GraphBuilder b(n);
+  for (NodeId i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1);
+  return b.build();
+}
+
+Graph cycle(std::size_t n) {
+  if (n < 3) throw std::invalid_argument("cycle: n < 3");
+  GraphBuilder b(n);
+  for (NodeId i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1);
+  b.add_edge(static_cast<NodeId>(n - 1), 0);
+  return b.build();
+}
+
+Graph grid(std::size_t rows, std::size_t cols) {
+  if (rows == 0 || cols == 0) throw std::invalid_argument("grid: empty");
+  GraphBuilder b(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.build();
+}
+
+Graph torus(std::size_t rows, std::size_t cols) {
+  if (rows < 3 || cols < 3) throw std::invalid_argument("torus: dims < 3");
+  GraphBuilder b(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      b.add_edge(id(r, c), id(r, (c + 1) % cols));
+      b.add_edge(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return b.build();
+}
+
+Graph hypercube(std::size_t dim) {
+  if (dim == 0 || dim > 20) throw std::invalid_argument("hypercube: dim");
+  const std::size_t n = std::size_t{1} << dim;
+  GraphBuilder b(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t bit = 0; bit < dim; ++bit) {
+      const std::size_t u = v ^ (std::size_t{1} << bit);
+      if (u > v) b.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(u));
+    }
+  }
+  return b.build();
+}
+
+Graph complete(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("complete: n < 2");
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) b.add_edge(i, j);
+  }
+  return b.build();
+}
+
+Graph star(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("star: n < 2");
+  GraphBuilder b(n);
+  for (NodeId i = 1; i < n; ++i) b.add_edge(0, i);
+  return b.build();
+}
+
+Graph binary_tree(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("binary_tree: n == 0");
+  GraphBuilder b(n);
+  for (NodeId i = 1; i < n; ++i) b.add_edge(i, (i - 1) / 2);
+  return b.build();
+}
+
+Graph caterpillar(std::size_t spine, std::size_t legs) {
+  if (spine == 0) throw std::invalid_argument("caterpillar: spine == 0");
+  const std::size_t n = spine * (1 + legs);
+  GraphBuilder b(n);
+  for (NodeId i = 0; i + 1 < spine; ++i) b.add_edge(i, i + 1);
+  NodeId next = static_cast<NodeId>(spine);
+  for (NodeId s = 0; s < spine; ++s) {
+    for (std::size_t leg = 0; leg < legs; ++leg) b.add_edge(s, next++);
+  }
+  return b.build();
+}
+
+Graph lollipop(std::size_t clique_n, std::size_t path_n) {
+  if (clique_n < 2) throw std::invalid_argument("lollipop: clique < 2");
+  const std::size_t n = clique_n + path_n;
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < clique_n; ++i) {
+    for (NodeId j = i + 1; j < clique_n; ++j) b.add_edge(i, j);
+  }
+  NodeId prev = static_cast<NodeId>(clique_n - 1);
+  for (std::size_t i = 0; i < path_n; ++i) {
+    const auto cur = static_cast<NodeId>(clique_n + i);
+    b.add_edge(prev, cur);
+    prev = cur;
+  }
+  return b.build();
+}
+
+Graph barbell(std::size_t clique_n, std::size_t path_n) {
+  if (clique_n < 2) throw std::invalid_argument("barbell: clique < 2");
+  const std::size_t n = 2 * clique_n + path_n;
+  GraphBuilder b(n);
+  auto add_clique = [&](NodeId base) {
+    for (NodeId i = 0; i < clique_n; ++i) {
+      for (NodeId j = i + 1; j < clique_n; ++j) {
+        b.add_edge(base + i, base + j);
+      }
+    }
+  };
+  add_clique(0);
+  add_clique(static_cast<NodeId>(clique_n + path_n));
+  NodeId prev = static_cast<NodeId>(clique_n - 1);
+  for (std::size_t i = 0; i < path_n; ++i) {
+    const auto cur = static_cast<NodeId>(clique_n + i);
+    b.add_edge(prev, cur);
+    prev = cur;
+  }
+  b.add_edge(prev, static_cast<NodeId>(clique_n + path_n));
+  return b.build();
+}
+
+Graph erdos_renyi_connected(std::size_t n, double p, Rng& rng) {
+  if (n < 2) throw std::invalid_argument("erdos_renyi: n < 2");
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("erdos_renyi: p");
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (rng.next_bool(p)) b.add_edge(i, j);
+    }
+  }
+  return connect_components(std::move(b), rng);
+}
+
+Graph random_regular(std::size_t n, std::uint32_t d, Rng& rng) {
+  if (d == 0 || d >= n) throw std::invalid_argument("random_regular: d");
+  if ((n * d) % 2 != 0) {
+    throw std::invalid_argument("random_regular: n*d must be even");
+  }
+  // Configuration model with repair: pair up n*d stubs uniformly, keep the
+  // valid pairs, and re-shuffle the conflicting stubs. If the leftover pool
+  // stops shrinking, break open a random accepted edge to unstick it.
+  std::vector<NodeId> pool;
+  pool.reserve(n * d);
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::uint32_t i = 0; i < d; ++i) pool.push_back(v);
+  }
+  std::set<std::pair<NodeId, NodeId>> accepted;
+  for (int attempt = 0; attempt < 100000 && !pool.empty(); ++attempt) {
+    rng.shuffle(pool);
+    std::vector<NodeId> leftover;
+    for (std::size_t i = 0; i + 1 < pool.size(); i += 2) {
+      NodeId u = pool[i];
+      NodeId v = pool[i + 1];
+      if (u > v) std::swap(u, v);
+      if (u == v || !accepted.emplace(u, v).second) {
+        leftover.push_back(pool[i]);
+        leftover.push_back(pool[i + 1]);
+      }
+    }
+    if (pool.size() % 2 != 0) leftover.push_back(pool.back());
+    const bool stuck = leftover.size() >= pool.size();
+    pool = std::move(leftover);
+    if (stuck && !accepted.empty() && !pool.empty()) {
+      // Release a random accepted edge back into the pool.
+      auto it = accepted.begin();
+      std::advance(it, static_cast<long>(rng.next_below(accepted.size())));
+      pool.push_back(it->first);
+      pool.push_back(it->second);
+      accepted.erase(it);
+    }
+  }
+  if (!pool.empty()) {
+    throw std::runtime_error("random_regular: pairing failed repeatedly");
+  }
+  GraphBuilder b(n);
+  for (const auto& [u, v] : accepted) b.add_edge(u, v);
+  return connect_components(std::move(b), rng);
+}
+
+Graph random_geometric(std::size_t n, double radius, Rng& rng) {
+  if (n < 2) throw std::invalid_argument("random_geometric: n < 2");
+  if (radius <= 0.0) throw std::invalid_argument("random_geometric: radius");
+  std::vector<std::pair<double, double>> pts(n);
+  for (auto& [x, y] : pts) {
+    x = rng.next_double();
+    y = rng.next_double();
+  }
+  const double r2 = radius * radius;
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      const double dx = pts[i].first - pts[j].first;
+      const double dy = pts[i].second - pts[j].second;
+      if (dx * dx + dy * dy <= r2) b.add_edge(i, j);
+    }
+  }
+  // Join components by their geometrically nearest cross pair, preserving
+  // the spatial character of the graph.
+  Graph g = b.build();
+  auto comp = connected_components(g);
+  auto num_components = comp.empty()
+                            ? std::uint32_t{0}
+                            : *std::max_element(comp.begin(), comp.end()) + 1;
+  while (num_components > 1) {
+    double best = 1e300;
+    NodeId best_a = 0;
+    NodeId best_b = 0;
+    for (NodeId i = 0; i < n; ++i) {
+      if (comp[i] != 0) continue;
+      for (NodeId j = 0; j < n; ++j) {
+        if (comp[j] == 0) continue;
+        const double dx = pts[i].first - pts[j].first;
+        const double dy = pts[i].second - pts[j].second;
+        const double d2 = dx * dx + dy * dy;
+        if (d2 < best) {
+          best = d2;
+          best_a = i;
+          best_b = j;
+        }
+      }
+    }
+    b.add_edge(best_a, best_b);
+    g = b.build();
+    comp = connected_components(g);
+    num_components = *std::max_element(comp.begin(), comp.end()) + 1;
+  }
+  return g;
+}
+
+Graph expander_chain(std::size_t segments, std::size_t segment_n,
+                     std::uint32_t d, Rng& rng) {
+  if (segments == 0) throw std::invalid_argument("expander_chain: segments");
+  const std::size_t n = segments * segment_n;
+  GraphBuilder b(n);
+  for (std::size_t s = 0; s < segments; ++s) {
+    Graph part = random_regular(segment_n, d, rng);
+    const auto base = static_cast<NodeId>(s * segment_n);
+    for (NodeId v = 0; v < part.node_count(); ++v) {
+      for (NodeId u : part.neighbors(v)) {
+        if (u > v) b.add_edge(base + v, base + u);
+      }
+    }
+    if (s + 1 < segments) {
+      // Single bridge between consecutive segments keeps diameter additive.
+      const auto a = base + static_cast<NodeId>(rng.next_below(segment_n));
+      const auto next_base = static_cast<NodeId>((s + 1) * segment_n);
+      const auto c =
+          next_base + static_cast<NodeId>(rng.next_below(segment_n));
+      b.add_edge(a, c);
+    }
+  }
+  return b.build();
+}
+
+}  // namespace drw::gen

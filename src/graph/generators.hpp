@@ -1,0 +1,78 @@
+// Graph family generators used across tests, examples and benchmarks.
+//
+// Families are chosen to exercise the paper's claims: low-diameter expanders
+// (where sublinear walks shine), high-diameter paths/cycles (where the visit
+// bound of Lemma 2.6 is tight), lollipop/barbell graphs (slow mixing, large
+// cover time), random geometric graphs (the ad-hoc-network motivation from
+// Section 1.2), and structured graphs for exact validation.
+//
+// Every random generator takes an Rng so results are reproducible; generators
+// that can produce disconnected graphs retry or augment until connected.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace drw::gen {
+
+/// Path v0 - v1 - ... - v_{n-1}. Diameter n-1.
+Graph path(std::size_t n);
+
+/// Cycle on n >= 3 nodes. Diameter floor(n/2); walks on it are periodic,
+/// the adversarial case for fixed-length short walks (Lemma 2.7 ablation).
+Graph cycle(std::size_t n);
+
+/// rows x cols grid. Diameter rows+cols-2.
+Graph grid(std::size_t rows, std::size_t cols);
+
+/// rows x cols torus (wrap-around grid); 4-regular when rows, cols >= 3.
+Graph torus(std::size_t rows, std::size_t cols);
+
+/// d-dimensional hypercube; n = 2^dim nodes, diameter dim.
+Graph hypercube(std::size_t dim);
+
+/// Complete graph K_n.
+Graph complete(std::size_t n);
+
+/// Star: center 0 connected to n-1 leaves.
+Graph star(std::size_t n);
+
+/// Complete binary tree with n nodes (heap-indexed).
+Graph binary_tree(std::size_t n);
+
+/// Caterpillar: path spine of `spine` nodes, `legs` leaves per spine node.
+Graph caterpillar(std::size_t spine, std::size_t legs);
+
+/// Lollipop: clique of size `clique_n` attached to a path of `path_n` nodes.
+/// Classic worst case for cover time / visit concentration.
+Graph lollipop(std::size_t clique_n, std::size_t path_n);
+
+/// Barbell: two cliques of size `clique_n` joined by a path of `path_n`
+/// nodes. Mixing time is exponential-in-constant slow (bottleneck), the
+/// stress case for mixing-time estimation (E8).
+Graph barbell(std::size_t clique_n, std::size_t path_n);
+
+/// Erdos-Renyi G(n, p), conditioned on connectivity: after sampling, any
+/// disconnected components are joined by uniformly chosen bridge edges.
+Graph erdos_renyi_connected(std::size_t n, double p, Rng& rng);
+
+/// Random d-regular graph via the configuration model with rejection of
+/// self-loops/multi-edges, then connectivity patching (which can perturb a
+/// few degrees). For d >= 3 the result is an expander with high probability;
+/// used as the "low diameter, fast mixing" family.
+Graph random_regular(std::size_t n, std::uint32_t d, Rng& rng);
+
+/// Random geometric graph: n points uniform in the unit square, edges
+/// between pairs within `radius`; components joined by nearest-pair bridges.
+/// The paper (Section 1.2) cites RGGs as the ad-hoc network model where
+/// mixing time exceeds diameter by Omega(sqrt(n)).
+Graph random_geometric(std::size_t n, double radius, Rng& rng);
+
+/// A path of `segments` expanders, each a random d-regular graph of size
+/// `segment_n`, joined by single bridge edges. Diameter ~ segments *
+/// O(log segment_n): lets E2 sweep D while holding n and degree roughly
+/// fixed.
+Graph expander_chain(std::size_t segments, std::size_t segment_n,
+                     std::uint32_t d, Rng& rng);
+
+}  // namespace drw::gen

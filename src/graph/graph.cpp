@@ -1,0 +1,88 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace drw {
+
+bool Graph::has_edge(NodeId u, NodeId v) const noexcept {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::uint32_t Graph::slot_of(NodeId v, NodeId u) const noexcept {
+  const auto nbrs = neighbors(v);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), u);
+  if (it == nbrs.end() || *it != u) return degree(v);
+  return static_cast<std::uint32_t>(it - nbrs.begin());
+}
+
+std::uint32_t Graph::max_degree() const noexcept {
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < node_count(); ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+std::uint32_t Graph::min_degree() const noexcept {
+  if (node_count() == 0) return 0;
+  std::uint32_t best = degree(0);
+  for (NodeId v = 1; v < node_count(); ++v) best = std::min(best, degree(v));
+  return best;
+}
+
+std::string Graph::summary() const {
+  return "n=" + std::to_string(node_count()) + " m=" +
+         std::to_string(edge_count()) + " degmin=" +
+         std::to_string(min_degree()) + " degmax=" +
+         std::to_string(max_degree());
+}
+
+GraphBuilder::GraphBuilder(std::size_t node_count) : node_count_(node_count) {}
+
+void GraphBuilder::add_edge(NodeId u, NodeId v) {
+  if (u == v) throw std::invalid_argument("GraphBuilder: self-loop");
+  if (u >= node_count_ || v >= node_count_) {
+    throw std::invalid_argument("GraphBuilder: node out of range");
+  }
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+Graph GraphBuilder::build() const {
+  std::vector<std::pair<NodeId, NodeId>> edges = edges_;
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Graph g;
+  g.offsets_.assign(node_count_ + 1, 0);
+  for (const auto& [u, v] : edges) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i <= node_count_; ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.adjacency_.resize(edges.size() * 2);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.adjacency_[cursor[u]++] = v;
+    g.adjacency_[cursor[v]++] = u;
+  }
+  // Each node's slice is already sorted because edges were globally sorted by
+  // (min, max); the v-side insertions for a fixed v arrive in increasing u.
+  // The u-side insertions for fixed u arrive in increasing v. Both hold, so
+  // no per-node sort is needed; assert in debug builds.
+#ifndef NDEBUG
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 1; i < nbrs.size(); ++i) {
+      if (nbrs[i - 1] >= nbrs[i]) {
+        throw std::logic_error("GraphBuilder: adjacency not sorted");
+      }
+    }
+  }
+#endif
+  return g;
+}
+
+}  // namespace drw

@@ -1,0 +1,90 @@
+// Immutable undirected graph in compressed-sparse-row form.
+//
+// This is the topology substrate for the CONGEST simulator: the paper's model
+// (Section 1.1) is an undirected, unweighted, connected n-node graph where
+// node v knows only its own ID and its neighbors' IDs. Graph is intentionally
+// simple and cache-friendly: all algorithms in this repository traverse
+// neighbor spans in tight loops.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace drw {
+
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+class Graph {
+ public:
+  Graph() = default;
+
+  std::size_t node_count() const noexcept { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  std::size_t edge_count() const noexcept { return adjacency_.size() / 2; }
+
+  std::uint32_t degree(NodeId v) const noexcept {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Neighbors of v, sorted ascending.
+  std::span<const NodeId> neighbors(NodeId v) const noexcept {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// The i-th neighbor of v (0-based); used for uniform neighbor sampling.
+  NodeId neighbor(NodeId v, std::uint32_t i) const noexcept {
+    return adjacency_[offsets_[v] + i];
+  }
+
+  bool has_edge(NodeId u, NodeId v) const noexcept;
+
+  /// Index of the directed edge (v -> v's slot-th neighbor) in a flat array
+  /// of size 2m; used by the CONGEST simulator for per-edge queues.
+  std::size_t directed_edge_index(NodeId v, std::uint32_t slot) const noexcept {
+    return offsets_[v] + slot;
+  }
+  std::size_t directed_edge_count() const noexcept { return adjacency_.size(); }
+
+  /// Slot of neighbor `u` in v's adjacency list; degree(v) if not adjacent.
+  std::uint32_t slot_of(NodeId v, NodeId u) const noexcept;
+
+  /// Maximum and minimum degree over all nodes (0 for the empty graph).
+  std::uint32_t max_degree() const noexcept;
+  std::uint32_t min_degree() const noexcept;
+
+  /// Human-readable one-line summary ("n=.. m=.. degmin=.. degmax=..").
+  std::string summary() const;
+
+ private:
+  friend class GraphBuilder;
+  std::vector<std::size_t> offsets_;   // size n+1
+  std::vector<NodeId> adjacency_;      // size 2m, sorted within each node
+};
+
+/// Accumulates undirected edges, deduplicates, and produces a Graph.
+/// Self-loops and parallel edges are rejected (the paper's model is simple);
+/// use the weighted multigraph in lowerbound/ for the Theorem 3.7 reduction.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::size_t node_count);
+
+  /// Adds edge {u, v}. Duplicate additions are coalesced at build time.
+  /// Throws std::invalid_argument on self-loops or out-of-range endpoints.
+  void add_edge(NodeId u, NodeId v);
+
+  std::size_t node_count() const noexcept { return node_count_; }
+
+  /// Builds the CSR graph. The builder can be reused afterwards.
+  Graph build() const;
+
+ private:
+  std::size_t node_count_ = 0;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+}  // namespace drw

@@ -1,0 +1,88 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace drw {
+
+Graph read_edge_list(std::istream& in) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::size_t declared_nodes = 0;
+  NodeId max_id = 0;
+  bool any = false;
+
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Strip comments; support the "# nodes N" header.
+    if (!line.empty() && (line[0] == '#' || line[0] == '%')) {
+      std::istringstream header(line.substr(1));
+      std::string word;
+      header >> word;
+      if (word == "nodes") {
+        header >> declared_nodes;
+      }
+      continue;
+    }
+    std::istringstream fields(line);
+    long long u = -1;
+    long long v = -1;
+    if (!(fields >> u)) continue;  // blank line
+    if (!(fields >> v)) {
+      throw std::invalid_argument("edge list line " +
+                                  std::to_string(line_number) +
+                                  ": expected two node IDs");
+    }
+    if (u < 0 || v < 0) {
+      throw std::invalid_argument("edge list line " +
+                                  std::to_string(line_number) +
+                                  ": negative node ID");
+    }
+    if (u == v) {
+      throw std::invalid_argument("edge list line " +
+                                  std::to_string(line_number) +
+                                  ": self-loop");
+    }
+    const auto a = static_cast<NodeId>(u);
+    const auto b = static_cast<NodeId>(v);
+    edges.emplace_back(a, b);
+    max_id = std::max(max_id, std::max(a, b));
+    any = true;
+  }
+  if (!any && declared_nodes == 0) {
+    throw std::invalid_argument("edge list: no edges and no node header");
+  }
+  const std::size_t n =
+      std::max<std::size_t>(declared_nodes, any ? max_id + 1 : 0);
+  GraphBuilder builder(n);
+  for (const auto& [a, b] : edges) builder.add_edge(a, b);
+  return builder.build();
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open graph file: " + path);
+  return read_edge_list(in);
+}
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << "# nodes " << g.node_count() << "\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (NodeId u : g.neighbors(v)) {
+      if (u > v) out << v << " " << u << "\n";
+    }
+  }
+}
+
+void write_edge_list_file(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write graph file: " + path);
+  write_edge_list(out, g);
+}
+
+}  // namespace drw

@@ -1,0 +1,28 @@
+// Plain-text edge-list I/O so the library and CLI can run on user graphs.
+//
+// Format: one "u v" pair per line (0-based node IDs, whitespace separated);
+// lines starting with '#' or '%' are comments; blank lines ignored. The node
+// count is max ID + 1 unless a "# nodes N" header raises it. Duplicate and
+// reversed edges are coalesced (the model's graphs are simple/undirected).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace drw {
+
+/// Parses an edge list from a stream. Throws std::invalid_argument on
+/// malformed lines, self-loops, or an empty graph.
+Graph read_edge_list(std::istream& in);
+
+/// Reads an edge-list file. Throws std::runtime_error if unreadable.
+Graph read_edge_list_file(const std::string& path);
+
+/// Writes g as an edge list (with a "# nodes N" header, so isolated trailing
+/// nodes round-trip).
+void write_edge_list(std::ostream& out, const Graph& g);
+void write_edge_list_file(const std::string& path, const Graph& g);
+
+}  // namespace drw

@@ -1,0 +1,201 @@
+#include "graph/markov.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace drw {
+
+MarkovOracle::MarkovOracle(const Graph& g, TransitionModel model)
+    : graph_(&g), model_(model) {
+  if (g.node_count() == 0) throw std::invalid_argument("MarkovOracle: empty");
+  if (g.min_degree() == 0) {
+    throw std::invalid_argument("MarkovOracle: isolated node");
+  }
+}
+
+std::vector<double> MarkovOracle::step(const std::vector<double>& p) const {
+  const Graph& g = *graph_;
+  assert(p.size() == g.node_count());
+  std::vector<double> next(g.node_count(), 0.0);
+  switch (model_) {
+    case TransitionModel::kSimple:
+    case TransitionModel::kLazy:
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        const double mass = p[v];
+        if (mass == 0.0) continue;
+        const double share = mass / g.degree(v);
+        for (NodeId u : g.neighbors(v)) next[u] += share;
+      }
+      if (model_ == TransitionModel::kLazy) {
+        for (NodeId v = 0; v < g.node_count(); ++v) {
+          next[v] = 0.5 * next[v] + 0.5 * p[v];
+        }
+      }
+      break;
+    case TransitionModel::kMetropolisUniform:
+      // P(v,u) = min(1/d(v), 1/d(u)) for u ~ v; self-loop remainder.
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        const double mass = p[v];
+        if (mass == 0.0) continue;
+        double moved = 0.0;
+        for (NodeId u : g.neighbors(v)) {
+          const double prob =
+              1.0 / std::max<double>(g.degree(v), g.degree(u));
+          next[u] += mass * prob;
+          moved += prob;
+        }
+        next[v] += mass * (1.0 - moved);
+      }
+      break;
+  }
+  return next;
+}
+
+std::vector<double> MarkovOracle::distribution_after(
+    NodeId source, std::uint64_t steps) const {
+  std::vector<double> p(graph_->node_count(), 0.0);
+  p[source] = 1.0;
+  for (std::uint64_t t = 0; t < steps; ++t) p = step(p);
+  return p;
+}
+
+std::vector<double> MarkovOracle::stationary() const {
+  const Graph& g = *graph_;
+  std::vector<double> pi(g.node_count());
+  if (model_ == TransitionModel::kMetropolisUniform) {
+    const double uniform = 1.0 / static_cast<double>(g.node_count());
+    for (auto& value : pi) value = uniform;
+    return pi;
+  }
+  const double denom = 2.0 * static_cast<double>(g.edge_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    pi[v] = static_cast<double>(g.degree(v)) / denom;
+  }
+  return pi;
+}
+
+double MarkovOracle::l1_to_stationary(NodeId source,
+                                      std::uint64_t steps) const {
+  const auto p = distribution_after(source, steps);
+  const auto pi = stationary();
+  return l1_distance(p, pi);
+}
+
+std::optional<std::uint64_t> MarkovOracle::mixing_time(
+    NodeId source, double eps, std::uint64_t max_steps) const {
+  // Walk the distribution forward once, testing at every step; the doubling
+  // trick is unnecessary centrally because each step costs O(m).
+  std::vector<double> p(graph_->node_count(), 0.0);
+  p[source] = 1.0;
+  const auto pi = stationary();
+  for (std::uint64_t t = 0; t <= max_steps; ++t) {
+    if (l1_distance(p, pi) < eps) return t;
+    p = step(p);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> MarkovOracle::mixing_time_standard(
+    NodeId source, std::uint64_t max_steps) const {
+  return mixing_time(source, 1.0 / (2.0 * std::exp(1.0)), max_steps);
+}
+
+double MarkovOracle::second_eigenvalue(std::size_t iterations) const {
+  const Graph& g = *graph_;
+  const std::size_t n = g.node_count();
+  const auto pi = stationary();
+
+  // Power iteration on P restricted to the complement of the top eigenvector.
+  // For the reversible chain, eigenvectors are orthogonal under the inner
+  // product <f, h>_pi = sum_v pi(v) f(v) h(v), and the top right-eigenvector
+  // is the all-ones vector. We iterate f <- P f (note: *right* multiplication
+  // uses the same neighbor-averaging form f'(v) = avg over neighbors) and
+  // project out the mean after each step.
+  // Deterministic but unstructured start vector (a structured start such as
+  // alternating +-1 can be an exact eigenvector, e.g. on even cycles, and
+  // trap the iteration in one eigenspace).
+  std::vector<double> f(n);
+  std::uint64_t seed = 0x2545f4914f6cdd1dULL;
+  for (std::size_t v = 0; v < n; ++v) {
+    f[v] = static_cast<double>(splitmix64(seed) >> 11) * 0x1.0p-53 - 0.5;
+  }
+  auto project_and_normalize = [&](std::vector<double>& x) -> double {
+    double mean = 0.0;
+    for (std::size_t v = 0; v < n; ++v) mean += pi[v] * x[v];
+    for (auto& value : x) value -= mean;
+    double norm = 0.0;
+    for (std::size_t v = 0; v < n; ++v) norm += pi[v] * x[v] * x[v];
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      for (auto& value : x) value /= norm;
+    }
+    return norm;
+  };
+  project_and_normalize(f);
+
+  double eig = 0.0;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    std::vector<double> next = right_multiply(f);
+    const double norm = project_and_normalize(next);
+    f = std::move(next);
+    eig = norm;
+    // |norm| converges to |lambda_2| since projection removes lambda_1 = 1.
+  }
+  return eig;
+}
+
+std::vector<double> MarkovOracle::right_multiply(
+    const std::vector<double>& f) const {
+  // f'(v) = sum_u P(v, u) f(u); P is row-stochastic per `model_`.
+  const Graph& g = *graph_;
+  const std::size_t n = g.node_count();
+  std::vector<double> next(n, 0.0);
+  switch (model_) {
+    case TransitionModel::kSimple:
+    case TransitionModel::kLazy:
+      for (NodeId v = 0; v < n; ++v) {
+        double sum = 0.0;
+        for (NodeId u : g.neighbors(v)) sum += f[u];
+        next[v] = sum / g.degree(v);
+      }
+      if (model_ == TransitionModel::kLazy) {
+        for (std::size_t v = 0; v < n; ++v) {
+          next[v] = 0.5 * next[v] + 0.5 * f[v];
+        }
+      }
+      break;
+    case TransitionModel::kMetropolisUniform:
+      for (NodeId v = 0; v < n; ++v) {
+        double sum = 0.0;
+        double moved = 0.0;
+        for (NodeId u : g.neighbors(v)) {
+          const double prob =
+              1.0 / std::max<double>(g.degree(v), g.degree(u));
+          sum += prob * f[u];
+          moved += prob;
+        }
+        next[v] = sum + (1.0 - moved) * f[v];
+      }
+      break;
+  }
+  return next;
+}
+
+MarkovOracle::SpectralBounds MarkovOracle::spectral_bounds() const {
+  SpectralBounds out;
+  out.lambda2 = second_eigenvalue();
+  out.gap = 1.0 - out.lambda2;
+  const double n = static_cast<double>(graph_->node_count());
+  if (out.gap > 0.0) {
+    out.tau_lower = 1.0 / out.gap;
+    out.tau_upper = std::log(n) / out.gap;
+  }
+  return out;
+}
+
+}  // namespace drw

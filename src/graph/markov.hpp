@@ -1,0 +1,84 @@
+// Exact (centralized) Markov-chain computations used as ground truth.
+//
+// The distributed algorithms in src/core and src/apps are validated against
+// this oracle: SINGLE-RANDOM-WALK must sample exactly from the l-step walk
+// distribution (Theorem 2.5 is Las Vegas), and the decentralized mixing-time
+// estimator (Section 4.2) must bracket the exact tau_x(epsilon) computed
+// here. All computations use sparse vector-times-operator iteration, O(l*m)
+// per l-step distribution, which comfortably handles the validation sizes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/transition.hpp"
+
+namespace drw {
+
+class MarkovOracle {
+ public:
+  /// Oracle for any supported TransitionModel: the paper's simple walk
+  /// (default), the lazy chain Q = (I+P)/2, or Metropolis-Hastings toward
+  /// the uniform distribution.
+  explicit MarkovOracle(const Graph& g,
+                        TransitionModel model = TransitionModel::kSimple);
+  /// Back-compat convenience: lazy flag selects kLazy.
+  MarkovOracle(const Graph& g, bool lazy)
+      : MarkovOracle(g, lazy ? TransitionModel::kLazy
+                             : TransitionModel::kSimple) {}
+
+  const Graph& graph() const noexcept { return *graph_; }
+  TransitionModel model() const noexcept { return model_; }
+  bool lazy() const noexcept { return model_ == TransitionModel::kLazy; }
+
+  /// One step of the chain applied to distribution `p` (by value -> result).
+  std::vector<double> step(const std::vector<double>& p) const;
+
+  /// Exact distribution of the walk position after `steps` steps from
+  /// `source` (pi_x(t) in Definition 4.2).
+  std::vector<double> distribution_after(NodeId source,
+                                         std::uint64_t steps) const;
+
+  /// Stationary distribution: pi(v) = d(v)/2m for the simple and lazy
+  /// chains, uniform 1/n for Metropolis-Hastings.
+  std::vector<double> stationary() const;
+
+  /// ||pi_x(t) - pi||_1 as in Definition 4.3.
+  double l1_to_stationary(NodeId source, std::uint64_t steps) const;
+
+  /// Exact tau_x(eps) = min{ t : ||pi_x(t) - pi||_1 < eps } by doubling +
+  /// binary search (valid because the L1 distance is monotone, Lemma 4.4 --
+  /// monotonicity holds for the lazy chain; for the non-lazy chain on
+  /// bipartite graphs there is no mixing, so nullopt is returned when the
+  /// distance has not dropped below eps by `max_steps`).
+  std::optional<std::uint64_t> mixing_time(NodeId source, double eps,
+                                           std::uint64_t max_steps) const;
+
+  /// tau^x_mix = tau_x(1/(2e)) per Definition 4.3.
+  std::optional<std::uint64_t> mixing_time_standard(
+      NodeId source, std::uint64_t max_steps) const;
+
+  /// Second-largest eigenvalue modulus of the chain via power iteration on
+  /// the pi-orthogonal complement; spectral gap is 1 - lambda_2. Uses the
+  /// time-reversible structure (inner product weighted by 1/pi).
+  double second_eigenvalue(std::size_t iterations = 4000) const;
+
+  /// Bounds relating mixing time and spectral gap (Section 4.2):
+  /// 1/(1 - lambda_2) <= tau_mix <= log(n)/(1 - lambda_2).
+  struct SpectralBounds {
+    double lambda2 = 0.0;
+    double gap = 0.0;
+    double tau_lower = 0.0;
+    double tau_upper = 0.0;
+  };
+  SpectralBounds spectral_bounds() const;
+
+ private:
+  std::vector<double> right_multiply(const std::vector<double>& f) const;
+  const Graph* graph_;
+  TransitionModel model_;
+};
+
+}  // namespace drw

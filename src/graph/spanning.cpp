@@ -1,0 +1,93 @@
+#include "graph/spanning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/matrix.hpp"
+
+namespace drw {
+
+std::string SpanningTree::canonical_key() const {
+  std::string key;
+  for (const auto& [u, v] : edges) {
+    key += std::to_string(u);
+    key += '-';
+    key += std::to_string(v);
+    key += ',';
+  }
+  return key;
+}
+
+SpanningTree tree_from_parents(const Graph& g,
+                               const std::vector<NodeId>& parent) {
+  if (parent.size() != g.node_count()) {
+    throw std::invalid_argument("tree_from_parents: size mismatch");
+  }
+  SpanningTree tree;
+  std::size_t roots = 0;
+  for (NodeId v = 0; v < parent.size(); ++v) {
+    if (parent[v] == v) {
+      ++roots;
+      continue;
+    }
+    if (parent[v] == kInvalidNode || parent[v] >= g.node_count()) {
+      throw std::invalid_argument("tree_from_parents: bad parent");
+    }
+    NodeId a = v;
+    NodeId b = parent[v];
+    if (a > b) std::swap(a, b);
+    tree.edges.emplace_back(a, b);
+  }
+  if (roots != 1) throw std::invalid_argument("tree_from_parents: roots != 1");
+  std::sort(tree.edges.begin(), tree.edges.end());
+  if (!is_spanning_tree(g, tree)) {
+    throw std::invalid_argument("tree_from_parents: not a spanning tree");
+  }
+  return tree;
+}
+
+bool is_spanning_tree(const Graph& g, const SpanningTree& tree) {
+  const std::size_t n = g.node_count();
+  if (n == 0) return false;
+  if (tree.edges.size() != n - 1) return false;
+  for (const auto& [u, v] : tree.edges) {
+    if (u >= n || v >= n || !g.has_edge(u, v)) return false;
+  }
+  // Union-find acyclicity + connectivity check.
+  std::vector<NodeId> root(n);
+  std::iota(root.begin(), root.end(), 0);
+  auto find = [&](NodeId x) {
+    while (root[x] != x) {
+      root[x] = root[root[x]];
+      x = root[x];
+    }
+    return x;
+  };
+  for (const auto& [u, v] : tree.edges) {
+    const NodeId ru = find(u);
+    const NodeId rv = find(v);
+    if (ru == rv) return false;  // cycle
+    root[ru] = rv;
+  }
+  return true;  // n-1 acyclic edges on n nodes => spanning tree
+}
+
+double count_spanning_trees(const Graph& g) {
+  const std::size_t n = g.node_count();
+  if (n < 2) throw std::invalid_argument("count_spanning_trees: n < 2");
+  // Reduced Laplacian: drop the last row/column.
+  Matrix laplacian(n - 1, n - 1, 0.0);
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    laplacian(v, v) = static_cast<double>(g.degree(v));
+    for (NodeId u : g.neighbors(v)) {
+      if (u + 1 < n) laplacian(v, u) -= 1.0;
+    }
+  }
+  const auto det = laplacian.log_det();
+  if (det.sign == 0) return 0.0;
+  return det.sign * std::exp(det.log_abs);
+}
+
+}  // namespace drw

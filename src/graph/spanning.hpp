@@ -1,0 +1,36 @@
+// Spanning-tree utilities for validating the RST application (Section 4.1):
+// Kirchhoff's matrix-tree count gives the denominator for the uniformity
+// chi-square test, and the canonical encoding lets tests histogram which
+// spanning tree a run produced.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace drw {
+
+/// An undirected spanning tree as a sorted list of (min, max) edges.
+struct SpanningTree {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+
+  /// Canonical string key ("u-v,u-v,...") for histogramming.
+  std::string canonical_key() const;
+};
+
+/// Builds a SpanningTree from a parent array (parent[root] == root).
+/// Throws if the parent array does not describe a tree on all nodes.
+SpanningTree tree_from_parents(const Graph& g,
+                               const std::vector<NodeId>& parent);
+
+/// True iff `tree` is a spanning tree of g (n-1 edges, connected, acyclic,
+/// every edge present in g).
+bool is_spanning_tree(const Graph& g, const SpanningTree& tree);
+
+/// Number of spanning trees by the matrix-tree theorem (determinant of the
+/// reduced Laplacian). Exact to double precision; throws if n < 2.
+double count_spanning_trees(const Graph& g);
+
+}  // namespace drw

@@ -1,0 +1,62 @@
+// Transition models for the walk protocols.
+//
+// The paper focuses on the simple random walk "for the sake of obtaining the
+// best possible bounds" but notes its predecessor "applies to the more
+// general Metropolis-Hastings walk" (Section 1.3). This library supports
+// three chains, selectable per walk:
+//
+//   * kSimple     -- uniform neighbor (the paper's default).
+//   * kLazy       -- stay with probability 1/2, else uniform neighbor. Makes
+//                    mixing well-defined on bipartite graphs (used by the
+//                    Lemma 2.6 analysis and the mixing estimator).
+//   * kMetropolisUniform -- Metropolis-Hastings targeting the UNIFORM
+//                    distribution: propose a uniform neighbor u, accept with
+//                    min(1, d(v)/d(u)), else stay. Node sampling without
+//                    degree bias.
+//
+// A step may be a self-loop (kStaySlot); hop counts still advance, exactly
+// like a multigraph self-loop. The Metropolis acceptance needs the proposed
+// neighbor's degree, which nodes exchange in one setup round in a real
+// network (each node tells its neighbors its degree); the simulator reads it
+// from the shared Graph and documents the 1-round preamble here.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace drw {
+
+enum class TransitionModel : std::uint8_t {
+  kSimple = 0,
+  kLazy = 1,
+  kMetropolisUniform = 2,
+};
+
+/// Slot value meaning "the walk stays at the current node this step".
+inline constexpr std::uint32_t kStaySlot = static_cast<std::uint32_t>(-2);
+
+/// Samples one step of `model` at node v: returns a neighbor slot or
+/// kStaySlot. Precondition: degree(v) > 0.
+inline std::uint32_t sample_step(Rng& rng, const Graph& g, NodeId v,
+                                 TransitionModel model) {
+  const std::uint32_t degree = g.degree(v);
+  switch (model) {
+    case TransitionModel::kSimple:
+      return static_cast<std::uint32_t>(rng.next_below(degree));
+    case TransitionModel::kLazy:
+      if (rng.next_bool(0.5)) return kStaySlot;
+      return static_cast<std::uint32_t>(rng.next_below(degree));
+    case TransitionModel::kMetropolisUniform: {
+      const auto slot = static_cast<std::uint32_t>(rng.next_below(degree));
+      const NodeId proposed = g.neighbor(v, slot);
+      const double accept = static_cast<double>(degree) /
+                            static_cast<double>(g.degree(proposed));
+      return rng.next_bool(accept < 1.0 ? accept : 1.0) ? slot : kStaySlot;
+    }
+  }
+  return kStaySlot;  // unreachable
+}
+
+}  // namespace drw

@@ -1,0 +1,96 @@
+#include "lowerbound/gadget.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace drw::lowerbound {
+
+std::vector<NodeId> Gadget::left_breakpoints() const {
+  std::vector<NodeId> out;
+  for (std::uint64_t j = 0;; ++j) {
+    const std::uint64_t index = j * k_prime + k_prime / 2 + k + 1;
+    if (index > path_len) break;
+    out.push_back(path_node(index));
+  }
+  return out;
+}
+
+std::vector<NodeId> Gadget::right_breakpoints() const {
+  std::vector<NodeId> out;
+  for (std::uint64_t j = 0;; ++j) {
+    const std::uint64_t index = j * k_prime + k + 1;
+    if (index > path_len) break;
+    out.push_back(path_node(index));
+  }
+  return out;
+}
+
+Gadget build_gadget(std::uint64_t l) {
+  if (l < 4) throw std::invalid_argument("build_gadget: l < 4");
+  Gadget gadget;
+
+  // k = sqrt(l / log l): the round bound of Theorem 3.2.
+  const double dl = static_cast<double>(l);
+  gadget.k = static_cast<std::uint64_t>(
+      std::max(1.0, std::floor(std::sqrt(dl / std::log2(dl)))));
+
+  // k' = the power of two with k'/2 <= 4k < k'.
+  std::uint64_t k_prime = 1;
+  while (k_prime <= 4 * gadget.k) k_prime *= 2;
+  gadget.k_prime = k_prime;
+
+  // n' = smallest multiple of k' that holds the l+1 path vertices.
+  const std::uint64_t n_prime = ((l + 1 + k_prime - 1) / k_prime) * k_prime;
+  gadget.path_len = n_prime;
+
+  const std::uint64_t tree_nodes = 2 * k_prime - 1;
+  GraphBuilder builder(n_prime + tree_nodes);
+
+  // Path P = v_1 ... v_{n'}.
+  for (std::uint64_t i = 1; i < n_prime; ++i) {
+    builder.add_edge(gadget.path_node(i), gadget.path_node(i + 1));
+  }
+  // Balanced binary tree T in heap order (1-based heap indices).
+  for (std::uint64_t h = 1; h < k_prime; ++h) {
+    builder.add_edge(gadget.tree_node(h), gadget.tree_node(2 * h));
+    builder.add_edge(gadget.tree_node(h), gadget.tree_node(2 * h + 1));
+  }
+  // Connections u_i -- v_{j k' + i} for every i in [1, k'] and every j.
+  for (std::uint64_t i = 1; i <= k_prime; ++i) {
+    for (std::uint64_t j = 0;; ++j) {
+      const std::uint64_t index = j * k_prime + i;
+      if (index > n_prime) break;
+      builder.add_edge(gadget.leaf(i), gadget.path_node(index));
+    }
+  }
+  gadget.graph = builder.build();
+  return gadget;
+}
+
+double WeightedGadget::forward_probability(std::uint64_t i) const {
+  if (i == 0 || i >= base.path_len) {
+    throw std::invalid_argument("forward_probability: index");
+  }
+  const double log2_2n =
+      std::log2(2.0 * static_cast<double>(base.graph.node_count()));
+  // Weights: forward edge (2n)^{2i}, backward edge (2n)^{2(i-1)} (absent for
+  // i == 1), tree edge weight 1. All relative to the forward weight.
+  const double backward_ratio = i == 1 ? 0.0 : std::exp2(-2.0 * log2_2n);
+  const double tree_ratio = std::exp2(-2.0 * static_cast<double>(i) *
+                                      log2_2n);
+  return 1.0 / (1.0 + backward_ratio + tree_ratio);
+}
+
+WeightedGadget build_weighted_gadget(std::uint64_t l) {
+  WeightedGadget weighted;
+  weighted.base = build_gadget(l);
+  const double log2_2n =
+      std::log2(2.0 * static_cast<double>(weighted.base.graph.node_count()));
+  weighted.log2_path_weight.resize(weighted.base.path_len);
+  for (std::uint64_t i = 1; i < weighted.base.path_len; ++i) {
+    weighted.log2_path_weight[i] = 2.0 * static_cast<double>(i) * log2_2n;
+  }
+  return weighted;
+}
+
+}  // namespace drw::lowerbound

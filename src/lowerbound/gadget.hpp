@@ -1,0 +1,66 @@
+// The lower-bound gadget G_n of Definition 3.3 (Figures 3 and 4) and the
+// weighted reduction graph G'_n of Theorem 3.7.
+//
+// G_n = a path P = v_1 ... v_{n'} plus a balanced binary tree T with k'
+// leaves u_1 ... u_{k'}, connected by edges (u_i, v_{j k' + i}) for every i
+// and j. k' is the power of two with k'/2 <= 4k < k', where k =
+// sqrt(l / log l) is the round lower bound being exhibited. The gadget has
+// Theta(n) nodes and diameter O(log n), yet verifying that P is a path of
+// length l requires Omega(k) rounds (Theorem 3.2).
+//
+// Breakpoints (proof of Lemma 3.4): the left subtree's leaves L cannot reach
+// nodes v_{j k' + k'/2 + k + 1} within k free path-rounds, and symmetrically
+// for the right subtree; there are at least n/(4k) of each.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace drw::lowerbound {
+
+struct Gadget {
+  Graph graph;
+  std::uint64_t k = 0;        ///< target round bound sqrt(l / log l)
+  std::uint64_t k_prime = 0;  ///< tree leaf count (power of two)
+  std::uint64_t path_len = 0; ///< n' = number of path vertices
+
+  /// Node IDs: path vertices first (path_node(i), 1-based i as in the
+  /// paper), then the binary tree in heap order (root = tree_node(1)).
+  NodeId path_node(std::uint64_t i) const {  // i in [1, path_len]
+    return static_cast<NodeId>(i - 1);
+  }
+  NodeId tree_node(std::uint64_t heap_index) const {  // 1-based heap index
+    return static_cast<NodeId>(path_len + heap_index - 1);
+  }
+  NodeId root() const { return tree_node(1); }
+  /// Leaf u_i (1-based i in [1, k_prime]).
+  NodeId leaf(std::uint64_t i) const { return tree_node(k_prime + i - 1); }
+
+  /// Breakpoints for the left subtree: v_{j k' + k'/2 + k + 1} (Lemma 3.4).
+  std::vector<NodeId> left_breakpoints() const;
+  /// Breakpoints for the right subtree: v_{j k' + k + 1}.
+  std::vector<NodeId> right_breakpoints() const;
+};
+
+/// Builds G_n for a path of length `l` (the verified path uses the first
+/// l + 1 path vertices). The graph has n' + 2k' - 1 = Theta(l) nodes.
+Gadget build_gadget(std::uint64_t l);
+
+/// The weighted reduction of Theorem 3.7: edge (v_i, v_{i+1}) gets weight
+/// (2n)^{2i} so a random walk follows P with probability >= 1 - 1/n. Weights
+/// are kept in log-space (they overflow any integer type by design; the
+/// paper notes this "translates to a larger bandwidth" only).
+struct WeightedGadget {
+  Gadget base;
+  /// log2 of the weight of each edge on P: log2_weight[i] = 2 i log2(2n).
+  std::vector<double> log2_path_weight;
+
+  /// Probability that a walk at path vertex i (1-based, i < path_len) steps
+  /// forward to i+1, under the Theorem 3.7 weighting.
+  double forward_probability(std::uint64_t i) const;
+};
+WeightedGadget build_weighted_gadget(std::uint64_t l);
+
+}  // namespace drw::lowerbound

@@ -1,0 +1,42 @@
+#include "lowerbound/interval_set.hpp"
+
+#include <stdexcept>
+
+namespace drw::lowerbound {
+
+Interval IntervalSet::insert(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) throw std::invalid_argument("IntervalSet::insert: lo > hi");
+  // Absorb every stored interval [a, b] with a <= hi and b >= lo.
+  auto it = intervals_.upper_bound(hi);  // first with a > hi
+  while (it != intervals_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second < lo) break;  // disjoint and strictly left of [lo, hi]
+    lo = std::min(lo, prev->first);
+    hi = std::max(hi, prev->second);
+    it = intervals_.erase(prev);
+  }
+  intervals_.emplace(lo, hi);
+  return Interval{lo, hi};
+}
+
+bool IntervalSet::covers(std::uint64_t lo, std::uint64_t hi) const {
+  const auto f = find(lo);
+  return f.found && f.interval.hi >= hi;
+}
+
+IntervalSet::Find IntervalSet::find(std::uint64_t point) const {
+  auto it = intervals_.upper_bound(point);  // first with a > point
+  if (it == intervals_.begin()) return {};
+  --it;
+  if (it->second < point) return {};
+  return {true, Interval{it->first, it->second}};
+}
+
+std::vector<Interval> IntervalSet::to_vector() const {
+  std::vector<Interval> out;
+  out.reserve(intervals_.size());
+  for (const auto& [lo, hi] : intervals_) out.push_back(Interval{lo, hi});
+  return out;
+}
+
+}  // namespace drw::lowerbound

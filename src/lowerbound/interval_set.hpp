@@ -1,0 +1,47 @@
+// Verified-segment bookkeeping for the PATH-VERIFICATION problem (Section 3,
+// Figure 1): a set of disjoint closed integer intervals with the paper's
+// merge rule -- two verified segments combine iff they overlap (share at
+// least one index), e.g. [1,2] + [2,5] -> [1,5], while [1,2] + [3,5] stay
+// separate (continuity at the seam is unverified).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace drw::lowerbound {
+
+struct Interval {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+class IntervalSet {
+ public:
+  /// Inserts [lo, hi], merging with any stored interval that overlaps it
+  /// (shares at least one point). Returns the maximal interval now
+  /// containing [lo, hi].
+  Interval insert(std::uint64_t lo, std::uint64_t hi);
+
+  /// True iff [lo, hi] is fully inside one stored interval.
+  bool covers(std::uint64_t lo, std::uint64_t hi) const;
+
+  /// The maximal stored interval containing `point`, or nullopt-like empty
+  /// result {0,0} with found=false.
+  struct Find {
+    bool found = false;
+    Interval interval;
+  };
+  Find find(std::uint64_t point) const;
+
+  std::size_t size() const { return intervals_.size(); }
+  bool empty() const { return intervals_.empty(); }
+
+  std::vector<Interval> to_vector() const;
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> intervals_;  // lo -> hi, disjoint
+};
+
+}  // namespace drw::lowerbound

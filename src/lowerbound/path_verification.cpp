@@ -1,0 +1,162 @@
+#include "lowerbound/path_verification.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "congest/primitives.hpp"
+#include "lowerbound/interval_set.hpp"
+
+namespace drw::lowerbound {
+
+namespace {
+
+constexpr std::uint32_t kNoSlot = static_cast<std::uint32_t>(-1);
+
+class PathVerificationProtocol final : public congest::Protocol {
+ public:
+  PathVerificationProtocol(const Graph& g, const congest::BfsTree& tree,
+                           const std::vector<std::uint64_t>& order,
+                           std::uint64_t sequence_length)
+      : tree_(&tree), order_(order), sequence_length_(sequence_length),
+        verified_(g.node_count()), sent_(g.node_count()),
+        pred_slot_(g.node_count(), kNoSlot),
+        succ_slot_(g.node_count(), kNoSlot),
+        last_path_sent_(g.node_count()) {}
+
+  void on_round(congest::Context& ctx) override {
+    const NodeId v = ctx.self();
+    if (ctx.round() == 0) {
+      if (order_[v] != 0) {
+        verified_[v].insert(order_[v], order_[v]);
+        const congest::Message announce{kAnnounce, {order_[v], 0, 0, 0}};
+        for (std::uint32_t slot = 0; slot < ctx.degree(); ++slot) {
+          ctx.send(slot, announce);
+        }
+        // Ensure streaming starts even when no announcement will arrive
+        // back (e.g. a sequence node with no sequence neighbors).
+        ctx.wake_me();
+      }
+      return;
+    }
+
+    for (const congest::Delivery& d : ctx.inbox()) {
+      switch (d.msg.type) {
+        case kAnnounce: {
+          const std::uint64_t other = d.msg.f[0];
+          if (order_[v] == 0) break;
+          if (other == order_[v] + 1) {
+            succ_slot_[v] = ctx.slot_of(d.from);
+            // Direct knowledge: the edge (v_i, v_{i+1}) exists.
+            verified_[v].insert(order_[v], order_[v] + 1);
+          } else if (other + 1 == order_[v]) {
+            pred_slot_[v] = ctx.slot_of(d.from);
+            verified_[v].insert(other, order_[v]);
+          }
+          break;
+        }
+        case kInterval:
+        case kPath:
+          verified_[v].insert(d.msg.f[0], d.msg.f[1]);
+          if (v == tree_->root && d.msg.type == kInterval) {
+            ++intervals_at_verifier_;
+          }
+          break;
+        default:
+          throw std::logic_error("PathVerification: unknown message");
+      }
+    }
+
+    // Consolidation along the sequence: share the maximal interval around
+    // our own order number with our sequence neighbors when it grew.
+    if (order_[v] != 0) {
+      const auto f = verified_[v].find(order_[v]);
+      if (f.found && !(f.interval == last_path_sent_[v])) {
+        last_path_sent_[v] = f.interval;
+        const congest::Message msg{kPath, {f.interval.lo, f.interval.hi, 0,
+                                           0}};
+        if (pred_slot_[v] != kNoSlot) ctx.send(pred_slot_[v], msg);
+        if (succ_slot_[v] != kNoSlot) ctx.send(succ_slot_[v], msg);
+      }
+    }
+
+    // Streaming toward the verifier: one interval per round per tree edge
+    // ("a node needs to only send the endpoints of the interval").
+    if (v != tree_->root) {
+      const Interval* best = nullptr;
+      std::uint64_t best_len = 0;
+      pending_send_ = false;
+      scratch_ = verified_[v].to_vector();
+      for (const Interval& interval : scratch_) {
+        if (sent_[v].covers(interval.lo, interval.hi)) continue;
+        const std::uint64_t len = interval.hi - interval.lo + 1;
+        if (best == nullptr || len > best_len) {
+          if (best != nullptr) pending_send_ = true;  // more than one waiting
+          best = &interval;
+          best_len = len;
+        } else {
+          pending_send_ = true;
+        }
+      }
+      if (best != nullptr) {
+        ctx.send_to(tree_->parent[v],
+                    congest::Message{kInterval, {best->lo, best->hi, 0, 0}});
+        sent_[v].insert(best->lo, best->hi);
+        if (pending_send_) ctx.wake_me();
+      }
+    }
+  }
+
+  bool done() const override {
+    return verified_[tree_->root].covers(1, sequence_length_);
+  }
+
+  bool verified_at_root() const { return done(); }
+  std::uint64_t intervals_at_verifier() const {
+    return intervals_at_verifier_;
+  }
+
+ private:
+  enum MsgType : std::uint16_t { kAnnounce = 70, kInterval = 71, kPath = 72 };
+  const congest::BfsTree* tree_;
+  std::vector<std::uint64_t> order_;
+  std::uint64_t sequence_length_;
+  std::vector<IntervalSet> verified_;
+  std::vector<IntervalSet> sent_;
+  std::vector<std::uint32_t> pred_slot_;
+  std::vector<std::uint32_t> succ_slot_;
+  std::vector<Interval> last_path_sent_;
+  std::vector<Interval> scratch_;
+  bool pending_send_ = false;
+  std::uint64_t intervals_at_verifier_ = 0;
+};
+
+}  // namespace
+
+PathVerificationResult verify_path(congest::Network& net,
+                                   std::span<const NodeId> sequence,
+                                   NodeId verifier,
+                                   std::uint64_t max_rounds) {
+  if (sequence.empty()) {
+    throw std::invalid_argument("verify_path: empty sequence");
+  }
+  std::unordered_set<NodeId> seen;
+  std::vector<std::uint64_t> order(net.graph().node_count(), 0);
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    if (!seen.insert(sequence[i]).second) {
+      throw std::invalid_argument("verify_path: duplicate sequence node");
+    }
+    order[sequence[i]] = i + 1;
+  }
+
+  PathVerificationResult result;
+  congest::BfsTree tree =
+      congest::build_bfs_tree(net, verifier, result.stats);
+  PathVerificationProtocol protocol(net.graph(), tree, order,
+                                    sequence.size());
+  result.stats += net.run(protocol, max_rounds);
+  result.verified = protocol.verified_at_root();
+  result.intervals_received_at_verifier = protocol.intervals_at_verifier();
+  return result;
+}
+
+}  // namespace drw::lowerbound

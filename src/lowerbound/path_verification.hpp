@@ -1,0 +1,47 @@
+// The PATH-VERIFICATION problem (Definition 3.1) and a natural distributed
+// algorithm from the class the lower bound applies to: nodes verify local
+// segments, then selectively forward interval endpoints (two words, O(log n)
+// bits) and merge overlapping intervals, until some verifier node has
+// verified the whole segment [1, s].
+//
+// The algorithm:
+//   * Announce (2 rounds): every sequence node announces its order number to
+//     all neighbors; a node with order i that hears i+1 from a neighbor has
+//     verified the segment [i, i+1].
+//   * Consolidate + stream (concurrent, measured): every round each sequence
+//     node sends its maximal verified interval to its sequence predecessor /
+//     successor (merging along the path), while every node streams its
+//     largest not-yet-sent interval one hop up a BFS tree rooted at the
+//     verifier. The run ends when the verifier covers [1, s] (or when no
+//     message is left, which means verification failed).
+//
+// On the gadget G_n this exhibits the Theorem 3.2 bottleneck: the measured
+// round count grows like sqrt(l) despite the O(log n) diameter (experiment
+// E6); the lower bound says no algorithm in the class can beat
+// sqrt(l / log l).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+
+namespace drw::lowerbound {
+
+struct PathVerificationResult {
+  bool verified = false;          ///< verifier covers [1, sequence length]
+  congest::RunStats stats;        ///< rounds/messages (announce + merge)
+  std::uint64_t intervals_received_at_verifier = 0;
+};
+
+/// Verifies that `sequence` (distinct nodes; node sequence[i] gets order
+/// number i+1) forms a path in the graph; `verifier` must end up knowing.
+/// Throws std::invalid_argument on duplicate sequence nodes.
+PathVerificationResult verify_path(congest::Network& net,
+                                   std::span<const NodeId> sequence,
+                                   NodeId verifier,
+                                   std::uint64_t max_rounds = 10'000'000);
+
+}  // namespace drw::lowerbound

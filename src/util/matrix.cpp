@@ -1,0 +1,81 @@
+#include "util/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace drw {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) throw std::invalid_argument("Matrix::*: shape");
+  Matrix out(rows_, rhs.cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const auto rhs_row = rhs.row(k);
+      auto out_row = out.row(i);
+      for (std::size_t j = 0; j < rhs.cols_; ++j) out_row[j] += a * rhs_row[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::left_multiply(std::span<const double> v) const {
+  if (v.size() != rows_) throw std::invalid_argument("left_multiply: shape");
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double a = v[i];
+    if (a == 0.0) continue;
+    const auto r = row(i);
+    for (std::size_t j = 0; j < cols_; ++j) out[j] += a * r[j];
+  }
+  return out;
+}
+
+Matrix::LogDet Matrix::log_det() const {
+  if (rows_ != cols_) throw std::invalid_argument("log_det: not square");
+  const std::size_t n = rows_;
+  Matrix lu = *this;
+  LogDet result;
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    double best = std::abs(lu(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double candidate = std::abs(lu(r, col));
+      if (candidate > best) {
+        best = candidate;
+        pivot = r;
+      }
+    }
+    if (best == 0.0) return {0.0, 0};
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(lu(pivot, j), lu(col, j));
+      }
+      result.sign = -result.sign;
+    }
+    const double diag = lu(col, col);
+    result.log_abs += std::log(std::abs(diag));
+    if (diag < 0.0) result.sign = -result.sign;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = lu(r, col) / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t j = col; j < n; ++j) lu(r, j) -= factor * lu(col, j);
+    }
+  }
+  return result;
+}
+
+}  // namespace drw

@@ -1,0 +1,57 @@
+// Minimal dense linear algebra for the Markov-chain oracle and the
+// matrix-tree spanning-tree counter. Row-major double storage; sized for the
+// small "ground truth" graphs used in tests and validation experiments
+// (n up to a few thousand), not for the simulated networks themselves.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace drw {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<double> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  Matrix operator*(const Matrix& rhs) const;
+
+  /// Left vector-matrix product: (row vector v) * M. Matches the convention
+  /// of distribution evolution p_{t+1} = p_t * P for row-stochastic P.
+  std::vector<double> left_multiply(std::span<const double> v) const;
+
+  /// log|det| and sign via partial-pivot LU decomposition; O(n^3).
+  /// Returns {log_abs_det, sign}; sign 0 means singular.
+  struct LogDet {
+    double log_abs = 0.0;
+    int sign = 1;
+  };
+  LogDet log_det() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace drw

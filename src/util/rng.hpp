@@ -1,0 +1,78 @@
+// Deterministic random number generation for the whole library.
+//
+// Every stochastic component (graph generators, distributed protocols,
+// benchmark workloads) draws from an Rng seeded from a single master seed, so
+// all tests and experiments are exactly reproducible. Per-node randomness in
+// distributed protocols uses `Rng::split`, which derives statistically
+// independent child streams (SplitMix64 over the parent state), mirroring how
+// each processor in the CONGEST model owns a private coin.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace drw {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+/// Satisfies std::uniform_random_bit_generator so it composes with <random>.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state from `seed` via SplitMix64 (recommended
+  /// initialization; avoids the all-zero state for every seed).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next 64 uniformly random bits.
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool next_bool(double p) noexcept;
+
+  /// Derives an independent child stream. Children of distinct calls are
+  /// distinct; the parent advances so repeated splits differ.
+  Rng split() noexcept;
+
+  /// Derives a child stream keyed by `key` *without* advancing the parent.
+  /// Used to give node i of a network its own stream: `master.split_key(i)`.
+  Rng split_key(std::uint64_t key) const noexcept;
+
+  /// Uniformly samples an index by nonnegative weights; sum must be > 0.
+  std::size_t pick_weighted(std::span<const double> weights) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = next_below(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// SplitMix64 step: the canonical 64-bit mixer used for seeding.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+}  // namespace drw

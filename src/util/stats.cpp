@@ -1,0 +1,181 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace drw {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(std::span<const double> samples, double p) {
+  if (samples.empty()) throw std::invalid_argument("percentile: empty sample");
+  p = std::clamp(p, 0.0, 1.0);
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double l1_distance(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += std::abs(a[i] - b[i]);
+  return sum;
+}
+
+double tv_distance(std::span<const double> a, std::span<const double> b) {
+  return 0.5 * l1_distance(a, b);
+}
+
+namespace {
+
+/// Series expansion of P(a,x), valid for x < a + 1.
+double gamma_p_series(double a, double x) {
+  const double log_gamma_a = std::lgamma(a);
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - log_gamma_a);
+}
+
+/// Continued fraction for Q(a,x) = 1 - P(a,x), valid for x >= a + 1.
+double gamma_q_continued_fraction(double a, double x) {
+  const double log_gamma_a = std::lgamma(a);
+  const double tiny = std::numeric_limits<double>::min() / 1e-30;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::abs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + a * std::log(x) - log_gamma_a) * h;
+}
+
+}  // namespace
+
+double regularized_gamma_p(double a, double x) {
+  if (x < 0.0 || a <= 0.0) {
+    throw std::invalid_argument("regularized_gamma_p: domain error");
+  }
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_continued_fraction(a, x);
+}
+
+ChiSquareResult chi_square_test(std::span<const std::uint64_t> observed,
+                                std::span<const double> expected_probs,
+                                double min_expected) {
+  assert(observed.size() == expected_probs.size());
+  if (observed.empty()) throw std::invalid_argument("chi_square_test: empty");
+
+  std::uint64_t total = 0;
+  for (auto c : observed) total += c;
+  if (total == 0) throw std::invalid_argument("chi_square_test: no samples");
+
+  // Pool adjacent low-expectation cells so each kept cell has expected count
+  // >= min_expected; this is the standard validity fix for sparse tails.
+  std::vector<double> pooled_exp;
+  std::vector<double> pooled_obs;
+  double acc_exp = 0.0;
+  double acc_obs = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    acc_exp += expected_probs[i] * static_cast<double>(total);
+    acc_obs += static_cast<double>(observed[i]);
+    if (acc_exp >= min_expected) {
+      pooled_exp.push_back(acc_exp);
+      pooled_obs.push_back(acc_obs);
+      acc_exp = 0.0;
+      acc_obs = 0.0;
+    }
+  }
+  if (acc_exp > 0.0 || acc_obs > 0.0) {
+    if (!pooled_exp.empty()) {
+      pooled_exp.back() += acc_exp;
+      pooled_obs.back() += acc_obs;
+    } else {
+      pooled_exp.push_back(acc_exp);
+      pooled_obs.push_back(acc_obs);
+    }
+  }
+
+  ChiSquareResult result;
+  if (pooled_exp.size() < 2) {
+    // Everything pooled into one cell: the test is vacuous.
+    return result;
+  }
+  for (std::size_t i = 0; i < pooled_exp.size(); ++i) {
+    const double diff = pooled_obs[i] - pooled_exp[i];
+    result.statistic += diff * diff / pooled_exp[i];
+  }
+  result.dof = pooled_exp.size() - 1;
+  result.p_value =
+      1.0 - regularized_gamma_p(static_cast<double>(result.dof) / 2.0,
+                                result.statistic / 2.0);
+  return result;
+}
+
+double log_log_slope(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] <= 0.0 || y[i] <= 0.0) continue;
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++n;
+  }
+  if (n < 2) throw std::invalid_argument("log_log_slope: need >= 2 points");
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) throw std::invalid_argument("log_log_slope: degenerate x");
+  return (dn * sxy - sx * sy) / denom;
+}
+
+}  // namespace drw

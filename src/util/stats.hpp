@@ -1,0 +1,68 @@
+// Summary statistics and hypothesis tests used by the test suite and the
+// benchmark harness: running moments, percentiles, chi-square goodness of fit
+// (with p-values via the regularized incomplete gamma function), and total
+// variation / L1 distance between discrete distributions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace drw {
+
+/// Single-pass running mean/variance (Welford) with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// p-th percentile (p in [0,1]) by linear interpolation; copies & sorts.
+double percentile(std::span<const double> samples, double p);
+
+/// L1 distance sum_i |a_i - b_i|. Spans must have equal length.
+double l1_distance(std::span<const double> a, std::span<const double> b);
+
+/// Total variation distance = l1_distance / 2.
+double tv_distance(std::span<const double> a, std::span<const double> b);
+
+/// Regularized lower incomplete gamma P(a, x); used for chi-square p-values.
+/// Follows the series/continued-fraction split of Numerical Recipes.
+double regularized_gamma_p(double a, double x);
+
+/// Result of a chi-square goodness-of-fit test.
+struct ChiSquareResult {
+  double statistic = 0.0;   ///< sum (obs - exp)^2 / exp over kept cells
+  std::size_t dof = 0;      ///< degrees of freedom (cells kept - 1)
+  double p_value = 1.0;     ///< P(X^2_dof >= statistic)
+};
+
+/// Chi-square test of observed counts vs expected probabilities.
+/// Cells with expected count below `min_expected` are pooled into their
+/// neighbor to keep the chi-square approximation valid.
+/// Preconditions: equal lengths; probabilities sum to ~1; total > 0.
+ChiSquareResult chi_square_test(std::span<const std::uint64_t> observed,
+                                std::span<const double> expected_probs,
+                                double min_expected = 5.0);
+
+/// Least-squares fit of log(y) = a + b*log(x); returns the exponent b.
+/// Used to verify complexity shapes (e.g. rounds ~ l^0.5). Ignores
+/// non-positive entries. Requires at least two usable points.
+double log_log_slope(std::span<const double> x, std::span<const double> y);
+
+}  // namespace drw

@@ -1,0 +1,86 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace drw {
+namespace {
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = gen::path(6);
+  const auto dist = bfs_distances(g, 2);
+  const std::vector<std::uint32_t> expected{2, 1, 0, 1, 2, 3};
+  EXPECT_EQ(dist, expected);
+}
+
+TEST(Bfs, ParentsFormTree) {
+  Rng rng(5);
+  const Graph g = gen::erdos_renyi_connected(40, 0.1, rng);
+  const auto parent = bfs_parents(g, 0);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(parent[0], 0u);
+  for (NodeId v = 1; v < g.node_count(); ++v) {
+    ASSERT_NE(parent[v], kInvalidNode);
+    EXPECT_TRUE(g.has_edge(v, parent[v]));
+    EXPECT_EQ(dist[v], dist[parent[v]] + 1);
+  }
+}
+
+TEST(Components, DisconnectedGraphLabels) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[4], comp[0]);
+  EXPECT_NE(comp[4], comp[2]);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Diameter, ExactOnKnownGraphs) {
+  EXPECT_EQ(exact_diameter(gen::path(10)), 9u);
+  EXPECT_EQ(exact_diameter(gen::cycle(10)), 5u);
+  EXPECT_EQ(exact_diameter(gen::complete(5)), 1u);
+  EXPECT_EQ(exact_diameter(gen::star(9)), 2u);
+  EXPECT_EQ(exact_diameter(gen::hypercube(5)), 5u);
+}
+
+TEST(Diameter, DoubleSweepExactOnTrees) {
+  // Double sweep is exact on trees.
+  const Graph t = gen::binary_tree(31);
+  EXPECT_EQ(double_sweep_diameter_estimate(t), exact_diameter(t));
+  const Graph p = gen::path(17);
+  EXPECT_EQ(double_sweep_diameter_estimate(p, 8), 16u);
+}
+
+TEST(Diameter, DoubleSweepIsLowerBound) {
+  Rng rng(9);
+  for (std::uint64_t seed : {1, 2, 3}) {
+    Rng r(seed);
+    const Graph g = gen::erdos_renyi_connected(50, 0.08, r);
+    EXPECT_LE(double_sweep_diameter_estimate(g), exact_diameter(g));
+    EXPECT_GE(2 * double_sweep_diameter_estimate(g), exact_diameter(g));
+  }
+  (void)rng;
+}
+
+TEST(Eccentricity, CenterVsLeafOfPath) {
+  const Graph g = gen::path(9);
+  EXPECT_EQ(eccentricity(g, 4), 4u);
+  EXPECT_EQ(eccentricity(g, 0), 8u);
+}
+
+TEST(Eccentricity, ThrowsOnDisconnected) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_THROW(eccentricity(g, 0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace drw

@@ -1,0 +1,157 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/algorithms.hpp"
+#include "util/rng.hpp"
+
+namespace drw {
+namespace {
+
+TEST(Generators, PathShape) {
+  const Graph g = gen::path(5);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_EQ(exact_diameter(g), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+}
+
+TEST(Generators, CycleShape) {
+  const Graph g = gen::cycle(8);
+  EXPECT_EQ(g.edge_count(), 8u);
+  EXPECT_EQ(exact_diameter(g), 4u);
+  for (NodeId v = 0; v < 8; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_THROW(gen::cycle(2), std::invalid_argument);
+}
+
+TEST(Generators, GridShape) {
+  const Graph g = gen::grid(3, 4);
+  EXPECT_EQ(g.node_count(), 12u);
+  EXPECT_EQ(g.edge_count(), 3u * 3 + 4u * 2);  // 17
+  EXPECT_EQ(exact_diameter(g), 5u);
+}
+
+TEST(Generators, TorusIsFourRegular) {
+  const Graph g = gen::torus(4, 5);
+  EXPECT_EQ(g.node_count(), 20u);
+  for (NodeId v = 0; v < g.node_count(); ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_EQ(g.edge_count(), 40u);
+}
+
+TEST(Generators, HypercubeShape) {
+  const Graph g = gen::hypercube(4);
+  EXPECT_EQ(g.node_count(), 16u);
+  EXPECT_EQ(g.edge_count(), 32u);
+  EXPECT_EQ(exact_diameter(g), 4u);
+  for (NodeId v = 0; v < g.node_count(); ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Generators, CompleteShape) {
+  const Graph g = gen::complete(6);
+  EXPECT_EQ(g.edge_count(), 15u);
+  EXPECT_EQ(exact_diameter(g), 1u);
+}
+
+TEST(Generators, StarShape) {
+  const Graph g = gen::star(7);
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_EQ(g.degree(0), 6u);
+  EXPECT_EQ(exact_diameter(g), 2u);
+}
+
+TEST(Generators, BinaryTreeShape) {
+  const Graph g = gen::binary_tree(7);
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(3), 1u);  // leaf
+}
+
+TEST(Generators, CaterpillarShape) {
+  const Graph g = gen::caterpillar(4, 2);
+  EXPECT_EQ(g.node_count(), 12u);
+  EXPECT_EQ(g.edge_count(), 3u + 8u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, LollipopShape) {
+  const Graph g = gen::lollipop(5, 6);
+  EXPECT_EQ(g.node_count(), 11u);
+  EXPECT_EQ(g.edge_count(), 10u + 6u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(10), 1u);  // end of the stick
+}
+
+TEST(Generators, BarbellShape) {
+  const Graph g = gen::barbell(4, 3);
+  EXPECT_EQ(g.node_count(), 11u);
+  EXPECT_EQ(g.edge_count(), 6u + 6u + 4u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, BarbellZeroPathStillConnected) {
+  const Graph g = gen::barbell(3, 0);
+  EXPECT_EQ(g.node_count(), 6u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+class RandomGeneratorTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomGeneratorTest, ErdosRenyiConnected) {
+  Rng rng(GetParam());
+  const Graph g = gen::erdos_renyi_connected(60, 0.05, rng);
+  EXPECT_EQ(g.node_count(), 60u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST_P(RandomGeneratorTest, RandomRegularDegrees) {
+  Rng rng(GetParam());
+  const Graph g = gen::random_regular(50, 4, rng);
+  EXPECT_TRUE(is_connected(g));
+  // Connectivity patching may perturb a few degrees; most must be exact.
+  std::size_t exact = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) exact += (g.degree(v) == 4u);
+  EXPECT_GE(exact, 45u);
+}
+
+TEST_P(RandomGeneratorTest, RandomGeometricConnected) {
+  Rng rng(GetParam());
+  const Graph g = gen::random_geometric(80, 0.18, rng);
+  EXPECT_EQ(g.node_count(), 80u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST_P(RandomGeneratorTest, ExpanderChainDiameterGrowsWithSegments) {
+  Rng rng(GetParam());
+  const Graph two = gen::expander_chain(2, 24, 4, rng);
+  const Graph six = gen::expander_chain(6, 24, 4, rng);
+  EXPECT_TRUE(is_connected(two));
+  EXPECT_TRUE(is_connected(six));
+  EXPECT_GT(exact_diameter(six), exact_diameter(two));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGeneratorTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+TEST(Generators, RandomRegularRejectsOddProduct) {
+  Rng rng(1);
+  EXPECT_THROW(gen::random_regular(5, 3, rng), std::invalid_argument);
+}
+
+TEST(Generators, InvalidArguments) {
+  Rng rng(1);
+  EXPECT_THROW(gen::path(0), std::invalid_argument);
+  EXPECT_THROW(gen::grid(0, 3), std::invalid_argument);
+  EXPECT_THROW(gen::torus(2, 5), std::invalid_argument);
+  EXPECT_THROW(gen::complete(1), std::invalid_argument);
+  EXPECT_THROW(gen::erdos_renyi_connected(10, 1.5, rng),
+               std::invalid_argument);
+  EXPECT_THROW(gen::random_regular(10, 0, rng), std::invalid_argument);
+  EXPECT_THROW(gen::random_geometric(10, 0.0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drw

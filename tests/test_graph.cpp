@@ -1,0 +1,114 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace drw {
+namespace {
+
+Graph triangle_plus_leaf() {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(2, 3);
+  return b.build();
+}
+
+TEST(GraphBuilder, BasicCounts) {
+  const Graph g = triangle_plus_leaf();
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+  EXPECT_EQ(g.directed_edge_count(), 8u);
+}
+
+TEST(GraphBuilder, RejectsSelfLoop) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(GraphBuilder, RejectsOutOfRange) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), std::invalid_argument);
+}
+
+TEST(GraphBuilder, DeduplicatesParallelEdges) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Graph, NeighborsSortedAscending) {
+  GraphBuilder b(6);
+  b.add_edge(3, 5);
+  b.add_edge(3, 0);
+  b.add_edge(3, 4);
+  b.add_edge(3, 1);
+  const Graph g = b.build();
+  const auto nbrs = g.neighbors(3);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs.size(), 4u);
+}
+
+TEST(Graph, HasEdgeSymmetric) {
+  const Graph g = triangle_plus_leaf();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(3, 0));
+}
+
+TEST(Graph, SlotOfRoundTrips) {
+  const Graph g = triangle_plus_leaf();
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (std::uint32_t slot = 0; slot < g.degree(v); ++slot) {
+      EXPECT_EQ(g.slot_of(v, g.neighbor(v, slot)), slot);
+    }
+    EXPECT_EQ(g.slot_of(v, v), g.degree(v));  // not a neighbor
+  }
+}
+
+TEST(Graph, DirectedEdgeIndexDense) {
+  const Graph g = triangle_plus_leaf();
+  std::vector<bool> seen(g.directed_edge_count(), false);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (std::uint32_t slot = 0; slot < g.degree(v); ++slot) {
+      const std::size_t eid = g.directed_edge_index(v, slot);
+      ASSERT_LT(eid, seen.size());
+      EXPECT_FALSE(seen[eid]);
+      seen[eid] = true;
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool x) { return x; }));
+}
+
+TEST(Graph, DegreeExtremes) {
+  const Graph g = triangle_plus_leaf();
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_EQ(g.min_degree(), 1u);
+}
+
+TEST(Graph, SummaryMentionsCounts) {
+  const Graph g = triangle_plus_leaf();
+  const std::string s = g.summary();
+  EXPECT_NE(s.find("n=4"), std::string::npos);
+  EXPECT_NE(s.find("m=4"), std::string::npos);
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+}  // namespace
+}  // namespace drw

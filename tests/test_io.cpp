@@ -1,0 +1,95 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace drw {
+namespace {
+
+TEST(GraphIo, ParsesBasicEdgeList) {
+  std::istringstream in("0 1\n1 2\n2 0\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 2));
+}
+
+TEST(GraphIo, IgnoresCommentsAndBlanks) {
+  std::istringstream in(
+      "# a comment\n% another style\n\n0 1\n\n# trailing\n1 2\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(GraphIo, NodeHeaderRaisesNodeCount) {
+  std::istringstream in("# nodes 10\n0 1\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.node_count(), 10u);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(GraphIo, CoalescesDuplicatesAndReversals) {
+  std::istringstream in("0 1\n1 0\n0 1\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(GraphIo, RejectsMalformedInput) {
+  {
+    std::istringstream in("0\n");
+    EXPECT_THROW(read_edge_list(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("3 3\n");
+    EXPECT_THROW(read_edge_list(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("-1 2\n");
+    EXPECT_THROW(read_edge_list(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("# only comments\n");
+    EXPECT_THROW(read_edge_list(in), std::invalid_argument);
+  }
+}
+
+TEST(GraphIo, RoundTripsThroughStreams) {
+  Rng rng(5);
+  const Graph g = gen::random_geometric(40, 0.3, rng);
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const Graph back = read_edge_list(buffer);
+  ASSERT_EQ(back.node_count(), g.node_count());
+  ASSERT_EQ(back.edge_count(), g.edge_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (NodeId u : g.neighbors(v)) {
+      EXPECT_TRUE(back.has_edge(v, u));
+    }
+  }
+}
+
+TEST(GraphIo, RoundTripsThroughFiles) {
+  const Graph g = gen::torus(4, 5);
+  const std::string path = "/tmp/drw_io_test_graph.txt";
+  write_edge_list_file(path, g);
+  const Graph back = read_edge_list_file(path);
+  EXPECT_EQ(back.node_count(), g.node_count());
+  EXPECT_EQ(back.edge_count(), g.edge_count());
+  EXPECT_EQ(exact_diameter(back), exact_diameter(g));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_file("/nonexistent/path/graph.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace drw

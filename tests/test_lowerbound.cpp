@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "congest/network.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "lowerbound/gadget.hpp"
+#include "lowerbound/interval_set.hpp"
+#include "lowerbound/path_verification.hpp"
+
+namespace drw::lowerbound {
+namespace {
+
+using congest::Network;
+
+// ------------------------------------------------------------- IntervalSet
+
+TEST(IntervalSet, Figure1Example) {
+  // Figure 1: verifying [1,2] and [3,5] then combining via overlap fails,
+  // but [1,3] and [3,5] combine into [1,5].
+  IntervalSet s;
+  s.insert(1, 2);
+  s.insert(3, 5);
+  EXPECT_EQ(s.size(), 2u);  // [1,2] and [3,5] do not share an index
+  EXPECT_FALSE(s.covers(1, 5));
+  s.insert(2, 3);  // now 2 bridges [1,2] and [3,5]
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.covers(1, 5));
+}
+
+TEST(IntervalSet, OverlapMergesTouchDoesNot) {
+  IntervalSet s;
+  s.insert(1, 4);
+  EXPECT_EQ(s.insert(4, 7), (Interval{1, 7}));  // shares index 4
+  IntervalSet t;
+  t.insert(1, 4);
+  t.insert(5, 7);  // adjacent but disjoint
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(IntervalSet, InsertAbsorbsContained) {
+  IntervalSet s;
+  s.insert(5, 6);
+  s.insert(2, 9);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.covers(2, 9));
+  s.insert(3, 4);  // fully contained
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(IntervalSet, MergeChainAcrossManyIntervals) {
+  IntervalSet s;
+  for (std::uint64_t i = 1; i <= 20; i += 2) s.insert(i, i + 1);
+  EXPECT_EQ(s.size(), 10u);
+  for (std::uint64_t i = 2; i <= 20; i += 2) s.insert(i, i + 1);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.covers(1, 21));
+}
+
+TEST(IntervalSet, FindLocatesContainingInterval) {
+  IntervalSet s;
+  s.insert(10, 20);
+  EXPECT_TRUE(s.find(15).found);
+  EXPECT_EQ(s.find(15).interval, (Interval{10, 20}));
+  EXPECT_FALSE(s.find(9).found);
+  EXPECT_FALSE(s.find(21).found);
+  EXPECT_THROW(s.insert(5, 4), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ gadget
+
+class GadgetShape : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GadgetShape, MatchesDefinition33) {
+  const std::uint64_t l = GetParam();
+  const Gadget gadget = build_gadget(l);
+  const Graph& g = gadget.graph;
+
+  // k = sqrt(l / log l); k' a power of two with k'/2 <= 4k < k'.
+  const double expect_k = std::floor(
+      std::sqrt(static_cast<double>(l) / std::log2(static_cast<double>(l))));
+  EXPECT_EQ(gadget.k, static_cast<std::uint64_t>(expect_k));
+  EXPECT_TRUE((gadget.k_prime & (gadget.k_prime - 1)) == 0);
+  EXPECT_GT(gadget.k_prime, 4 * gadget.k);
+  EXPECT_LE(gadget.k_prime / 2, 4 * gadget.k);
+
+  // n' is a multiple of k' and holds the l+1 path vertices.
+  EXPECT_EQ(gadget.path_len % gadget.k_prime, 0u);
+  EXPECT_GE(gadget.path_len, l + 1);
+
+  // Node count: n' + 2k' - 1 (path + binary tree).
+  EXPECT_EQ(g.node_count(), gadget.path_len + 2 * gadget.k_prime - 1);
+  EXPECT_TRUE(is_connected(g));
+
+  // Every path vertex connects to exactly one leaf: v_{jk'+i} -- u_i.
+  for (std::uint64_t i = 1; i <= gadget.path_len; ++i) {
+    const std::uint64_t leaf_index = ((i - 1) % gadget.k_prime) + 1;
+    EXPECT_TRUE(g.has_edge(gadget.path_node(i), gadget.leaf(leaf_index)))
+        << "path vertex " << i;
+  }
+}
+
+TEST_P(GadgetShape, DiameterIsLogarithmic) {
+  const std::uint64_t l = GetParam();
+  const Gadget gadget = build_gadget(l);
+  const std::uint32_t diameter =
+      double_sweep_diameter_estimate(gadget.graph, gadget.root());
+  const double logn =
+      std::log2(static_cast<double>(gadget.graph.node_count()));
+  // D = O(log n): through the tree any two nodes are <= 2 log2(k') + 2 apart.
+  EXPECT_LE(diameter, static_cast<std::uint32_t>(4.0 * logn + 4.0));
+}
+
+TEST_P(GadgetShape, BreakpointCountsSatisfyLemma34) {
+  const std::uint64_t l = GetParam();
+  const Gadget gadget = build_gadget(l);
+  const auto left = gadget.left_breakpoints();
+  const auto right = gadget.right_breakpoints();
+  const double bound = static_cast<double>(gadget.path_len) /
+                       (4.0 * static_cast<double>(gadget.k)) / 2.0;
+  EXPECT_GE(static_cast<double>(left.size()), bound / 2.0);
+  EXPECT_GE(static_cast<double>(right.size()), bound / 2.0);
+  // Breakpoints are distinct valid path vertices.
+  for (NodeId v : left) EXPECT_LT(v, gadget.path_len);
+  for (NodeId v : right) EXPECT_LT(v, gadget.path_len);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GadgetShape,
+                         ::testing::Values(64, 256, 1024, 4096));
+
+TEST(WeightedGadget, FollowsPathWithHighProbability) {
+  // Theorem 3.7: with edge (v_i, v_{i+1}) weighted (2n)^{2i}, the walk takes
+  // the forward edge with probability >= 1 - 1/n^2 at every step.
+  const WeightedGadget weighted = build_weighted_gadget(256);
+  const double n = static_cast<double>(weighted.base.graph.node_count());
+  double log_follow_all = 0.0;
+  for (std::uint64_t i = 1; i <= 256; ++i) {
+    const double p = weighted.forward_probability(i);
+    EXPECT_GE(p, 1.0 - 1.0 / (n * n)) << "step " << i;
+    log_follow_all += std::log(p);
+  }
+  // Whole path followed with probability >= 1 - 1/n.
+  EXPECT_GE(std::exp(log_follow_all), 1.0 - 1.0 / n);
+}
+
+// ------------------------------------------------------- path verification
+
+TEST(PathVerification, VerifiesAnHonestPathOnAPathGraph) {
+  const Graph g = gen::path(30);
+  Network net(g, 3);
+  std::vector<NodeId> sequence;
+  for (NodeId v = 0; v < 30; ++v) sequence.push_back(v);
+  const auto result = verify_path(net, sequence, 0);
+  EXPECT_TRUE(result.verified);
+  EXPECT_GT(result.stats.rounds, 0u);
+}
+
+TEST(PathVerification, VerifierCanBeAnywhere) {
+  const Graph g = gen::grid(5, 5);
+  Network net(g, 5);
+  // Snake path through the grid.
+  std::vector<NodeId> sequence;
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      sequence.push_back(
+          static_cast<NodeId>(r * 5 + (r % 2 == 0 ? c : 4 - c)));
+    }
+  }
+  const auto result = verify_path(net, sequence, 12);
+  EXPECT_TRUE(result.verified);
+}
+
+TEST(PathVerification, RejectsABrokenSequence) {
+  const Graph g = gen::path(10);
+  Network net(g, 7);
+  // 0,1,2,4,... -- (2,4) is not an edge.
+  const std::vector<NodeId> sequence{0, 1, 2, 4, 5};
+  const auto result = verify_path(net, sequence, 0);
+  EXPECT_FALSE(result.verified);
+}
+
+TEST(PathVerification, RejectsDuplicatesAndEmpty) {
+  const Graph g = gen::path(5);
+  Network net(g, 9);
+  const std::vector<NodeId> dup{0, 1, 0};
+  EXPECT_THROW(verify_path(net, dup, 0), std::invalid_argument);
+  EXPECT_THROW(verify_path(net, {}, 0), std::invalid_argument);
+}
+
+TEST(PathVerification, GadgetNeedsFarMoreRoundsThanDiameter) {
+  // Theorem 3.2's phenomenon: on G_n the verification takes Omega(k) =
+  // Omega(sqrt(l / log l)) rounds even though the diameter is O(log n).
+  const std::uint64_t l = 16384;
+  const Gadget gadget = build_gadget(l);
+  Network net(gadget.graph, 11);
+  std::vector<NodeId> sequence;
+  for (std::uint64_t i = 1; i <= l + 1; ++i) {
+    sequence.push_back(gadget.path_node(i));
+  }
+  const auto result = verify_path(net, sequence, gadget.root());
+  ASSERT_TRUE(result.verified);
+
+  const std::uint32_t diameter =
+      double_sweep_diameter_estimate(gadget.graph, gadget.root());
+  EXPECT_GE(result.stats.rounds, gadget.k)
+      << "lower bound k=" << gadget.k;
+  EXPECT_GE(result.stats.rounds, 2u * diameter)
+      << "rounds should dwarf the diameter " << diameter;
+}
+
+TEST(PathVerification, SingletonSequenceIsTrivial) {
+  const Graph g = gen::cycle(6);
+  Network net(g, 13);
+  const std::vector<NodeId> sequence{4};
+  const auto result = verify_path(net, sequence, 0);
+  EXPECT_TRUE(result.verified);
+}
+
+}  // namespace
+}  // namespace drw::lowerbound

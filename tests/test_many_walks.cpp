@@ -1,0 +1,155 @@
+#include "core/random_walks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/markov.hpp"
+#include "util/stats.hpp"
+#include "walk_test_utils.hpp"
+
+namespace drw::core {
+namespace {
+
+using congest::Network;
+
+TEST(ManyWalks, EachSourceGetsItsOwnExactDistribution) {
+  const Graph g = gen::cycle(6);
+  const MarkovOracle oracle(g);
+  const std::uint64_t l = 7;
+  Params params = Params::paper();
+  params.lambda_override = 2;
+
+  const std::vector<NodeId> sources{0, 3, 3};
+  std::vector<std::vector<std::uint64_t>> counts(
+      sources.size(), std::vector<std::uint64_t>(g.node_count(), 0));
+  const int runs = 2000;
+  for (int run = 0; run < runs; ++run) {
+    Network net(g, 20000 + run);
+    const ManyWalksOutput out =
+        many_random_walks(net, sources, l, params, 3);
+    ASSERT_EQ(out.destinations.size(), sources.size());
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      ++counts[i][out.destinations[i]];
+    }
+  }
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const auto expected = oracle.distribution_after(sources[i], l);
+    const auto result = chi_square_test(counts[i], expected);
+    EXPECT_GT(result.p_value, 1e-4)
+        << "source " << sources[i] << " chi2=" << result.statistic;
+  }
+}
+
+TEST(ManyWalks, NaiveFallbackTriggersWhenLambdaExceedsL) {
+  // With l tiny, lambda(k, l) > l and MANY-RANDOM-WALKS must fall back.
+  Rng rng(3);
+  const Graph g = gen::random_regular(32, 4, rng);
+  Network net(g, 5);
+  const std::vector<NodeId> sources(16, 0);
+  const ManyWalksOutput out =
+      many_random_walks(net, sources, 3, Params::paper(),
+                        exact_diameter(g));
+  EXPECT_TRUE(out.used_naive_fallback);
+  EXPECT_EQ(out.destinations.size(), 16u);
+}
+
+TEST(ManyWalks, FallbackDistributionStillExact) {
+  const Graph g = gen::complete(5);
+  const MarkovOracle oracle(g);
+  const std::uint64_t l = 2;
+  const auto expected = oracle.distribution_after(0, l);
+  std::vector<std::uint64_t> counts(g.node_count(), 0);
+  const std::vector<NodeId> sources(8, 0);
+  const int runs = 800;
+  for (int run = 0; run < runs; ++run) {
+    Network net(g, 31000 + run);
+    const ManyWalksOutput out =
+        many_random_walks(net, sources, l, Params::paper(), 1);
+    ASSERT_TRUE(out.used_naive_fallback);
+    for (NodeId dest : out.destinations) ++counts[dest];
+  }
+  const auto result = chi_square_test(counts, expected);
+  EXPECT_GT(result.p_value, 1e-4) << "chi2=" << result.statistic;
+}
+
+TEST(ManyWalks, FallbackRoundsAreKPlusLNotKTimesL) {
+  // Theorem 2.8's k + l regime: k tokens from one source serialize on the
+  // source's edges for ~k rounds, then drift apart: rounds << k * l.
+  const Graph g = gen::torus(6, 6);
+  Network net(g, 7);
+  const std::uint64_t k = 40;
+  const std::uint64_t l = 50;
+  const std::vector<NodeId> sources(k, 0);
+  Params params = Params::paper();
+  params.lambda_override = l + 1;  // force fallback
+  const ManyWalksOutput out = many_random_walks(net, sources, l, params, 6);
+  ASSERT_TRUE(out.used_naive_fallback);
+  EXPECT_GE(out.stats.rounds, l);
+  EXPECT_LE(out.stats.rounds, 3 * (k + l));
+  EXPECT_LT(out.stats.rounds, k * l / 4);
+}
+
+TEST(ManyWalks, StitchedModeSharesOnePhaseOne) {
+  const Graph g = gen::grid(5, 5);
+  Network net(g, 9);
+  const std::vector<NodeId> sources{0, 12, 24, 12};
+  Params params = Params::paper();
+  params.lambda_override = 6;
+  const ManyWalksOutput out =
+      many_random_walks(net, sources, 80, params, 8);
+  EXPECT_FALSE(out.used_naive_fallback);
+  EXPECT_EQ(out.destinations.size(), 4u);
+  // Phase 1 ran exactly once: walks_prepared counts one preparation.
+  std::uint64_t expected_prepared = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    expected_prepared += g.degree(v);
+  }
+  EXPECT_EQ(out.counters.walks_prepared, expected_prepared);
+  EXPECT_GT(out.counters.stitches, 0u);
+}
+
+TEST(ManyWalks, PositionsValidForEveryWalk) {
+  const Graph g = gen::grid(4, 4);
+  Params params = Params::paper();
+  params.record_trajectories = true;
+  params.lambda_override = 4;
+  Network net(g, 11);
+  const std::vector<NodeId> sources{0, 5, 15};
+  const std::uint64_t l = 25;
+  const ManyWalksOutput out = many_random_walks(net, sources, l, params, 6);
+  for (std::uint32_t i = 0; i < sources.size(); ++i) {
+    test::expect_valid_walk(g, out.positions, i, l, sources[i],
+                            out.destinations[i]);
+  }
+}
+
+TEST(ManyWalks, EmptySourcesIsANoOp) {
+  const Graph g = gen::cycle(4);
+  Network net(g, 1);
+  const ManyWalksOutput out =
+      many_random_walks(net, {}, 10, Params::paper(), 2);
+  EXPECT_TRUE(out.destinations.empty());
+  EXPECT_EQ(out.stats.rounds, 0u);
+}
+
+TEST(ManyWalks, RoundsGrowSublinearlyInK) {
+  // Theorem 2.8 shape: rounds ~ sqrt(k l D) + k, so quadrupling k should
+  // far less than quadruple the rounds in the stitched regime.
+  Rng rng(13);
+  const Graph g = gen::random_regular(48, 4, rng);
+  const std::uint32_t diameter = exact_diameter(g);
+  const std::uint64_t l = 1024;
+  auto run_k = [&](std::uint64_t k) {
+    Network net(g, 1234);
+    const std::vector<NodeId> sources(k, 0);
+    return many_random_walks(net, sources, l, Params::paper(), diameter)
+        .stats.rounds;
+  };
+  const auto r2 = run_k(2);
+  const auto r8 = run_k(8);
+  EXPECT_LT(r8, 3 * r2) << "r2=" << r2 << " r8=" << r8;
+}
+
+}  // namespace
+}  // namespace drw::core

@@ -1,0 +1,162 @@
+#include "graph/markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+
+namespace drw {
+namespace {
+
+TEST(Markov, OneStepOnPath3) {
+  // Path 0-1-2: from node 1 the walk moves to 0 or 2 with prob 1/2 each.
+  const Graph g = gen::path(3);
+  const MarkovOracle oracle(g);
+  const auto p = oracle.distribution_after(1, 1);
+  EXPECT_NEAR(p[0], 0.5, 1e-12);
+  EXPECT_NEAR(p[1], 0.0, 1e-12);
+  EXPECT_NEAR(p[2], 0.5, 1e-12);
+}
+
+TEST(Markov, TwoStepsOnPath3) {
+  const Graph g = gen::path(3);
+  const MarkovOracle oracle(g);
+  const auto p = oracle.distribution_after(0, 2);
+  // 0 ->1 -> {0, 2} each 1/2.
+  EXPECT_NEAR(p[0], 0.5, 1e-12);
+  EXPECT_NEAR(p[1], 0.0, 1e-12);
+  EXPECT_NEAR(p[2], 0.5, 1e-12);
+}
+
+TEST(Markov, DistributionsSumToOne) {
+  Rng rng(3);
+  const Graph g = gen::erdos_renyi_connected(30, 0.15, rng);
+  const MarkovOracle oracle(g);
+  for (std::uint64_t t : {0, 1, 5, 20}) {
+    const auto p = oracle.distribution_after(7, t);
+    EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-9);
+  }
+}
+
+TEST(Markov, StationaryIsDegreeProportional) {
+  const Graph g = gen::star(5);
+  const MarkovOracle oracle(g);
+  const auto pi = oracle.stationary();
+  EXPECT_NEAR(pi[0], 4.0 / 8.0, 1e-12);
+  for (NodeId v = 1; v < 5; ++v) EXPECT_NEAR(pi[v], 1.0 / 8.0, 1e-12);
+}
+
+TEST(Markov, StationaryIsFixedPoint) {
+  Rng rng(11);
+  const Graph g = gen::erdos_renyi_connected(25, 0.2, rng);
+  const MarkovOracle oracle(g);
+  const auto pi = oracle.stationary();
+  const auto next = oracle.step(pi);
+  EXPECT_LT(l1_distance(pi, next), 1e-12);
+}
+
+TEST(Markov, LazyChainKeepsHalfMass) {
+  const Graph g = gen::path(3);
+  const MarkovOracle lazy(g, true);
+  const auto p = lazy.distribution_after(1, 1);
+  EXPECT_NEAR(p[1], 0.5, 1e-12);
+  EXPECT_NEAR(p[0], 0.25, 1e-12);
+  EXPECT_NEAR(p[2], 0.25, 1e-12);
+}
+
+TEST(Markov, MixingTimeOnCompleteGraphIsTiny) {
+  const Graph g = gen::complete(16);
+  const MarkovOracle oracle(g);
+  const auto tau = oracle.mixing_time_standard(0, 100);
+  ASSERT_TRUE(tau.has_value());
+  EXPECT_LE(*tau, 3u);
+}
+
+TEST(Markov, MixingMonotoneDecreasing) {
+  // Lemma 4.4 for the lazy chain: distance to stationarity never increases.
+  const Graph g = gen::cycle(9);
+  const MarkovOracle oracle(g, true);
+  double prev = 2.0;
+  for (std::uint64_t t = 0; t <= 60; ++t) {
+    const double d = oracle.l1_to_stationary(0, t);
+    EXPECT_LE(d, prev + 1e-12);
+    prev = d;
+  }
+}
+
+TEST(Markov, BipartiteNonLazyNeverMixes) {
+  const Graph g = gen::cycle(8);  // even cycle: bipartite, periodic
+  const MarkovOracle oracle(g);
+  EXPECT_FALSE(oracle.mixing_time_standard(0, 2000).has_value());
+  const MarkovOracle lazy(g, true);
+  EXPECT_TRUE(lazy.mixing_time_standard(0, 2000).has_value());
+}
+
+TEST(Markov, OddCycleMixingGrowsQuadratically) {
+  const Graph g_small = gen::cycle(9);
+  const Graph g_big = gen::cycle(27);
+  const MarkovOracle small(g_small);
+  const MarkovOracle big(g_big);
+  const auto tau_small = small.mixing_time_standard(0, 100000);
+  const auto tau_big = big.mixing_time_standard(0, 100000);
+  ASSERT_TRUE(tau_small.has_value());
+  ASSERT_TRUE(tau_big.has_value());
+  const double ratio = static_cast<double>(*tau_big) /
+                       static_cast<double>(*tau_small);
+  // Tripling n should roughly 9x the mixing time (allow wide slack).
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LT(ratio, 20.0);
+}
+
+TEST(Markov, SecondEigenvalueOfCompleteGraph) {
+  // K_n: eigenvalues of P are 1 and -1/(n-1); modulus of the second is
+  // 1/(n-1).
+  const Graph g = gen::complete(10);
+  const MarkovOracle oracle(g);
+  EXPECT_NEAR(oracle.second_eigenvalue(), 1.0 / 9.0, 1e-6);
+}
+
+TEST(Markov, SecondEigenvalueOfBipartiteCycleIsOne) {
+  // Even cycle: bipartite, eigenvalue -1 gives SLEM 1 (no mixing).
+  const Graph g = gen::cycle(12);
+  const MarkovOracle oracle(g);
+  EXPECT_NEAR(oracle.second_eigenvalue(), 1.0, 1e-6);
+}
+
+TEST(Markov, SecondEigenvalueOfLazyCycle) {
+  // Lazy cycle: eigenvalues (1 + cos(2 pi k / n)) / 2, all nonnegative, so
+  // the SLEM is (1 + cos(2 pi / n)) / 2.
+  const std::size_t n = 12;
+  const Graph g = gen::cycle(n);
+  const MarkovOracle oracle(g, true);
+  EXPECT_NEAR(oracle.second_eigenvalue(),
+              0.5 * (1.0 + std::cos(2.0 * M_PI / static_cast<double>(n))),
+              1e-6);
+}
+
+TEST(Markov, SpectralBoundsBracketMixing) {
+  const Graph g = gen::cycle(15);
+  const MarkovOracle lazy(g, true);
+  const auto bounds = lazy.spectral_bounds();
+  const auto tau = lazy.mixing_time_standard(0, 100000);
+  ASSERT_TRUE(tau.has_value());
+  EXPECT_GT(bounds.gap, 0.0);
+  // tau >= (1/gap - 1)-ish and tau <= c log n / gap; generous constants.
+  EXPECT_GE(static_cast<double>(*tau), 0.25 / bounds.gap);
+  EXPECT_LE(static_cast<double>(*tau), 4.0 * bounds.tau_upper + 2.0);
+}
+
+TEST(Markov, RejectsDegenerateGraphs) {
+  const Graph empty;
+  EXPECT_THROW(MarkovOracle{empty}, std::invalid_argument);
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph isolated = b.build();
+  EXPECT_THROW(MarkovOracle{isolated}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drw

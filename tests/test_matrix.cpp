@@ -1,0 +1,118 @@
+#include "util/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace drw {
+namespace {
+
+TEST(Matrix, IdentityMultiplication) {
+  Matrix a(2, 3, 0.0);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(0, 2) = 3.0;
+  a(1, 0) = 4.0;
+  a(1, 1) = 5.0;
+  a(1, 2) = 6.0;
+  const Matrix i3 = Matrix::identity(3);
+  const Matrix product = a * i3;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(product(r, c), a(r, c));
+    }
+  }
+}
+
+TEST(Matrix, KnownProduct) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 3.0;
+  a(1, 1) = 4.0;
+  Matrix b(2, 2);
+  b(0, 0) = 5.0;
+  b(0, 1) = 6.0;
+  b(1, 0) = 7.0;
+  b(1, 1) = 8.0;
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+  EXPECT_THROW(a.left_multiply(std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(Matrix, LeftMultiplyMatchesRowVectorProduct) {
+  Matrix p(2, 2);
+  p(0, 0) = 0.5;
+  p(0, 1) = 0.5;
+  p(1, 0) = 0.25;
+  p(1, 1) = 0.75;
+  const std::vector<double> v{0.4, 0.6};
+  const auto out = p.left_multiply(v);
+  EXPECT_NEAR(out[0], 0.4 * 0.5 + 0.6 * 0.25, 1e-12);
+  EXPECT_NEAR(out[1], 0.4 * 0.5 + 0.6 * 0.75, 1e-12);
+}
+
+TEST(Matrix, LogDetOfIdentity) {
+  const auto det = Matrix::identity(5).log_det();
+  EXPECT_EQ(det.sign, 1);
+  EXPECT_NEAR(det.log_abs, 0.0, 1e-12);
+}
+
+TEST(Matrix, LogDetKnownValues) {
+  Matrix a(2, 2);
+  a(0, 0) = 3.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;  // det = 10
+  auto det = a.log_det();
+  EXPECT_EQ(det.sign, 1);
+  EXPECT_NEAR(det.log_abs, std::log(10.0), 1e-12);
+
+  // Swap rows: determinant flips sign.
+  Matrix b(2, 2);
+  b(0, 0) = 2.0;
+  b(0, 1) = 4.0;
+  b(1, 0) = 3.0;
+  b(1, 1) = 1.0;  // det = -10
+  det = b.log_det();
+  EXPECT_EQ(det.sign, -1);
+  EXPECT_NEAR(det.log_abs, std::log(10.0), 1e-12);
+}
+
+TEST(Matrix, LogDetSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_EQ(a.log_det().sign, 0);
+}
+
+TEST(Matrix, LogDetRequiresSquare) {
+  const Matrix a(2, 3);
+  EXPECT_THROW(a.log_det(), std::invalid_argument);
+}
+
+TEST(Matrix, LogDetLargeDiagonal) {
+  // Diagonal matrix with huge entries: log-domain avoids overflow.
+  const std::size_t n = 50;
+  Matrix a(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) = 1e12;
+  const auto det = a.log_det();
+  EXPECT_EQ(det.sign, 1);
+  EXPECT_NEAR(det.log_abs, n * std::log(1e12), 1e-6);
+}
+
+}  // namespace
+}  // namespace drw

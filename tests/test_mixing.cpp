@@ -1,0 +1,165 @@
+#include "apps/mixing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "congest/network.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/markov.hpp"
+
+namespace drw::apps {
+namespace {
+
+using congest::Network;
+
+TEST(ClosenessStats, ExactMatchGivesNearZeroL2) {
+  // Samples drawn exactly proportional to pi: X == Y, so the unbiased
+  // l2 estimate should be ~0. Star graph: pi(center) = 1/2.
+  // n = 5: center deg 4, leaves deg 1; 2m = 8; sum deg^2 = 20.
+  // Perfect sample of 8: 4 at center, 1 per leaf.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> counts{
+      {4, 4}, {1, 1}, {1, 1}, {1, 1}, {1, 1}};
+  const auto stats = closeness_statistics(counts, 8, 20, 5, 8, 2.0);
+  // ||X||_2^2 estimate: (4*3 + 0*4)/(8*7) = 12/56; <X,Y> = (4*4/8 + 4*1/8)/8
+  // = 20/64; ||Y||_2^2 = 20/64.
+  EXPECT_NEAR(stats.l2_squared, 12.0 / 56.0 - 2.0 * 20.0 / 64.0 + 20.0 / 64.0,
+              1e-12);
+  EXPECT_LT(stats.l1_upper, 0.35);
+}
+
+TEST(ClosenessStats, ConcentratedSampleFails) {
+  // All K samples on one leaf of the star: far from stationary.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> counts{{16, 1}};
+  const auto stats = closeness_statistics(counts, 8, 20, 5, 16, 2.0);
+  // ||X||_2^2 ~ 1, <X,Y> = 1/8, ||Y||_2^2 = 20/64: l2^2 ~ 1 - .25 + .3 > .5.
+  EXPECT_GT(stats.l2_squared, 0.5);
+  EXPECT_GT(stats.l1_upper, 1.0);
+}
+
+TEST(ClosenessStats, RejectsTinySamples) {
+  EXPECT_THROW(closeness_statistics({}, 8, 20, 5, 1, 2.0),
+               std::invalid_argument);
+}
+
+TEST(Mixing, CompleteGraphMixesImmediately) {
+  const Graph g = gen::complete(16);
+  Network net(g, 3);
+  MixingOptions options;
+  options.samples = 600;
+  const MixingEstimate est = estimate_mixing_time(
+      net, 0, core::Params::paper(), 1, options);
+  EXPECT_TRUE(est.converged);
+  EXPECT_LE(est.tau, 4u);
+  EXPECT_GT(est.stats.rounds, 0u);
+}
+
+TEST(Mixing, OddCycleEstimateBracketsExactTau) {
+  const std::size_t n = 15;
+  const Graph g = gen::cycle(n);
+  const MarkovOracle oracle(g);
+  const auto exact = oracle.mixing_time_standard(0, 100000);
+  ASSERT_TRUE(exact.has_value());
+
+  Network net(g, 7);
+  MixingOptions options;
+  options.samples = 800;  // generous sampling for a tight estimate
+  const MixingEstimate est = estimate_mixing_time(
+      net, 0, core::Params::paper(), static_cast<std::uint32_t>(n / 2),
+      options);
+  ASSERT_TRUE(est.converged);
+  // The estimator tests a sqrt(n)-scaled l2 bound plus a bucket test against
+  // threshold 1/(2e); calibration differs from the exact L1 crossing by a
+  // modest constant. Accept a [exact/6, 6*exact] bracket.
+  EXPECT_GE(est.tau, *exact / 6) << "exact=" << *exact;
+  EXPECT_LE(est.tau, *exact * 6) << "exact=" << *exact;
+}
+
+TEST(Mixing, SlowGraphYieldsLargerEstimateThanFastGraph) {
+  // A barbell mixes far more slowly than an expander of similar size; the
+  // decentralized estimates must reflect the ordering.
+  Rng rng(5);
+  const Graph fast = gen::random_regular(24, 4, rng);
+  const Graph slow = gen::barbell(8, 2);  // 18 nodes, tight bottleneck
+
+  MixingOptions options;
+  options.samples = 400;
+  Network net_fast(fast, 11);
+  const MixingEstimate est_fast = estimate_mixing_time(
+      net_fast, 0, core::Params::paper(), exact_diameter(fast), options);
+  Network net_slow(slow, 11);
+  const MixingEstimate est_slow = estimate_mixing_time(
+      net_slow, 0, core::Params::paper(), exact_diameter(slow), options);
+  ASSERT_TRUE(est_fast.converged);
+  ASSERT_TRUE(est_slow.converged);
+  EXPECT_GT(est_slow.tau, 2 * est_fast.tau)
+      << "slow=" << est_slow.tau << " fast=" << est_fast.tau;
+}
+
+TEST(Mixing, SpectralAndConductanceBoundsAreConsistent) {
+  const Graph g = gen::cycle(11);
+  Network net(g, 13);
+  MixingOptions options;
+  options.samples = 400;
+  const MixingEstimate est = estimate_mixing_time(
+      net, 0, core::Params::paper(), 5, options);
+  ASSERT_TRUE(est.converged);
+  EXPECT_GT(est.gap_lower, 0.0);
+  EXPECT_LE(est.gap_lower, est.gap_upper);
+  EXPECT_GT(est.conductance_lower, 0.0);
+  EXPECT_LE(est.conductance_lower, est.conductance_upper);
+  EXPECT_LE(est.gap_upper, 1.0);
+  EXPECT_LE(est.conductance_upper, 1.0);
+}
+
+TEST(Mixing, MonotoneTestAllowsBinarySearchOff) {
+  const Graph g = gen::complete(8);
+  Network net(g, 17);
+  MixingOptions options;
+  options.samples = 300;
+  options.binary_search = false;
+  const MixingEstimate est = estimate_mixing_time(
+      net, 0, core::Params::paper(), 1, options);
+  EXPECT_TRUE(est.converged);
+  // Without refinement the estimate is the first passing power of two.
+  EXPECT_TRUE((est.tau & (est.tau - 1)) == 0) << est.tau;
+}
+
+TEST(ExpanderCheck, AcceptsExpanderRejectsCycleAndBarbell) {
+  Rng rng(23);
+  const Graph expander = gen::random_regular(48, 4, rng);
+  const Graph slow_cycle = gen::cycle(49);
+  const Graph bottleneck = gen::barbell(16, 2);
+  apps::MixingOptions options;
+  options.samples = 400;
+
+  Network net1(expander, 29);
+  const auto good = check_expander(net1, 0, core::Params::paper(),
+                                   exact_diameter(expander), 2.0, options);
+  EXPECT_TRUE(good.is_expander) << "tau=" << good.tau;
+  EXPECT_GT(good.gap_lower, 0.01);
+
+  Network net2(slow_cycle, 29);
+  const auto slow = check_expander(net2, 0, core::Params::paper(),
+                                   exact_diameter(slow_cycle), 2.0, options);
+  EXPECT_FALSE(slow.is_expander) << "tau=" << slow.tau;
+
+  Network net3(bottleneck, 29);
+  const auto cut = check_expander(net3, 0, core::Params::paper(),
+                                  exact_diameter(bottleneck), 2.0, options);
+  EXPECT_FALSE(cut.is_expander) << "tau=" << cut.tau;
+}
+
+TEST(Mixing, RejectsBadOptions) {
+  const Graph g = gen::complete(4);
+  Network net(g, 1);
+  MixingOptions options;
+  options.bucket_ratio = 1.0;
+  EXPECT_THROW(
+      estimate_mixing_time(net, 0, core::Params::paper(), 1, options),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drw::apps

@@ -1,0 +1,239 @@
+#include "congest/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace drw::congest {
+namespace {
+
+/// Sends one token back and forth `hops` times between the ends of an edge.
+class PingPong final : public Protocol {
+ public:
+  explicit PingPong(std::uint64_t hops) : remaining_(hops) {}
+  void on_round(Context& ctx) override {
+    if (ctx.round() == 0) {
+      if (ctx.self() == 0 && remaining_ > 0) {
+        ctx.send(0, Message{1, {remaining_ - 1, 0, 0, 0}});
+      }
+      return;
+    }
+    for (const Delivery& d : ctx.inbox()) {
+      if (d.msg.f[0] > 0) {
+        ctx.send(ctx.slot_of(d.from), Message{1, {d.msg.f[0] - 1, 0, 0, 0}});
+      } else {
+        finished_ = true;
+      }
+    }
+  }
+  bool finished_ = false;
+  std::uint64_t remaining_;
+};
+
+TEST(Network, PingPongRoundCount) {
+  const Graph g = gen::path(2);
+  Network net(g, 1);
+  PingPong protocol(5);
+  const RunStats stats = net.run(protocol);
+  EXPECT_TRUE(protocol.finished_);
+  // Each hop is one CONGEST round (compute + send + delivery).
+  EXPECT_EQ(stats.rounds, 5u);
+  EXPECT_EQ(stats.messages, 5u);
+  EXPECT_EQ(stats.max_backlog, 1u);
+}
+
+TEST(Network, DoNothingProtocolCostsZeroRounds) {
+  const Graph g = gen::cycle(5);
+  Network net(g, 1);
+  class Idle final : public Protocol {
+    void on_round(Context&) override {}
+  } idle;
+  const RunStats stats = net.run(idle);
+  EXPECT_EQ(stats.rounds, 0u);
+  EXPECT_EQ(stats.messages, 0u);
+}
+
+/// Node 0 sends `count` messages to the same neighbor in round 0; the edge
+/// can deliver only one per round, so the backlog drains over `count` rounds.
+class Burst final : public Protocol {
+ public:
+  explicit Burst(std::uint64_t count) : count_(count) {}
+  void on_round(Context& ctx) override {
+    if (ctx.round() == 0 && ctx.self() == 0) {
+      for (std::uint64_t i = 0; i < count_; ++i) {
+        ctx.send(0, Message{1, {i, 0, 0, 0}});
+      }
+    }
+    received_ += (ctx.self() != 0) ? ctx.inbox().size() : 0;
+  }
+  std::uint64_t count_;
+  std::uint64_t received_ = 0;
+};
+
+TEST(Network, CongestionCostsRounds) {
+  const Graph g = gen::path(2);
+  Network net(g, 1);
+  Burst protocol(10);
+  const RunStats stats = net.run(protocol);
+  EXPECT_EQ(protocol.received_, 10u);
+  // One message per edge per round: 10 transmission rounds.
+  EXPECT_EQ(stats.rounds, 10u);
+  EXPECT_EQ(stats.max_backlog, 10u);
+}
+
+TEST(Network, ParallelEdgesDoNotCongest) {
+  // A star center sending one message per spoke uses one round of delivery.
+  const Graph g = gen::star(9);
+  Network net(g, 1);
+  class Scatter final : public Protocol {
+   public:
+    void on_round(Context& ctx) override {
+      if (ctx.round() == 0 && ctx.self() == 0) {
+        for (std::uint32_t slot = 0; slot < ctx.degree(); ++slot) {
+          ctx.send(slot, Message{1, {slot, 0, 0, 0}});
+        }
+      }
+      if (ctx.self() != 0) received_ += ctx.inbox().size();
+    }
+    std::uint64_t received_ = 0;
+  } protocol;
+  const RunStats stats = net.run(protocol);
+  EXPECT_EQ(protocol.received_, 8u);
+  EXPECT_EQ(stats.rounds, 1u);
+  EXPECT_EQ(stats.max_backlog, 1u);
+}
+
+TEST(Network, WakeOnlyRoundsCount) {
+  const Graph g = gen::path(3);
+  Network net(g, 1);
+  class Sleeper final : public Protocol {
+   public:
+    void on_round(Context& ctx) override {
+      if (ctx.self() != 1) return;
+      if (wakes_ < 4) {
+        ++wakes_;
+        ctx.wake_me();
+      }
+    }
+    int wakes_ = 0;
+  } protocol;
+  const RunStats stats = net.run(protocol);
+  EXPECT_EQ(protocol.wakes_, 4);
+  // Wakes scheduled in rounds 0..3, firing in rounds 1..4.
+  EXPECT_EQ(stats.rounds, 4u);
+}
+
+TEST(Network, DeterministicAcrossIdenticalRuns) {
+  const Graph g = gen::cycle(8);
+  class RandomHops final : public Protocol {
+   public:
+    void on_round(Context& ctx) override {
+      if (ctx.round() == 0 && ctx.self() == 0) {
+        ctx.send(static_cast<std::uint32_t>(ctx.rng().next_below(2)),
+                 Message{1, {20, 0, 0, 0}});
+        return;
+      }
+      for (const Delivery& d : ctx.inbox()) {
+        if (d.msg.f[0] == 0) {
+          last_ = ctx.self();
+          continue;
+        }
+        ctx.send(static_cast<std::uint32_t>(ctx.rng().next_below(2)),
+                 Message{1, {d.msg.f[0] - 1, 0, 0, 0}});
+      }
+    }
+    NodeId last_ = kInvalidNode;
+  };
+  Network net1(g, 99);
+  Network net2(g, 99);
+  RandomHops p1;
+  RandomHops p2;
+  const RunStats s1 = net1.run(p1);
+  const RunStats s2 = net2.run(p2);
+  EXPECT_EQ(p1.last_, p2.last_);
+  EXPECT_EQ(s1.rounds, s2.rounds);
+  EXPECT_EQ(s1.messages, s2.messages);
+}
+
+TEST(Network, MaxRoundsGuardThrows) {
+  const Graph g = gen::path(2);
+  Network net(g, 1);
+  class Forever final : public Protocol {
+   public:
+    void on_round(Context& ctx) override {
+      if (ctx.round() == 0 && ctx.self() == 0) {
+        ctx.send(0, Message{});
+        return;
+      }
+      for (const Delivery& d : ctx.inbox()) {
+        ctx.send(ctx.slot_of(d.from), Message{});
+      }
+    }
+  } protocol;
+  EXPECT_THROW(net.run(protocol, 100), std::runtime_error);
+}
+
+TEST(Network, SendToNonNeighborThrows) {
+  const Graph g = gen::path(3);
+  Network net(g, 1);
+  class Bad final : public Protocol {
+   public:
+    void on_round(Context& ctx) override {
+      if (ctx.round() == 0 && ctx.self() == 0) {
+        ctx.send_to(2, Message{});  // 0 and 2 are not adjacent on a path
+      }
+    }
+  } protocol;
+  EXPECT_THROW(net.run(protocol), std::logic_error);
+}
+
+TEST(Network, DoneStopsEarlyAndStateResets) {
+  const Graph g = gen::path(2);
+  Network net(g, 1);
+  class StopEarly final : public Protocol {
+   public:
+    void on_round(Context& ctx) override {
+      if (ctx.round() == 0 && ctx.self() == 0) {
+        // Queue junk that would take many rounds to drain.
+        for (int i = 0; i < 50; ++i) ctx.send(0, Message{});
+        done_ = true;
+      }
+    }
+    bool done() const override { return done_; }
+    bool done_ = false;
+  } protocol;
+  const RunStats stats = net.run(protocol);
+  EXPECT_LE(stats.rounds, 1u);
+
+  // The network must be reusable with a clean slate afterwards.
+  PingPong fresh(3);
+  const RunStats stats2 = net.run(fresh);
+  EXPECT_TRUE(fresh.finished_);
+  EXPECT_EQ(stats2.messages, 3u);
+}
+
+TEST(Network, DeliveryIdentifiesSender) {
+  const Graph g = gen::cycle(4);
+  Network net(g, 1);
+  class Check final : public Protocol {
+   public:
+    void on_round(Context& ctx) override {
+      if (ctx.round() == 0) {
+        for (std::uint32_t slot = 0; slot < ctx.degree(); ++slot) {
+          ctx.send(slot, Message{1, {ctx.self(), 0, 0, 0}});
+        }
+        return;
+      }
+      for (const Delivery& d : ctx.inbox()) {
+        EXPECT_EQ(d.from, static_cast<NodeId>(d.msg.f[0]));
+        ++checked_;
+      }
+    }
+    int checked_ = 0;
+  } protocol;
+  net.run(protocol);
+  EXPECT_EQ(protocol.checked_, 8);
+}
+
+}  // namespace
+}  // namespace drw::congest

@@ -1,0 +1,127 @@
+#include "apps/pagerank.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "congest/network.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+
+namespace drw::apps {
+namespace {
+
+using congest::Network;
+
+TEST(PageRankReference, IsAFixedPoint) {
+  Rng rng(3);
+  const Graph g = gen::random_geometric(40, 0.3, rng);
+  const auto pr = pagerank_reference(g, 0.15);
+  EXPECT_NEAR(std::accumulate(pr.begin(), pr.end(), 0.0), 1.0, 1e-9);
+  // One more damped iteration must not move it.
+  std::vector<double> next(g.node_count(),
+                           0.15 / static_cast<double>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const double share = 0.85 * pr[v] / g.degree(v);
+    for (NodeId u : g.neighbors(v)) next[u] += share;
+  }
+  EXPECT_LT(l1_distance(pr, next), 1e-9);
+}
+
+TEST(PageRankReference, HubOutranksLeavesOnStar) {
+  const Graph g = gen::star(9);
+  const auto pr = pagerank_reference(g, 0.15);
+  for (NodeId leaf = 1; leaf < 9; ++leaf) EXPECT_GT(pr[0], pr[leaf]);
+}
+
+TEST(PersonalizedReference, SumsToOneAndFavoursTheSource) {
+  const Graph g = gen::grid(4, 4);
+  const auto ppr = personalized_pagerank_reference(g, 5, 0.2);
+  EXPECT_NEAR(std::accumulate(ppr.begin(), ppr.end(), 0.0), 1.0, 1e-6);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (v != 5) {
+      EXPECT_GT(ppr[5], ppr[v]);
+    }
+  }
+}
+
+TEST(DistributedPageRank, MatchesReferenceOnIrregularGraph) {
+  Rng rng(7);
+  const Graph g = gen::random_geometric(48, 0.3, rng);
+  const auto reference = pagerank_reference(g, 0.15);
+
+  Network net(g, 11);
+  PageRankOptions options;
+  options.tokens_per_node = 400;
+  const PageRankResult result = estimate_pagerank(net, options);
+  EXPECT_NEAR(std::accumulate(result.scores.begin(), result.scores.end(),
+                              0.0),
+              1.0, 1e-9);
+  EXPECT_LT(tv_distance(result.scores, reference), 0.05);
+}
+
+TEST(DistributedPageRank, AggregationKeepsRoundsIndependentOfTokens) {
+  // The anonymous-count trick: 10x the tokens must not change the round
+  // count (one message per edge per round; length capped by the geometric
+  // tail bound, which only grows logarithmically).
+  const Graph g = gen::torus(6, 6);
+  PageRankOptions small;
+  small.tokens_per_node = 50;
+  PageRankOptions large;
+  large.tokens_per_node = 5000;
+  Network net1(g, 13);
+  Network net2(g, 13);
+  const auto a = estimate_pagerank(net1, small);
+  const auto b = estimate_pagerank(net2, large);
+  EXPECT_LE(a.stats.max_backlog, 1u);
+  EXPECT_LE(b.stats.max_backlog, 1u);
+  EXPECT_LE(b.stats.rounds, a.stats.rounds + 40u);
+}
+
+TEST(DistributedPageRank, TokenConservation) {
+  const Graph g = gen::cycle(9);
+  Network net(g, 17);
+  PageRankOptions options;
+  options.tokens_per_node = 77;
+  const auto result = estimate_pagerank(net, options);
+  std::uint64_t tallied = 0;
+  for (auto t : result.tallies) tallied += t;
+  EXPECT_EQ(tallied, result.total_tokens);
+  EXPECT_EQ(result.total_tokens, 77u * 9u);
+}
+
+TEST(DistributedPersonalized, MatchesClosedFormMixture) {
+  const Graph g = gen::lollipop(5, 4);
+  const auto reference = personalized_pagerank_reference(g, 0, 0.2);
+  Network net(g, 19);
+  PageRankOptions options;
+  options.alpha = 0.2;
+  const auto result =
+      estimate_personalized_pagerank(net, 0, 60000, options);
+  EXPECT_LT(tv_distance(result.scores, reference), 0.03);
+}
+
+TEST(DistributedPageRank, RejectsBadAlpha) {
+  const Graph g = gen::cycle(4);
+  Network net(g, 1);
+  PageRankOptions options;
+  options.alpha = 1.5;
+  EXPECT_THROW(estimate_pagerank(net, options), std::invalid_argument);
+  options.alpha = 0.0;
+  EXPECT_THROW(estimate_pagerank(net, options), std::invalid_argument);
+}
+
+TEST(DistributedPageRank, DeterministicPerSeed) {
+  const Graph g = gen::grid(3, 3);
+  PageRankOptions options;
+  options.tokens_per_node = 100;
+  Network net1(g, 21);
+  Network net2(g, 21);
+  const auto a = estimate_pagerank(net1, options);
+  const auto b = estimate_pagerank(net2, options);
+  EXPECT_EQ(a.tallies, b.tallies);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+}
+
+}  // namespace
+}  // namespace drw::apps

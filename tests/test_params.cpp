@@ -1,0 +1,89 @@
+#include "core/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace drw::core {
+namespace {
+
+TEST(Params, PaperLambdaIsSqrtLD) {
+  const Params p = Params::paper();
+  EXPECT_EQ(p.lambda_single(400, 4, 100), 40u);   // sqrt(400*4) = 40
+  EXPECT_EQ(p.lambda_single(100, 1, 100), 10u);
+  EXPECT_EQ(p.lambda_single(0, 4, 100), 1u);      // clamped to >= 1
+}
+
+TEST(Params, LambdaScaleMultiplies) {
+  Params p = Params::paper();
+  p.lambda_scale = 2.0;
+  EXPECT_EQ(p.lambda_single(400, 4, 100), 80u);
+}
+
+TEST(Params, TheoryConstantsBlowUp) {
+  Params p = Params::paper();
+  p.theory_constants = true;
+  // 24 * (log2 100)^3 * sqrt(400*4) with log2(100) ~ 6.64.
+  const double expected = 24.0 * std::pow(std::log2(100.0), 3.0) * 40.0;
+  EXPECT_NEAR(static_cast<double>(p.lambda_single(400, 4, 100)), expected,
+              expected * 0.01);
+}
+
+TEST(Params, Podc09LambdaIsCubeRootForm) {
+  const Params p = Params::podc09();
+  // l^{1/3} D^{2/3} = 8^{1/3} * 8^{2/3} / ... use l=1000, D=8: 10 * 4 = 40.
+  EXPECT_EQ(p.lambda_single(1000, 8, 100), 40u);
+}
+
+TEST(Params, LambdaOverrideWins) {
+  Params p = Params::paper();
+  p.lambda_override = 7;
+  EXPECT_EQ(p.lambda_single(1u << 20, 64, 100), 7u);
+  EXPECT_EQ(p.lambda_many(16, 1u << 20, 64, 100), 7u);
+}
+
+TEST(Params, ManyLambdaGrowsWithK) {
+  const Params p = Params::paper();
+  const auto k1 = p.lambda_many(1, 1024, 4, 100);
+  const auto k16 = p.lambda_many(16, 1024, 4, 100);
+  EXPECT_GT(k16, k1);
+  // Practical preset: sqrt(k*l*D + 1) + k.
+  EXPECT_EQ(k16, static_cast<std::uint32_t>(
+                     std::llround(std::sqrt(16.0 * 1024 * 4 + 1) + 16)));
+}
+
+TEST(Params, WalksPerNodeDegreeProportionalForPaper) {
+  const Params paper = Params::paper();
+  EXPECT_EQ(paper.walks_per_node(5, 1000, 8), 5u);
+  EXPECT_EQ(paper.walks_per_node(1, 1000, 8), 1u);
+  // PODC'09: flat eta_09 = (l / D)^{1/3} per node; (1000/8)^{1/3} = 5.
+  const Params old = Params::podc09();
+  EXPECT_EQ(old.walks_per_node(5, 1000, 8), 5u);
+  EXPECT_EQ(old.walks_per_node(1, 1000, 8), 5u);  // degree-independent
+}
+
+TEST(Params, EtaScalesWalksPerNode) {
+  Params p = Params::paper();
+  p.eta = 2.0;
+  EXPECT_EQ(p.walks_per_node(3, 100, 4), 6u);
+  Params q = Params::podc09();
+  q.eta = 4.0;
+  // 4 * (1000/8)^{1/3} = 20.
+  EXPECT_EQ(q.walks_per_node(3, 1000, 8), 20u);
+}
+
+TEST(Params, GetMoreWalksCount) {
+  const Params paper = Params::paper();
+  EXPECT_EQ(paper.get_more_walks_count(100, 10, 4), 10u);  // floor(l/lambda)
+  EXPECT_EQ(paper.get_more_walks_count(5, 10, 4), 1u);     // clamped >= 1
+  Params old = Params::podc09();
+  EXPECT_EQ(old.get_more_walks_count(1000, 10, 8), 5u);    // eta_09 walks
+}
+
+TEST(Params, PresetsDifferInRandomLengths) {
+  EXPECT_TRUE(Params::paper().random_lengths);
+  EXPECT_FALSE(Params::podc09().random_lengths);
+}
+
+}  // namespace
+}  // namespace drw::core

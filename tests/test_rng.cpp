@@ -1,0 +1,150 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace drw {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.next_in(-5, 5);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_in(3, 3), 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBoolExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, NextBoolMatchesProbability) {
+  Rng rng(19);
+  int heads = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) heads += rng.next_bool(0.3);
+  EXPECT_NEAR(static_cast<double>(heads) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, UniformityChiSquare) {
+  Rng rng(23);
+  const std::uint64_t cells = 16;
+  std::vector<std::uint64_t> counts(cells, 0);
+  for (int i = 0; i < 160000; ++i) ++counts[rng.next_below(cells)];
+  const std::vector<double> expected(cells, 1.0 / cells);
+  const auto result = chi_square_test(counts, expected);
+  EXPECT_GT(result.p_value, 1e-4);
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Rng parent(31);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (child1() == child2());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SplitKeyIsStableAndKeyed) {
+  const Rng parent(37);
+  Rng a1 = parent.split_key(5);
+  Rng a2 = parent.split_key(5);
+  Rng b = parent.split_key(6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a1(), a2());
+  Rng a3 = parent.split_key(5);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a3() == b());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, PickWeightedRespectsWeights) {
+  Rng rng(41);
+  const std::vector<double> weights{1.0, 3.0, 0.0, 6.0};
+  std::vector<std::uint64_t> counts(4, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.pick_weighted(weights)];
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / trials, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / trials, 0.3, 0.015);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / trials, 0.6, 0.015);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(43);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), shuffled.begin()));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(v, shuffled);
+}
+
+TEST(Rng, ShuffleUniformOverSmallPermutations) {
+  // All 6 permutations of 3 elements should appear ~uniformly.
+  Rng rng(47);
+  std::map<std::array<int, 3>, std::uint64_t> hist;
+  const int trials = 60000;
+  for (int i = 0; i < trials; ++i) {
+    std::vector<int> v{0, 1, 2};
+    rng.shuffle(v);
+    ++hist[{v[0], v[1], v[2]}];
+  }
+  ASSERT_EQ(hist.size(), 6u);
+  std::vector<std::uint64_t> counts;
+  for (const auto& [perm, count] : hist) counts.push_back(count);
+  const std::vector<double> expected(6, 1.0 / 6.0);
+  const auto result = chi_square_test(counts, expected);
+  EXPECT_GT(result.p_value, 1e-4);
+}
+
+}  // namespace
+}  // namespace drw

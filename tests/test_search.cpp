@@ -1,0 +1,107 @@
+#include "apps/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "congest/network.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace drw::apps {
+namespace {
+
+using congest::Network;
+
+std::vector<std::vector<std::uint64_t>> empty_stores(std::size_t n) {
+  return std::vector<std::vector<std::uint64_t>>(n);
+}
+
+TEST(Search, FindsAWellReplicatedItem) {
+  Rng rng(3);
+  const Graph g = gen::random_regular(64, 4, rng);
+  const std::uint32_t diameter = exact_diameter(g);
+  auto replicas = empty_stores(g.node_count());
+  // Replicate key 777 on ~1/8 of the nodes.
+  for (NodeId v = 0; v < g.node_count(); v += 8) replicas[v].push_back(777);
+
+  Network net(g, 5);
+  const SearchResult result = random_walk_search(
+      net, 1, 777, replicas, core::Params::paper(), diameter);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.holder % 8, 0u);
+  EXPECT_FALSE(replicas[result.holder].empty());
+  EXPECT_GT(result.stats.rounds, 0u);
+}
+
+TEST(Search, MissingItemReportsNotFound) {
+  const Graph g = gen::torus(5, 5);
+  auto replicas = empty_stores(g.node_count());
+  replicas[7].push_back(42);  // a different key exists
+  Network net(g, 7);
+  const SearchResult result = random_walk_search(
+      net, 0, 999, replicas, core::Params::paper(), 5);
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(result.holder, kInvalidNode);
+}
+
+TEST(Search, FirstHitStepIsMinimalOverHolders) {
+  // Key on the source itself: hit at step 0 of some walk.
+  const Graph g = gen::grid(4, 4);
+  auto replicas = empty_stores(g.node_count());
+  replicas[5].push_back(11);
+  Network net(g, 9);
+  const SearchResult result = random_walk_search(
+      net, 5, 11, replicas, core::Params::paper(), 6);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.holder, 5u);
+  EXPECT_EQ(result.first_hit_step, 0u);
+}
+
+TEST(Search, MoreWalksImproveHitProbabilityForRareItems) {
+  Rng rng(11);
+  const Graph g = gen::random_regular(96, 4, rng);
+  const std::uint32_t diameter = exact_diameter(g);
+  auto replicas = empty_stores(g.node_count());
+  replicas[50].push_back(1234);  // single replica
+
+  int hits_few = 0;
+  int hits_many = 0;
+  const int trials = 12;
+  for (int t = 0; t < trials; ++t) {
+    SearchOptions few;
+    few.walks = 1;
+    few.walk_length = 96;
+    Network net1(g, 100 + t);
+    hits_few += random_walk_search(net1, 0, 1234, replicas,
+                                   core::Params::paper(), diameter, few)
+                    .found;
+    SearchOptions many;
+    many.walks = 16;
+    many.walk_length = 96;
+    Network net2(g, 100 + t);
+    hits_many += random_walk_search(net2, 0, 1234, replicas,
+                                    core::Params::paper(), diameter, many)
+                     .found;
+  }
+  EXPECT_GE(hits_many, hits_few);
+  EXPECT_GT(hits_many, trials / 2);
+}
+
+TEST(Search, WalkRoundsBeatNaiveForLongSearches) {
+  Rng rng(13);
+  const Graph g = gen::random_regular(128, 4, rng);
+  const std::uint32_t diameter = exact_diameter(g);
+  auto replicas = empty_stores(g.node_count());
+  replicas[99].push_back(5);
+  Network net(g, 15);
+  SearchOptions options;
+  options.walks = 4;
+  options.walk_length = 8192;
+  const SearchResult result = random_walk_search(
+      net, 0, 5, replicas, core::Params::paper(), diameter, options);
+  EXPECT_TRUE(result.found);
+  // k naive walks of length l would serialize to >= l rounds.
+  EXPECT_LT(result.walk_rounds, 8192u);
+}
+
+}  // namespace
+}  // namespace drw::apps

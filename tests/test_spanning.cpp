@@ -1,0 +1,92 @@
+#include "graph/spanning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace drw {
+namespace {
+
+TEST(MatrixTree, KnownCounts) {
+  // Cayley: K_n has n^{n-2} spanning trees.
+  EXPECT_NEAR(count_spanning_trees(gen::complete(4)), 16.0, 1e-6);
+  EXPECT_NEAR(count_spanning_trees(gen::complete(5)), 125.0, 1e-6);
+  // A cycle has n spanning trees, a tree exactly one.
+  EXPECT_NEAR(count_spanning_trees(gen::cycle(7)), 7.0, 1e-9);
+  EXPECT_NEAR(count_spanning_trees(gen::path(6)), 1.0, 1e-9);
+  EXPECT_NEAR(count_spanning_trees(gen::star(8)), 1.0, 1e-9);
+}
+
+TEST(MatrixTree, CompleteBipartiteK23) {
+  // K_{m,n} has m^{n-1} n^{m-1} spanning trees; K_{2,3} -> 2^2 * 3^1 = 12.
+  GraphBuilder b(5);
+  for (NodeId left : {0, 1}) {
+    for (NodeId right : {2, 3, 4}) b.add_edge(left, right);
+  }
+  EXPECT_NEAR(count_spanning_trees(b.build()), 12.0, 1e-6);
+}
+
+TEST(SpanningTree, FromBfsParentsIsValid) {
+  Rng rng(21);
+  const Graph g = gen::erdos_renyi_connected(30, 0.12, rng);
+  const auto parent = bfs_parents(g, 0);
+  const SpanningTree tree = tree_from_parents(g, parent);
+  EXPECT_EQ(tree.edges.size(), g.node_count() - 1);
+  EXPECT_TRUE(is_spanning_tree(g, tree));
+}
+
+TEST(SpanningTree, CanonicalKeyDistinguishesTrees) {
+  const Graph g = gen::cycle(4);
+  SpanningTree a;
+  a.edges = {{0, 1}, {1, 2}, {2, 3}};
+  SpanningTree b;
+  b.edges = {{0, 1}, {0, 3}, {1, 2}};
+  EXPECT_NE(a.canonical_key(), b.canonical_key());
+  EXPECT_EQ(a.canonical_key(), SpanningTree{a}.canonical_key());
+}
+
+TEST(SpanningTree, DetectsNonTrees) {
+  const Graph g = gen::complete(4);
+  SpanningTree cycle3;
+  cycle3.edges = {{0, 1}, {1, 2}, {0, 2}};
+  EXPECT_FALSE(is_spanning_tree(g, cycle3));  // cycle, misses node 3
+  SpanningTree too_few;
+  too_few.edges = {{0, 1}, {2, 3}};
+  EXPECT_FALSE(is_spanning_tree(g, too_few));
+  SpanningTree not_in_graph;
+  not_in_graph.edges = {{0, 1}, {1, 2}, {2, 3}};
+  const Graph p = gen::path(4);
+  SpanningTree uses_missing_edge;
+  uses_missing_edge.edges = {{0, 1}, {1, 2}, {0, 3}};
+  EXPECT_FALSE(is_spanning_tree(p, uses_missing_edge));
+}
+
+TEST(SpanningTree, TreeFromParentsRejectsBadInput) {
+  const Graph g = gen::path(4);
+  std::vector<NodeId> two_roots{0, 1, 1, 2};
+  two_roots[1] = 1;  // second root
+  EXPECT_THROW(tree_from_parents(g, two_roots), std::invalid_argument);
+  std::vector<NodeId> wrong_size{0, 0};
+  EXPECT_THROW(tree_from_parents(g, wrong_size), std::invalid_argument);
+  std::vector<NodeId> non_edge_parent{0, 0, 0, 0};  // (3,0) not an edge
+  EXPECT_THROW(tree_from_parents(g, non_edge_parent), std::invalid_argument);
+}
+
+TEST(MatrixTree, ThrowsOnTinyGraphs) {
+  GraphBuilder b(1);
+  EXPECT_THROW(count_spanning_trees(b.build()), std::invalid_argument);
+}
+
+TEST(MatrixTree, DisconnectedGraphHasZeroTrees) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  EXPECT_NEAR(count_spanning_trees(b.build()), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace drw

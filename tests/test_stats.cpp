@@ -1,0 +1,118 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace drw {
+namespace {
+
+TEST(RunningStats, ExactMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValueHasZeroVariance) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.5);
+  EXPECT_THROW(percentile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Distances, L1AndTv) {
+  const std::vector<double> a{0.5, 0.5, 0.0};
+  const std::vector<double> b{0.25, 0.25, 0.5};
+  EXPECT_DOUBLE_EQ(l1_distance(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(tv_distance(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(l1_distance(a, a), 0.0);
+}
+
+TEST(Gamma, KnownValues) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.1, 0.5, 1.0, 2.0, 10.0}) {
+    EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-10);
+  }
+  // P(1/2, x) = erf(sqrt(x)).
+  for (double x : {0.25, 1.0, 4.0}) {
+    EXPECT_NEAR(regularized_gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-10);
+  }
+  EXPECT_DOUBLE_EQ(regularized_gamma_p(3.0, 0.0), 0.0);
+  EXPECT_THROW(regularized_gamma_p(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(regularized_gamma_p(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(ChiSquare, UniformSamplePasses) {
+  // Perfectly balanced counts give statistic 0 and p-value 1.
+  const std::vector<std::uint64_t> obs{100, 100, 100, 100};
+  const std::vector<double> probs{0.25, 0.25, 0.25, 0.25};
+  const auto result = chi_square_test(obs, probs);
+  EXPECT_DOUBLE_EQ(result.statistic, 0.0);
+  EXPECT_EQ(result.dof, 3u);
+  EXPECT_NEAR(result.p_value, 1.0, 1e-12);
+}
+
+TEST(ChiSquare, GrossMismatchFails) {
+  const std::vector<std::uint64_t> obs{400, 0, 0, 0};
+  const std::vector<double> probs{0.25, 0.25, 0.25, 0.25};
+  const auto result = chi_square_test(obs, probs);
+  EXPECT_LT(result.p_value, 1e-10);
+}
+
+TEST(ChiSquare, PoolsSparseCells) {
+  // Cells with tiny expectation get pooled; dof shrinks accordingly.
+  const std::vector<std::uint64_t> obs{50, 50, 1, 0, 0};
+  const std::vector<double> probs{0.5, 0.49, 0.005, 0.0025, 0.0025};
+  const auto result = chi_square_test(obs, probs, 5.0);
+  EXPECT_LE(result.dof, 2u);
+  EXPECT_GT(result.p_value, 0.0);
+}
+
+TEST(ChiSquare, KnownStatisticValue) {
+  // obs {60, 40} vs fair coin with 100 samples: chi2 = (10^2/50)*2 = 4.
+  const std::vector<std::uint64_t> obs{60, 40};
+  const std::vector<double> probs{0.5, 0.5};
+  const auto result = chi_square_test(obs, probs);
+  EXPECT_NEAR(result.statistic, 4.0, 1e-12);
+  EXPECT_EQ(result.dof, 1u);
+  // p-value for chi2(1) at 4.0 is ~0.0455.
+  EXPECT_NEAR(result.p_value, 0.0455, 0.001);
+}
+
+TEST(LogLogSlope, RecoversExactExponent) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (double v : {1.0, 2.0, 4.0, 8.0, 16.0, 64.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, 0.5));
+  }
+  EXPECT_NEAR(log_log_slope(x, y), 0.5, 1e-12);
+}
+
+TEST(LogLogSlope, IgnoresNonPositivePoints) {
+  const std::vector<double> x{0.0, 1.0, 2.0, 4.0};
+  const std::vector<double> y{5.0, 1.0, 2.0, 4.0};
+  EXPECT_NEAR(log_log_slope(x, y), 1.0, 1e-12);
+}
+
+TEST(LogLogSlope, ThrowsOnDegenerateInput) {
+  const std::vector<double> x{1.0};
+  const std::vector<double> y{1.0};
+  EXPECT_THROW(log_log_slope(x, y), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drw

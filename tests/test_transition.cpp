@@ -1,0 +1,224 @@
+// Transition models beyond the simple walk (Section 1.3's generalization):
+// lazy chain and Metropolis-Hastings toward the uniform distribution, both
+// in the oracle and distributed (naive + stitched) -- including the key
+// property that the stitched algorithm stays an exact sampler under every
+// supported chain.
+#include <gtest/gtest.h>
+
+#include "apps/mixing.hpp"
+#include "congest/network.hpp"
+#include "core/random_walks.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/markov.hpp"
+#include "graph/transition.hpp"
+#include "util/stats.hpp"
+
+namespace drw {
+namespace {
+
+using congest::Network;
+
+TEST(SampleStep, SimpleIsUniformOverNeighbors) {
+  const Graph g = gen::star(5);
+  Rng rng(3);
+  std::vector<std::uint64_t> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) {
+    const auto slot = sample_step(rng, g, 0, TransitionModel::kSimple);
+    ASSERT_LT(slot, 4u);
+    ++counts[slot];
+  }
+  const std::vector<double> expected(4, 0.25);
+  EXPECT_GT(chi_square_test(counts, expected).p_value, 1e-4);
+}
+
+TEST(SampleStep, LazyStaysHalfTheTime) {
+  const Graph g = gen::cycle(6);
+  Rng rng(5);
+  int stays = 0;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    stays += (sample_step(rng, g, 0, TransitionModel::kLazy) ==
+              kStaySlot);
+  }
+  EXPECT_NEAR(static_cast<double>(stays) / trials, 0.5, 0.02);
+}
+
+TEST(SampleStep, MetropolisAcceptsDowhillAlways) {
+  // From a leaf of the star (degree 1) toward the hub (degree 4): accept
+  // probability d(v)/d(u) = 1/4; the rest stays.
+  const Graph g = gen::star(5);
+  Rng rng(7);
+  int stays = 0;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    stays += (sample_step(rng, g, 1, TransitionModel::kMetropolisUniform) ==
+              kStaySlot);
+  }
+  EXPECT_NEAR(static_cast<double>(stays) / trials, 0.75, 0.02);
+}
+
+TEST(Oracle, MetropolisStationaryIsUniform) {
+  const Graph g = gen::star(6);  // heavily degree-skewed
+  const MarkovOracle oracle(g, TransitionModel::kMetropolisUniform);
+  const auto pi = oracle.stationary();
+  for (double p : pi) EXPECT_NEAR(p, 1.0 / 6.0, 1e-12);
+  // And uniform really is a fixed point of the MH kernel.
+  EXPECT_LT(l1_distance(pi, oracle.step(pi)), 1e-12);
+}
+
+TEST(Oracle, MetropolisRowsAreStochastic) {
+  Rng rng(9);
+  const Graph g = gen::random_geometric(20, 0.4, rng);
+  const MarkovOracle oracle(g, TransitionModel::kMetropolisUniform);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    std::vector<double> e(g.node_count(), 0.0);
+    e[v] = 1.0;
+    const auto row = oracle.step(e);
+    double sum = 0.0;
+    for (double p : row) {
+      EXPECT_GE(p, -1e-15);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Oracle, LazyChainMixesOnBipartiteGraphs) {
+  const Graph g = gen::cycle(8);  // bipartite
+  const MarkovOracle lazy(g, TransitionModel::kLazy);
+  EXPECT_TRUE(lazy.mixing_time_standard(0, 10000).has_value());
+  const MarkovOracle mh(g, TransitionModel::kMetropolisUniform);
+  // MH on a regular graph keeps period... no: regular MH accepts always and
+  // has no self-loops, so the even cycle stays periodic under MH.
+  EXPECT_FALSE(mh.mixing_time_standard(0, 10000).has_value());
+}
+
+TEST(NaiveWalk, LazyEndpointDistributionExact) {
+  const Graph g = gen::cycle(6);
+  const MarkovOracle oracle(g, TransitionModel::kLazy);
+  const std::uint64_t l = 6;
+  const auto expected = oracle.distribution_after(0, l);
+  std::vector<std::uint64_t> counts(g.node_count(), 0);
+  const int runs = 3000;
+  for (int run = 0; run < runs; ++run) {
+    Network net(g, 40000 + run);
+    ++counts[core::naive_random_walk(net, 0, l, TransitionModel::kLazy)
+                 .destination];
+  }
+  EXPECT_GT(chi_square_test(counts, expected).p_value, 1e-4);
+}
+
+TEST(NaiveWalk, MetropolisEndpointDistributionExact) {
+  const Graph g = gen::lollipop(4, 2);  // strong degree skew
+  const MarkovOracle oracle(g, TransitionModel::kMetropolisUniform);
+  const std::uint64_t l = 8;
+  const auto expected = oracle.distribution_after(5, l);
+  std::vector<std::uint64_t> counts(g.node_count(), 0);
+  const int runs = 3000;
+  for (int run = 0; run < runs; ++run) {
+    Network net(g, 50000 + run);
+    ++counts[core::naive_random_walk(
+                 net, 5, l, TransitionModel::kMetropolisUniform)
+                 .destination];
+  }
+  EXPECT_GT(chi_square_test(counts, expected).p_value, 1e-4);
+}
+
+TEST(NaiveWalk, LazyCostsOneRoundPerStep) {
+  // Self-loop steps consume rounds (synchronous model) but no messages.
+  const Graph g = gen::cycle(8);
+  Network net(g, 11);
+  const auto result =
+      core::naive_random_walk(net, 0, 100, TransitionModel::kLazy);
+  EXPECT_EQ(result.stats.rounds, 100u);
+  EXPECT_LT(result.stats.messages, 100u);  // ~half the steps are stays
+  EXPECT_GT(result.stats.messages, 20u);
+}
+
+struct StitchedModelCase {
+  const char* name;
+  TransitionModel model;
+};
+
+class StitchedModel : public ::testing::TestWithParam<int> {};
+
+TEST_P(StitchedModel, StitchedWalkStaysAnExactSampler) {
+  const TransitionModel model =
+      GetParam() == 0 ? TransitionModel::kLazy
+                      : TransitionModel::kMetropolisUniform;
+  const Graph g = gen::lollipop(4, 2);
+  const MarkovOracle oracle(g, model);
+  const std::uint64_t l = 9;
+  const auto expected = oracle.distribution_after(0, l);
+
+  core::Params params = core::Params::paper();
+  params.transition = model;
+  params.lambda_override = 3;  // force stitching + GET-MORE-WALKS
+  const std::uint32_t diameter = exact_diameter(g);
+
+  std::vector<std::uint64_t> counts(g.node_count(), 0);
+  const int runs = 3000;
+  for (int run = 0; run < runs; ++run) {
+    Network net(g, 60000 + run);
+    ++counts[core::single_random_walk(net, 0, l, params, diameter)
+                 .result.destination];
+  }
+  const auto result = chi_square_test(counts, expected);
+  EXPECT_GT(result.p_value, 1e-4) << "chi2=" << result.statistic;
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, StitchedModel, ::testing::Range(0, 2));
+
+TEST(StitchedModel, RegenerationRequiresSimpleWalk) {
+  const Graph g = gen::cycle(5);
+  Network net(g, 1);
+  core::Params params = core::Params::paper();
+  params.transition = TransitionModel::kLazy;
+  params.record_trajectories = true;
+  EXPECT_THROW(core::StitchEngine(net, params, 2), std::invalid_argument);
+}
+
+TEST(Mixing, LazyEstimatorWorksOnBipartiteGraphs) {
+  // The headline payoff: with the lazy chain the decentralized estimator
+  // converges on an even (bipartite) cycle, where the simple walk never
+  // mixes at all.
+  const Graph g = gen::cycle(12);
+  const MarkovOracle oracle(g, TransitionModel::kLazy);
+  const auto exact = oracle.mixing_time_standard(0, 100000);
+  ASSERT_TRUE(exact.has_value());
+
+  core::Params params = core::Params::paper();
+  params.transition = TransitionModel::kLazy;
+  Network net(g, 13);
+  apps::MixingOptions options;
+  options.samples = 600;
+  const auto est = apps::estimate_mixing_time(net, 0, params, 6, options);
+  ASSERT_TRUE(est.converged);
+  EXPECT_GE(est.tau, *exact / 6) << "exact=" << *exact;
+  EXPECT_LE(est.tau, *exact * 6) << "exact=" << *exact;
+}
+
+TEST(Mixing, MetropolisEstimatorUsesUniformTarget) {
+  // On a degree-skewed graph the MH chain targets uniform; the estimator
+  // must converge against that target (all nodes share one bucket, so the
+  // collision statistic carries the test).
+  const Graph g = gen::lollipop(5, 3);
+  const MarkovOracle oracle(g, TransitionModel::kMetropolisUniform);
+  const auto exact = oracle.mixing_time_standard(0, 100000);
+  ASSERT_TRUE(exact.has_value());
+
+  core::Params params = core::Params::paper();
+  params.transition = TransitionModel::kMetropolisUniform;
+  Network net(g, 17);
+  apps::MixingOptions options;
+  options.samples = 500;
+  const auto est = apps::estimate_mixing_time(
+      net, 0, params, exact_diameter(g), options);
+  ASSERT_TRUE(est.converged);
+  EXPECT_GE(est.tau, *exact / 8) << "exact=" << *exact;
+  EXPECT_LE(est.tau, *exact * 8) << "exact=" << *exact;
+}
+
+}  // namespace
+}  // namespace drw

@@ -1,0 +1,151 @@
+// Empirical checks of the paper's two key probabilistic lemmas:
+//   * Lemma 2.6: in an l-step walk, no node x is visited more than
+//     24 d(x) sqrt(l+1) log n + k times (w.h.p.).
+//   * Lemma 2.7: if a node appears t times in the walk, it appears as a
+//     connector at most t (log n)^2 / lambda times (w.h.p.) -- thanks to the
+//     random short-walk lengths; fixed lengths break this on periodic graphs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/random_walks.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace drw::core {
+namespace {
+
+using congest::Network;
+
+/// Counts visits per node of a centrally simulated l-step walk.
+std::vector<std::uint64_t> central_walk_visits(const Graph& g, NodeId source,
+                                               std::uint64_t l, Rng& rng) {
+  std::vector<std::uint64_t> visits(g.node_count(), 0);
+  NodeId at = source;
+  ++visits[at];
+  for (std::uint64_t i = 0; i < l; ++i) {
+    at = g.neighbor(at, static_cast<std::uint32_t>(
+                            rng.next_below(g.degree(at))));
+    ++visits[at];
+  }
+  return visits;
+}
+
+struct VisitCase {
+  const char* name;
+  Graph graph;
+  std::uint64_t l;
+};
+
+class VisitBound : public ::testing::TestWithParam<int> {};
+
+std::vector<VisitCase> visit_cases() {
+  Rng rng(123);
+  std::vector<VisitCase> cases;
+  cases.push_back({"line", gen::path(64), 4096});
+  cases.push_back({"star", gen::star(64), 4096});
+  cases.push_back({"lollipop", gen::lollipop(16, 32), 4096});
+  cases.push_back({"expander", gen::random_regular(64, 4, rng), 4096});
+  cases.push_back({"cycle", gen::cycle(48), 2048});
+  return cases;
+}
+
+TEST_P(VisitBound, Lemma26HoldsOnEveryFamily) {
+  const auto cases = visit_cases();
+  const VisitCase& c = cases[static_cast<std::size_t>(GetParam())];
+  const double logn =
+      std::log2(static_cast<double>(c.graph.node_count()));
+  Rng rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto visits = central_walk_visits(c.graph, 0, c.l, rng);
+    for (NodeId x = 0; x < c.graph.node_count(); ++x) {
+      const double bound =
+          24.0 * c.graph.degree(x) *
+              std::sqrt(static_cast<double>(c.l + 1)) * logn + 1.0;
+      EXPECT_LE(static_cast<double>(visits[x]), bound)
+          << c.name << " node " << x << " visited " << visits[x];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, VisitBound, ::testing::Range(0, 5));
+
+TEST(VisitBound, LineIsNearTight) {
+  // The paper notes the bound is tight on a line: visits to the origin of an
+  // l-step walk on a line scale like sqrt(l), not polylog.
+  const Graph g = gen::path(96);
+  Rng rng(7);
+  double total_sqrt_scaled_small = 0;
+  double total_sqrt_scaled_large = 0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    total_sqrt_scaled_small +=
+        static_cast<double>(central_walk_visits(g, 48, 256, rng)[48]);
+    total_sqrt_scaled_large +=
+        static_cast<double>(central_walk_visits(g, 48, 4096, rng)[48]);
+  }
+  // sqrt(4096/256) = 4: expect the mean visit count to grow ~4x (wide slack).
+  const double ratio = total_sqrt_scaled_large / total_sqrt_scaled_small;
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 8.0);
+}
+
+TEST(ConnectorBound, RandomLengthsSpreadConnectorsOnCycle) {
+  // Lemma 2.7 ablation: on a cycle, fixed lambda-length short walks can
+  // resonate with the graph's period so the same nodes recur as connectors;
+  // random lengths in [lambda, 2 lambda) break the periodicity. We compare
+  // the maximum connector concentration over many runs.
+  const std::size_t n = 24;
+  const Graph g = gen::cycle(n);
+  const std::uint64_t l = 300;
+  const std::uint32_t lambda = 8;
+
+  auto max_connector_visits = [&](bool random_lengths,
+                                  std::uint64_t seed) -> std::uint64_t {
+    Params params = random_lengths ? Params::paper() : Params::podc09();
+    params.lambda_override = lambda;
+    params.eta = 4.0;
+    Network net(g, seed);
+    StitchEngine engine(net, params, static_cast<std::uint32_t>(n / 2));
+    engine.prepare(1, l);
+    const WalkResult result = engine.walk(0, l, 0);
+    (void)result;
+    return engine.max_connector_visits();
+  };
+
+  std::uint64_t fixed_total = 0;
+  std::uint64_t random_total = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    fixed_total += max_connector_visits(false, 500 + t);
+    random_total += max_connector_visits(true, 500 + t);
+  }
+  // Random lengths must not concentrate more than fixed ones do; typically
+  // they concentrate strictly less on the periodic cycle.
+  EXPECT_LE(random_total, fixed_total + trials);
+}
+
+TEST(ConnectorBound, ConnectorVisitsObeyLemma27Form) {
+  // On an expander, the number of times any node recurs as a connector in
+  // one walk stays small: bounded by t (log n)^2 / lambda with t the visit
+  // bound -- we check a generous absolute version.
+  Rng rng(99);
+  const Graph g = gen::random_regular(40, 4, rng);
+  Params params = Params::paper();
+  params.lambda_override = 10;
+  const std::uint64_t l = 600;
+  for (int t = 0; t < 10; ++t) {
+    Network net(g, 900 + t);
+    StitchEngine engine(net, params, exact_diameter(g));
+    engine.prepare(1, l);
+    engine.walk(5, l, 0);
+    // l / lambda = 60 stitches spread over 40 nodes; no node should be hit
+    // as a connector an outsized number of times.
+    EXPECT_LE(engine.max_connector_visits(), 12u);
+  }
+}
+
+}  // namespace
+}  // namespace drw::core

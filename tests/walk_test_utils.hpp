@@ -1,0 +1,39 @@
+// Shared helpers for walk correctness tests: reconstructing a walk from a
+// PositionTable and asserting it is a valid l-step walk on the graph.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/walk_state.hpp"
+#include "graph/graph.hpp"
+
+namespace drw::test {
+
+/// Rebuilds walk `walk_id` from recorded positions and asserts: every step
+/// 0..l present exactly once, consecutive steps adjacent, endpoints match.
+inline void expect_valid_walk(const Graph& g,
+                              const core::PositionTable& positions,
+                              std::uint32_t walk_id, std::uint64_t l,
+                              NodeId source, NodeId destination) {
+  std::vector<NodeId> at(l + 1, kInvalidNode);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (const core::WalkPosition& p : positions[v]) {
+      if (p.walk != walk_id) continue;
+      ASSERT_LE(p.step, l) << "step beyond walk length";
+      EXPECT_EQ(at[p.step], kInvalidNode)
+          << "step " << p.step << " recorded twice";
+      at[p.step] = v;
+    }
+  }
+  ASSERT_EQ(at[0], source);
+  ASSERT_EQ(at[l], destination);
+  for (std::uint64_t i = 1; i <= l; ++i) {
+    ASSERT_NE(at[i], kInvalidNode) << "step " << i << " missing";
+    EXPECT_TRUE(g.has_edge(at[i - 1], at[i]))
+        << "steps " << i - 1 << "->" << i << " not an edge";
+  }
+}
+
+}  // namespace drw::test

@@ -1,0 +1,352 @@
+// drw — command-line driver for the distributed random-walk library.
+//
+// Usage:
+//   drw <command> [--graph=SPEC] [--seed=N] [options]
+//
+// Commands:
+//   walk       one l-step stitched walk          (--l, --source, --naive)
+//   many       k walks of length l               (--l, --k, --source)
+//   rst        random spanning tree              (--root)
+//   mixing     decentralized mixing-time         (--samples, --lazy)
+//   expander   expander check                    (--samples)
+//   pagerank   PageRank via terminating walks    (--alpha, --tokens)
+//   verify     PATH-VERIFICATION on the gadget   (--l)
+//
+// Graph specs (default torus:12x12):
+//   path:N cycle:N grid:RxC torus:RxC hypercube:D complete:N star:N
+//   lollipop:C,P barbell:C,P er:N,P regular:N,D rgg:N,R chain:S,N,D
+//
+// Examples:
+//   drw walk --graph=regular:128,4 --l=8192
+//   drw rst --graph=grid:8x8 --seed=7
+//   drw pagerank --graph=rgg:96,0.2 --alpha=0.15 --tokens=200
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/mixing.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/rst.hpp"
+#include "congest/network.hpp"
+#include "core/random_walks.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/spanning.hpp"
+#include "lowerbound/gadget.hpp"
+#include "lowerbound/path_verification.hpp"
+
+namespace {
+
+using namespace drw;
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: drw <walk|many|rst|mixing|expander|pagerank|verify>\n"
+               "           [--graph=SPEC] [--seed=N] [--l=N] [--k=N]\n"
+               "           [--source=N] [--root=N] [--alpha=F] [--tokens=N]\n"
+               "           [--samples=N] [--naive] [--lazy] [--mh]\n"
+               "graph specs: path:N cycle:N grid:RxC torus:RxC hypercube:D\n"
+               "             complete:N star:N lollipop:C,P barbell:C,P\n"
+               "             er:N,P regular:N,D rgg:N,R chain:S,N,D file:PATH\n");
+  std::exit(2);
+}
+
+struct Args {
+  std::string command;
+  std::string graph_spec = "torus:12x12";
+  std::uint64_t seed = 42;
+  std::uint64_t l = 4096;
+  std::uint64_t k = 8;
+  NodeId source = 0;
+  NodeId root = 0;
+  double alpha = 0.15;
+  std::uint32_t tokens = 128;
+  std::uint32_t samples = 0;
+  bool naive = false;
+  TransitionModel model = TransitionModel::kSimple;
+};
+
+std::optional<std::string> flag_value(const char* arg, const char* name) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    return std::string(arg + len + 1);
+  }
+  return std::nullopt;
+}
+
+Args parse_args(int argc, char** argv) {
+  if (argc < 2) usage();
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const char* a = argv[i];
+    if (auto v = flag_value(a, "--graph")) {
+      args.graph_spec = *v;
+    } else if (auto v = flag_value(a, "--seed")) {
+      args.seed = std::strtoull(v->c_str(), nullptr, 10);
+    } else if (auto v = flag_value(a, "--l")) {
+      args.l = std::strtoull(v->c_str(), nullptr, 10);
+    } else if (auto v = flag_value(a, "--k")) {
+      args.k = std::strtoull(v->c_str(), nullptr, 10);
+    } else if (auto v = flag_value(a, "--source")) {
+      args.source = static_cast<NodeId>(std::strtoul(v->c_str(), nullptr, 10));
+    } else if (auto v = flag_value(a, "--root")) {
+      args.root = static_cast<NodeId>(std::strtoul(v->c_str(), nullptr, 10));
+    } else if (auto v = flag_value(a, "--alpha")) {
+      args.alpha = std::strtod(v->c_str(), nullptr);
+    } else if (auto v = flag_value(a, "--tokens")) {
+      args.tokens =
+          static_cast<std::uint32_t>(std::strtoul(v->c_str(), nullptr, 10));
+    } else if (auto v = flag_value(a, "--samples")) {
+      args.samples =
+          static_cast<std::uint32_t>(std::strtoul(v->c_str(), nullptr, 10));
+    } else if (std::strcmp(a, "--naive") == 0) {
+      args.naive = true;
+    } else if (std::strcmp(a, "--lazy") == 0) {
+      args.model = TransitionModel::kLazy;
+    } else if (std::strcmp(a, "--mh") == 0) {
+      args.model = TransitionModel::kMetropolisUniform;
+    } else {
+      usage(("unknown flag: " + std::string(a)).c_str());
+    }
+  }
+  return args;
+}
+
+/// Parses "name:a,b" / "name:AxB" graph specs.
+Graph build_graph(const std::string& spec, std::uint64_t seed) {
+  const auto colon = spec.find(':');
+  const std::string name = spec.substr(0, colon);
+  std::vector<double> params;
+  if (colon != std::string::npos) {
+    std::string rest = spec.substr(colon + 1);
+    for (char& c : rest) {
+      if (c == 'x' || c == ',') c = ' ';
+    }
+    char* cursor = rest.data();
+    while (*cursor != '\0') {
+      char* end = nullptr;
+      const double value = std::strtod(cursor, &end);
+      if (end == cursor) break;
+      params.push_back(value);
+      cursor = end;
+    }
+  }
+  auto p = [&](std::size_t i, double fallback) {
+    return i < params.size() ? params[i] : fallback;
+  };
+  Rng rng(seed ^ 0xabcdef);
+  if (name == "file") {
+    return read_edge_list_file(spec.substr(colon + 1));
+  }
+  if (name == "path") return gen::path(static_cast<std::size_t>(p(0, 64)));
+  if (name == "cycle") return gen::cycle(static_cast<std::size_t>(p(0, 64)));
+  if (name == "grid") {
+    return gen::grid(static_cast<std::size_t>(p(0, 8)),
+                     static_cast<std::size_t>(p(1, 8)));
+  }
+  if (name == "torus") {
+    return gen::torus(static_cast<std::size_t>(p(0, 12)),
+                      static_cast<std::size_t>(p(1, 12)));
+  }
+  if (name == "hypercube") {
+    return gen::hypercube(static_cast<std::size_t>(p(0, 6)));
+  }
+  if (name == "complete") {
+    return gen::complete(static_cast<std::size_t>(p(0, 16)));
+  }
+  if (name == "star") return gen::star(static_cast<std::size_t>(p(0, 16)));
+  if (name == "lollipop") {
+    return gen::lollipop(static_cast<std::size_t>(p(0, 8)),
+                         static_cast<std::size_t>(p(1, 8)));
+  }
+  if (name == "barbell") {
+    return gen::barbell(static_cast<std::size_t>(p(0, 8)),
+                        static_cast<std::size_t>(p(1, 2)));
+  }
+  if (name == "er") {
+    return gen::erdos_renyi_connected(static_cast<std::size_t>(p(0, 64)),
+                                      p(1, 0.08), rng);
+  }
+  if (name == "regular") {
+    return gen::random_regular(static_cast<std::size_t>(p(0, 64)),
+                               static_cast<std::uint32_t>(p(1, 4)), rng);
+  }
+  if (name == "rgg") {
+    return gen::random_geometric(static_cast<std::size_t>(p(0, 96)),
+                                 p(1, 0.2), rng);
+  }
+  if (name == "chain") {
+    return gen::expander_chain(static_cast<std::size_t>(p(0, 4)),
+                               static_cast<std::size_t>(p(1, 32)),
+                               static_cast<std::uint32_t>(p(2, 4)), rng);
+  }
+  usage(("unknown graph spec: " + spec).c_str());
+}
+
+int cmd_walk(const Args& args, const Graph& g, std::uint32_t diameter) {
+  congest::Network net(g, args.seed);
+  if (args.naive) {
+    const auto result =
+        core::naive_random_walk(net, args.source, args.l, args.model);
+    std::printf("naive walk: destination=%u rounds=%llu messages=%llu\n",
+                result.destination,
+                static_cast<unsigned long long>(result.stats.rounds),
+                static_cast<unsigned long long>(result.stats.messages));
+    return 0;
+  }
+  core::Params params = core::Params::paper();
+  params.transition = args.model;
+  const auto out =
+      core::single_random_walk(net, args.source, args.l, params, diameter);
+  std::printf("stitched walk: destination=%u rounds=%llu (naive: %llu) "
+              "lambda=%u stitches=%llu gmw=%llu\n",
+              out.result.destination,
+              static_cast<unsigned long long>(out.result.stats.rounds),
+              static_cast<unsigned long long>(args.l),
+              out.result.counters.lambda,
+              static_cast<unsigned long long>(out.result.counters.stitches),
+              static_cast<unsigned long long>(
+                  out.result.counters.get_more_walks_calls));
+  return 0;
+}
+
+int cmd_many(const Args& args, const Graph& g, std::uint32_t diameter) {
+  congest::Network net(g, args.seed);
+  core::Params params = core::Params::paper();
+  params.transition = args.model;
+  const std::vector<NodeId> sources(args.k, args.source);
+  const auto out =
+      core::many_random_walks(net, sources, args.l, params, diameter);
+  std::printf("%llu walks of length %llu: rounds=%llu mode=%s\n",
+              static_cast<unsigned long long>(args.k),
+              static_cast<unsigned long long>(args.l),
+              static_cast<unsigned long long>(out.stats.rounds),
+              out.used_naive_fallback ? "naive-fallback" : "stitched");
+  std::printf("destinations:");
+  for (NodeId dest : out.destinations) std::printf(" %u", dest);
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_rst(const Args& args, const Graph& g, std::uint32_t diameter) {
+  congest::Network net(g, args.seed);
+  const auto result =
+      apps::random_spanning_tree(net, args.root, core::Params::paper(),
+                                 diameter);
+  std::printf("random spanning tree: %zu edges, rounds=%llu cover=%llu "
+              "phases=%u valid=%s\n",
+              result.tree.edges.size(),
+              static_cast<unsigned long long>(result.stats.rounds),
+              static_cast<unsigned long long>(result.cover_length),
+              result.phases,
+              is_spanning_tree(g, result.tree) ? "yes" : "NO");
+  for (const auto& [u, v] : result.tree.edges) {
+    std::printf("%u-%u ", u, v);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_mixing(const Args& args, const Graph& g, std::uint32_t diameter) {
+  congest::Network net(g, args.seed);
+  core::Params params = core::Params::paper();
+  params.transition = args.model;
+  apps::MixingOptions options;
+  options.samples = args.samples;
+  const auto est =
+      apps::estimate_mixing_time(net, args.source, params, diameter, options);
+  std::printf("mixing time ~ %llu steps (converged=%s, rounds=%llu, K=%u)\n",
+              static_cast<unsigned long long>(est.tau),
+              est.converged ? "yes" : "no",
+              static_cast<unsigned long long>(est.stats.rounds),
+              est.samples);
+  std::printf("spectral gap in [%.5f, %.5f]; conductance in [%.5f, %.5f]\n",
+              est.gap_lower, est.gap_upper, est.conductance_lower,
+              est.conductance_upper);
+  return 0;
+}
+
+int cmd_expander(const Args& args, const Graph& g, std::uint32_t diameter) {
+  congest::Network net(g, args.seed);
+  apps::MixingOptions options;
+  options.samples = args.samples;
+  const auto verdict = apps::check_expander(
+      net, args.source, core::Params::paper(), diameter, 2.0, options);
+  std::printf("expander: %s (tau=%llu threshold=%.0f gap>=%.4f "
+              "rounds=%llu)\n",
+              verdict.is_expander ? "YES" : "no",
+              static_cast<unsigned long long>(verdict.tau),
+              verdict.threshold, verdict.gap_lower,
+              static_cast<unsigned long long>(verdict.stats.rounds));
+  return 0;
+}
+
+int cmd_pagerank(const Args& args, const Graph& g, std::uint32_t) {
+  congest::Network net(g, args.seed);
+  apps::PageRankOptions options;
+  options.alpha = args.alpha;
+  options.tokens_per_node = args.tokens;
+  const auto result = apps::estimate_pagerank(net, options);
+  std::printf("pagerank (alpha=%.2f, %llu tokens, rounds=%llu), top 10:\n",
+              args.alpha,
+              static_cast<unsigned long long>(result.total_tokens),
+              static_cast<unsigned long long>(result.stats.rounds));
+  std::vector<NodeId> order(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return result.scores[a] > result.scores[b];
+  });
+  for (std::size_t i = 0; i < order.size() && i < 10; ++i) {
+    std::printf("  node %-6u deg %-4u score %.5f\n", order[i],
+                g.degree(order[i]), result.scores[order[i]]);
+  }
+  return 0;
+}
+
+int cmd_verify(const Args& args) {
+  const lowerbound::Gadget gadget = lowerbound::build_gadget(args.l);
+  congest::Network net(gadget.graph, args.seed);
+  std::vector<NodeId> sequence;
+  for (std::uint64_t i = 1; i <= args.l + 1; ++i) {
+    sequence.push_back(gadget.path_node(i));
+  }
+  const auto result =
+      lowerbound::verify_path(net, sequence, gadget.root());
+  std::printf("path verification on G_n (l=%llu, n=%zu): verified=%s "
+              "rounds=%llu  k=sqrt(l/log l)=%llu  D=%u\n",
+              static_cast<unsigned long long>(args.l),
+              gadget.graph.node_count(), result.verified ? "yes" : "NO",
+              static_cast<unsigned long long>(result.stats.rounds),
+              static_cast<unsigned long long>(gadget.k),
+              double_sweep_diameter_estimate(gadget.graph, gadget.root()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (args.command == "verify") return cmd_verify(args);
+
+  const Graph g = build_graph(args.graph_spec, args.seed);
+  const std::uint32_t diameter = exact_diameter(g);
+  std::printf("graph %s: %s, D=%u\n", args.graph_spec.c_str(),
+              g.summary().c_str(), diameter);
+  if (args.source >= g.node_count() || args.root >= g.node_count()) {
+    usage("--source/--root out of range");
+  }
+
+  if (args.command == "walk") return cmd_walk(args, g, diameter);
+  if (args.command == "many") return cmd_many(args, g, diameter);
+  if (args.command == "rst") return cmd_rst(args, g, diameter);
+  if (args.command == "mixing") return cmd_mixing(args, g, diameter);
+  if (args.command == "expander") return cmd_expander(args, g, diameter);
+  if (args.command == "pagerank") return cmd_pagerank(args, g, diameter);
+  usage(("unknown command: " + args.command).c_str());
+}
