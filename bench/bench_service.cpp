@@ -1,0 +1,174 @@
+// Service experiment (acceptance gate for the walk service layer):
+//
+//   A serviced workload of >= 32 mixed-length requests must use strictly
+//   fewer TOTAL rounds than the same requests issued as independent
+//   single_random_walk() calls (each of which pays its own Phase 1), and
+//   the run must exercise incremental inventory replenishment -- targeted
+//   pre-batch GET-MORE-WALKS top-ups and/or in-walk GET-MORE-WALKS -- with
+//   exactly one full Phase 1 across the whole workload.
+//
+// The workload: 36 requests, lengths mixed across 256..4096, sources spread
+// over an expander, served in 3 batches so cross-batch inventory reuse and
+// demand-driven top-ups are on the measured path.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "congest/network.hpp"
+#include "core/random_walks.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "service/walk_service.hpp"
+
+namespace {
+
+using namespace drw;
+
+std::vector<service::WalkRequest> workload(const Graph& g, Rng& rng) {
+  const std::uint64_t lengths[] = {256, 512, 1024, 2048, 4096};
+  std::vector<service::WalkRequest> requests;
+  for (int i = 0; i < 36; ++i) {
+    // Skewed sources, like real serving traffic: half the requests hit one
+    // hot key, whose Phase-1 stock (eta * deg walks) cannot cover them --
+    // forcing the inventory to replenish incrementally.
+    const NodeId source =
+        i % 2 == 0 ? 0
+                   : static_cast<NodeId>(rng.next_below(g.node_count()));
+    requests.push_back(service::WalkRequest{
+        source, lengths[static_cast<std::size_t>(i) % 5], 1, false});
+  }
+  return requests;
+}
+
+struct Comparison {
+  std::uint64_t serviced_rounds = 0;
+  std::uint64_t serviced_messages = 0;
+  std::uint64_t independent_rounds = 0;
+  std::uint64_t independent_messages = 0;
+  std::uint64_t full_prepares = 0;
+  std::uint64_t topups = 0;
+  std::uint64_t engine_gmw = 0;
+  double hit_rate = 0.0;
+};
+
+Comparison run_comparison(const Graph& g, std::uint32_t diameter,
+                          std::uint64_t seed) {
+  Rng workload_rng(4242);
+  const std::vector<service::WalkRequest> requests = workload(g, workload_rng);
+  Comparison cmp;
+
+  // Serviced: one WalkService, three batches of 12.
+  {
+    congest::Network net(g, seed);
+    service::WalkService svc(net, diameter, service::ServiceConfig{});
+    for (std::size_t at = 0; at < requests.size(); at += 12) {
+      for (std::size_t i = at; i < at + 12; ++i) svc.submit(requests[i]);
+      const service::BatchReport report = svc.flush();
+      cmp.topups += report.replenishments;
+      cmp.engine_gmw += report.engine_gmw_calls;
+    }
+    cmp.serviced_rounds = svc.lifetime().stats.rounds;
+    cmp.serviced_messages = svc.lifetime().stats.messages;
+    cmp.full_prepares = svc.lifetime().full_prepares;
+    cmp.hit_rate = svc.lifetime().inventory_hit_rate();
+  }
+
+  // Independent: every request pays its own engine + Phase 1.
+  {
+    congest::Network net(g, seed);
+    for (const service::WalkRequest& r : requests) {
+      const auto out = core::single_random_walk(
+          net, r.source, r.length, core::Params::paper(), diameter);
+      cmp.independent_rounds += out.result.stats.rounds;
+      cmp.independent_messages += out.result.stats.messages;
+    }
+  }
+  return cmp;
+}
+
+int run_experiment() {
+  Rng rng(808);
+  const Graph g = gen::random_regular(128, 4, rng);
+  const std::uint32_t diameter = exact_diameter(g);
+
+  bench::banner(
+      "SERVICE / batched serving vs per-request SINGLE-RANDOM-WALK",
+      "36 mixed-length requests (256..4096) on expander(128,4), serviced "
+      "in 3 batches from one persistent inventory vs 36 independent "
+      "single_random_walk calls (one Phase 1 EACH)");
+
+  bench::Table table({"seed", "serviced rounds", "independent rounds",
+                      "speedup", "phase1 runs", "topups", "in-walk gmw",
+                      "hit rate"});
+  bool rounds_ok = true;
+  bool replenish_ok = true;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const Comparison cmp = run_comparison(g, diameter, seed);
+    rounds_ok = rounds_ok && cmp.serviced_rounds < cmp.independent_rounds;
+    replenish_ok = replenish_ok && (cmp.topups + cmp.engine_gmw) > 0 &&
+                   cmp.full_prepares == 1;
+    table.add_row(
+        {bench::fmt_u64(seed), bench::fmt_u64(cmp.serviced_rounds),
+         bench::fmt_u64(cmp.independent_rounds),
+         bench::fmt_double(static_cast<double>(cmp.independent_rounds) /
+                               static_cast<double>(cmp.serviced_rounds),
+                           2),
+         bench::fmt_u64(cmp.full_prepares), bench::fmt_u64(cmp.topups),
+         bench::fmt_u64(cmp.engine_gmw), bench::fmt_double(cmp.hit_rate, 3)});
+  }
+  table.print();
+  std::printf("acceptance: serviced < independent on every seed: %s; "
+              "replenishment exercised with a single Phase 1: %s\n",
+              rounds_ok ? "PASS" : "FAIL",
+              replenish_ok ? "PASS" : "FAIL");
+  return rounds_ok && replenish_ok ? 0 : 1;
+}
+
+void BM_ServicedBatch(benchmark::State& state) {
+  Rng rng(808);
+  const Graph g = gen::random_regular(64, 4, rng);
+  const auto diameter = exact_diameter(g);
+  Rng workload_rng(11);
+  const auto requests = workload(g, workload_rng);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    congest::Network net(g, seed++);
+    service::WalkService svc(net, diameter, service::ServiceConfig{});
+    const auto report = svc.serve(requests);
+    benchmark::DoNotOptimize(report.results.data());
+    state.counters["rounds"] = static_cast<double>(report.stats.rounds);
+  }
+}
+BENCHMARK(BM_ServicedBatch);
+
+void BM_IndependentWalks(benchmark::State& state) {
+  Rng rng(808);
+  const Graph g = gen::random_regular(64, 4, rng);
+  const auto diameter = exact_diameter(g);
+  Rng workload_rng(11);
+  const auto requests = workload(g, workload_rng);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    congest::Network net(g, seed++);
+    std::uint64_t rounds = 0;
+    for (const auto& r : requests) {
+      rounds += core::single_random_walk(net, r.source, r.length,
+                                         core::Params::paper(), diameter)
+                    .result.stats.rounds;
+    }
+    state.counters["rounds"] = static_cast<double>(rounds);
+  }
+}
+BENCHMARK(BM_IndependentWalks);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc = run_experiment();
+  if (rc != 0) return rc;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -2,15 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "congest/primitives.hpp"
 #include "core/random_walks.hpp"
+#include "service/walk_service.hpp"
 
 namespace drw::apps {
 
 namespace {
+
+/// Produces k endpoint samples of l-step walks from the estimator's source,
+/// charging the cost to `stats`. Lets the estimator run over either raw
+/// MANY-RANDOM-WALKS batches or a WalkService.
+using WalkSampler = std::function<std::vector<NodeId>(
+    std::uint64_t l, std::uint32_t k, congest::RunStats& stats)>;
 
 /// Geometric bucket of a node with degree `deg` when 2m = `two_m`:
 /// bucket(v) = floor(log_ratio(2m / d(v))), computable node-locally.
@@ -58,10 +66,13 @@ ClosenessStats closeness_statistics(
   return out;
 }
 
-MixingEstimate estimate_mixing_time(congest::Network& net, NodeId source,
-                                    const core::Params& params,
-                                    std::uint32_t diameter,
-                                    const MixingOptions& options) {
+namespace {
+
+MixingEstimate estimate_mixing_with_sampler(congest::Network& net,
+                                            NodeId source,
+                                            bool uniform_target,
+                                            const MixingOptions& options,
+                                            const WalkSampler& sampler) {
   const Graph& g = net.graph();
   const std::size_t n = g.node_count();
   if (n < 2) throw std::invalid_argument("estimate_mixing_time: n < 2");
@@ -91,8 +102,6 @@ MixingEstimate estimate_mixing_time(congest::Network& net, NodeId source,
   // are known; broadcast W so every node can bucket itself. The weight is
   // deg(v) for the simple/lazy chains (pi = deg/2m) and 1 for
   // Metropolis-Hastings (pi uniform) -- node-local either way.
-  const bool uniform_target =
-      params.transition == TransitionModel::kMetropolisUniform;
   auto weight_of = [&](NodeId v) -> std::uint64_t {
     return uniform_target ? 1 : g.degree(v);
   };
@@ -134,14 +143,12 @@ MixingEstimate estimate_mixing_time(congest::Network& net, NodeId source,
 
   // One PASS/FAIL probe: K walks from the source; each endpoint holds its
   // sample count and sends one (node, count, degree) record up the tree.
-  const std::vector<NodeId> sources(est.samples, source);
   auto test_length = [&](std::uint64_t l) -> bool {
-    core::ManyWalksOutput walks =
-        core::many_random_walks(net, sources, l, params, diameter);
-    est.stats += walks.stats;
+    const std::vector<NodeId> destinations =
+        sampler(l, est.samples, est.stats);
 
     std::vector<std::uint64_t> per_node(n, 0);
-    for (NodeId dest : walks.destinations) ++per_node[dest];
+    for (NodeId dest : destinations) ++per_node[dest];
     std::vector<std::vector<congest::PipelinedListUpcast::Record>> records(
         n);
     for (NodeId v = 0; v < n; ++v) {
@@ -217,12 +224,13 @@ MixingEstimate estimate_mixing_time(congest::Network& net, NodeId source,
   return est;
 }
 
-ExpanderVerdict check_expander(congest::Network& net, NodeId source,
-                               const core::Params& params,
-                               std::uint32_t diameter, double c_threshold,
-                               const MixingOptions& options) {
-  const double logn = std::log2(
-      static_cast<double>(std::max<std::size_t>(net.graph().node_count(), 2)));
+/// Shared expander-verdict derivation; `estimate` runs the estimator with
+/// the capped options.
+ExpanderVerdict expander_verdict(
+    std::size_t n, double c_threshold, const MixingOptions& options,
+    const std::function<MixingEstimate(const MixingOptions&)>& estimate) {
+  const double logn =
+      std::log2(static_cast<double>(std::max<std::size_t>(n, 2)));
   ExpanderVerdict verdict;
   verdict.threshold = c_threshold * logn * logn;
 
@@ -232,8 +240,7 @@ ExpanderVerdict check_expander(congest::Network& net, NodeId source,
     capped.max_length =
         static_cast<std::uint64_t>(4.0 * verdict.threshold) + 2;
   }
-  const MixingEstimate est =
-      estimate_mixing_time(net, source, params, diameter, capped);
+  const MixingEstimate est = estimate(capped);
   verdict.tau = est.tau;
   verdict.stats = est.stats;
   verdict.is_expander =
@@ -242,6 +249,62 @@ ExpanderVerdict check_expander(congest::Network& net, NodeId source,
   verdict.gap_lower =
       est.tau > 0 ? 1.0 / static_cast<double>(est.tau) : 0.0;
   return verdict;
+}
+
+}  // namespace
+
+MixingEstimate estimate_mixing_time(congest::Network& net, NodeId source,
+                                    const core::Params& params,
+                                    std::uint32_t diameter,
+                                    const MixingOptions& options) {
+  return estimate_mixing_with_sampler(
+      net, source,
+      params.transition == TransitionModel::kMetropolisUniform, options,
+      [&](std::uint64_t l, std::uint32_t k, congest::RunStats& stats) {
+        const std::vector<NodeId> sources(k, source);
+        core::ManyWalksOutput walks =
+            core::many_random_walks(net, sources, l, params, diameter);
+        stats += walks.stats;
+        return walks.destinations;
+      });
+}
+
+MixingEstimate estimate_mixing_time_via_service(
+    service::WalkService& service, NodeId source,
+    const MixingOptions& options) {
+  return estimate_mixing_with_sampler(
+      service.network(), source,
+      service.config().params.transition ==
+          TransitionModel::kMetropolisUniform,
+      options,
+      [&service, source](std::uint64_t l, std::uint32_t k,
+                         congest::RunStats& stats) {
+        service::BatchReport report =
+            service.serve({service::WalkRequest{source, l, k}});
+        stats += report.stats;
+        return std::move(report.results[0].destinations);
+      });
+}
+
+ExpanderVerdict check_expander(congest::Network& net, NodeId source,
+                               const core::Params& params,
+                               std::uint32_t diameter, double c_threshold,
+                               const MixingOptions& options) {
+  return expander_verdict(
+      net.graph().node_count(), c_threshold, options,
+      [&](const MixingOptions& capped) {
+        return estimate_mixing_time(net, source, params, diameter, capped);
+      });
+}
+
+ExpanderVerdict check_expander_via_service(service::WalkService& service,
+                                           NodeId source, double c_threshold,
+                                           const MixingOptions& options) {
+  return expander_verdict(
+      service.network().graph().node_count(), c_threshold, options,
+      [&](const MixingOptions& capped) {
+        return estimate_mixing_time_via_service(service, source, capped);
+      });
 }
 
 }  // namespace drw::apps

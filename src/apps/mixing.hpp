@@ -33,6 +33,10 @@
 #include "core/params.hpp"
 #include "graph/graph.hpp"
 
+namespace drw::service {
+class WalkService;
+}
+
 namespace drw::apps {
 
 struct MixingOptions {
@@ -81,6 +85,14 @@ MixingEstimate estimate_mixing_time(congest::Network& net, NodeId source,
                                     std::uint32_t diameter,
                                     const MixingOptions& options = {});
 
+/// Same estimator, with every probe's K walks served through a WalkService
+/// batch: the short-walk inventory persists across the doubling and
+/// binary-search probes instead of re-running Phase 1 per tested length.
+/// Walk parameters come from the service's config.
+MixingEstimate estimate_mixing_time_via_service(
+    service::WalkService& service, NodeId source,
+    const MixingOptions& options = {});
+
 /// Decentralized expander check (Section 1.3 lists "checking whether a
 /// graph is an expander" among the applications): a graph family is an
 /// expander iff the spectral gap is constant, i.e. the mixing time is
@@ -99,6 +111,12 @@ ExpanderVerdict check_expander(congest::Network& net, NodeId source,
                                std::uint32_t diameter,
                                double c_threshold = 2.0,
                                const MixingOptions& options = {});
+
+/// check_expander over a WalkService (see estimate_mixing_time_via_service).
+ExpanderVerdict check_expander_via_service(service::WalkService& service,
+                                           NodeId source,
+                                           double c_threshold = 2.0,
+                                           const MixingOptions& options = {});
 
 /// Computes the closeness statistics from collected sample records.
 /// `dest_counts[i]` = (sample count, degree) for the i-th distinct endpoint;

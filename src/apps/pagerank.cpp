@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "congest/primitives.hpp"
+#include "service/walk_service.hpp"
 
 namespace drw::apps {
 
@@ -122,6 +123,62 @@ PageRankResult estimate_personalized_pagerank(
   std::vector<std::uint64_t> initial(net.graph().node_count(), 0);
   initial[source] = tokens;
   return run_tokens(net, std::move(initial), options);
+}
+
+PageRankResult estimate_personalized_pagerank_via_service(
+    service::WalkService& service, NodeId source, std::uint32_t tokens,
+    const PageRankOptions& options) {
+  if (tokens == 0) throw std::invalid_argument("ppr: no tokens");
+  if (!(options.alpha > 0.0 && options.alpha < 1.0)) {
+    throw std::invalid_argument("ppr: alpha must be in (0, 1)");
+  }
+  if (service.config().params.transition != TransitionModel::kSimple) {
+    // PPR as the geometric endpoint law holds for the simple chain only.
+    throw std::invalid_argument("ppr: service must use the simple walk");
+  }
+  congest::Network& net = service.network();
+  const std::size_t n = net.graph().node_count();
+
+  std::uint32_t max_length = options.max_length;
+  if (max_length == 0) {
+    // Same tail cap as the token estimator: P(geometric > L) < 1/(n*tokens).
+    const double tail = 1.0 / (static_cast<double>(n) *
+                               static_cast<double>(tokens));
+    max_length = static_cast<std::uint32_t>(
+        std::ceil(std::log(tail) / std::log(1.0 - options.alpha)));
+  }
+
+  // The source draws its token lengths locally (node-local coin): each token
+  // walks L ~ Geometric(alpha) steps, L capped at max_length.
+  Rng& rng = net.node_rng(source);
+  std::vector<std::uint32_t> per_length(max_length + 1, 0);
+  for (std::uint32_t t = 0; t < tokens; ++t) {
+    std::uint32_t steps = 0;
+    while (steps < max_length && !rng.next_bool(options.alpha)) ++steps;
+    ++per_length[steps];
+  }
+  std::vector<service::WalkRequest> requests;
+  for (std::uint32_t len = 0; len <= max_length; ++len) {
+    if (per_length[len] > 0) {
+      requests.push_back(service::WalkRequest{
+          source, len, per_length[len], false});
+    }
+  }
+
+  const service::BatchReport report = service.serve(requests);
+  PageRankResult result;
+  result.stats = report.stats;
+  result.total_tokens = tokens;
+  result.tallies.assign(n, 0);
+  for (const service::RequestResult& r : report.results) {
+    for (NodeId dest : r.destinations) ++result.tallies[dest];
+  }
+  result.scores.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    result.scores[v] = static_cast<double>(result.tallies[v]) /
+                       static_cast<double>(tokens);
+  }
+  return result;
 }
 
 std::vector<double> pagerank_reference(const Graph& g, double alpha,

@@ -27,6 +27,10 @@
 #include "congest/network.hpp"
 #include "graph/graph.hpp"
 
+namespace drw::service {
+class WalkService;
+}
+
 namespace drw::apps {
 
 struct PageRankOptions {
@@ -51,6 +55,16 @@ PageRankResult estimate_pagerank(congest::Network& net,
 /// Personalized PageRank from `source`: `tokens` walks start at the source.
 PageRankResult estimate_personalized_pagerank(
     congest::Network& net, NodeId source, std::uint32_t tokens,
+    const PageRankOptions& options = {});
+
+/// Personalized PageRank served through a WalkService: PPR(s, .) is the
+/// endpoint law of a walk whose length is Geometric(alpha), so the source
+/// draws `tokens` geometric lengths locally, groups equal lengths, and
+/// submits them as one mixed-length request batch -- a natural heterogeneous
+/// serving workload that shares the persistent short-walk inventory with
+/// every other caller of the service. Requires the simple walk.
+PageRankResult estimate_personalized_pagerank_via_service(
+    service::WalkService& service, NodeId source, std::uint32_t tokens,
     const PageRankOptions& options = {});
 
 /// Centralized reference: damped power iteration to fixed point.

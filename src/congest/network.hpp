@@ -63,6 +63,19 @@ struct RunStats {
                                                   : other.max_backlog;
     return *this;
   }
+
+  /// Saturating difference of cumulative counters, for attributing deltas
+  /// out of running totals (e.g. around StitchEngine::total_stats()). The
+  /// max_backlog peak is not differentiable and is kept as-is.
+  RunStats& operator-=(const RunStats& earlier) noexcept {
+    rounds = rounds > earlier.rounds ? rounds - earlier.rounds : 0;
+    messages = messages > earlier.messages ? messages - earlier.messages : 0;
+    return *this;
+  }
+  friend RunStats operator-(RunStats later, const RunStats& earlier) noexcept {
+    later -= earlier;
+    return later;
+  }
 };
 
 class Network;

@@ -304,7 +304,7 @@ void NaiveSegmentProtocol::advance(congest::Context& ctx, std::uint32_t job,
                                    std::uint64_t remaining,
                                    std::uint64_t position) {
   const NodeId v = ctx.self();
-  if (positions_ != nullptr) {
+  if (positions_ != nullptr && jobs_[job].record) {
     (*positions_)[v].push_back(WalkPosition{jobs_[job].walk_id, position});
   }
   if (remaining == 0) {
@@ -326,7 +326,7 @@ void NaiveSegmentProtocol::on_round(congest::Context& ctx) {
   if (ctx.round() == 0) {
     for (std::uint32_t j : jobs_by_node_[v]) {
       const Job& job = jobs_[j];
-      if (positions_ != nullptr && job.record_start) {
+      if (positions_ != nullptr && job.record && job.record_start) {
         (*positions_)[v].push_back(WalkPosition{job.walk_id, job.base_step});
       }
       if (job.steps == 0) {

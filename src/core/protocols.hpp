@@ -145,6 +145,10 @@ class NaiveSegmentProtocol final : public congest::Protocol {
     /// Record the start position too (false when a preceding stitched
     /// segment already recorded it as its endpoint).
     bool record_start = true;
+    /// Record this job's positions at all (per-walk opt-out: jobs of
+    /// walks that did not ask for positions share a protocol run with
+    /// ones that did).
+    bool record = true;
   };
 
   NaiveSegmentProtocol(const Graph& g, std::vector<Job> jobs,

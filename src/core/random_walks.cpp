@@ -89,11 +89,12 @@ void StitchEngine::prepare(std::uint64_t k, std::uint64_t l) {
 
 WalkResult StitchEngine::naive_walk_result(NodeId source, std::uint64_t l,
                                            std::uint32_t walk_id,
-                                           bool record_start) {
+                                           bool record_start,
+                                           bool record_positions) {
   NaiveSegmentProtocol::Job job{source, l, walk_id, 0, record_start};
   NaiveSegmentProtocol protocol(
       net_->graph(), {job},
-      params_.record_trajectories ? &positions_ : nullptr,
+      params_.record_trajectories && record_positions ? &positions_ : nullptr,
       params_.transition);
   WalkResult result;
   result.stats = net_->run(protocol);
@@ -104,19 +105,106 @@ WalkResult StitchEngine::naive_walk_result(NodeId source, std::uint64_t l,
 }
 
 WalkResult StitchEngine::walk(NodeId source, std::uint64_t l,
-                              std::uint32_t walk_id) {
-  return walk_impl(source, l, walk_id, /*defer_tail=*/false);
+                              std::uint32_t walk_id, bool record_positions) {
+  return walk_impl(source, l, walk_id, /*defer_tail=*/false, 0,
+                   record_positions);
 }
 
 WalkResult StitchEngine::walk_deferring_tail(NodeId source, std::uint64_t l,
-                                             std::uint32_t walk_id) {
-  return walk_impl(source, l, walk_id, /*defer_tail=*/true);
+                                             std::uint32_t walk_id,
+                                             bool record_positions) {
+  return walk_impl(source, l, walk_id, /*defer_tail=*/true, 0,
+                   record_positions);
 }
 
 WalkResult StitchEngine::continue_walk(NodeId source, std::uint64_t l,
                                        std::uint32_t walk_id,
                                        std::uint64_t start_step) {
   return walk_impl(source, l, walk_id, /*defer_tail=*/false, start_step);
+}
+
+std::vector<std::uint64_t> StitchEngine::unused_counts_by_source() const {
+  std::vector<std::uint64_t> counts(net_->graph().node_count(), 0);
+  for (const auto& held : store_.held) {
+    for (const HeldToken& t : held) {
+      if (!t.used) ++counts[t.source];
+    }
+  }
+  return counts;
+}
+
+congest::RunStats StitchEngine::replenish(NodeId source,
+                                          std::uint32_t count) {
+  if (!prepared_ || naive_mode_) {
+    throw std::logic_error(
+        "StitchEngine::replenish: requires a prepared, non-naive engine");
+  }
+  if (count == 0) return {};
+  GetMoreWalksProtocol more(
+      net_->graph(), source, count, lambda_, params_.random_lengths, store_,
+      params_.record_trajectories ? &trajectories_ : nullptr,
+      params_.transition);
+  const congest::RunStats stats = net_->run(more);
+  total_ += stats;
+  return stats;
+}
+
+void StitchEngine::adopt_plan(std::uint64_t k, std::uint64_t l) {
+  if (!prepared_ || naive_mode_) {
+    throw std::logic_error(
+        "StitchEngine::adopt_plan: requires a prepared, non-naive engine");
+  }
+  prepared_k_ = std::max<std::uint64_t>(k, 1);
+  prepared_l_ = l;
+}
+
+StitchEngine::EngineState StitchEngine::release_state() {
+  if (!prepared_ || naive_mode_) {
+    throw std::logic_error(
+        "StitchEngine::release_state: requires a prepared, non-naive engine");
+  }
+  EngineState state;
+  state.store = std::move(store_);
+  state.trajectories = std::move(trajectories_);
+  state.lambda = lambda_;
+  state.prepared_l = prepared_l_;
+  state.prepared_k = prepared_k_;
+  const std::size_t n = net_->graph().node_count();
+  store_ = WalkStore(n);
+  trajectories_ = TrajectoryStore(n);
+  prepared_ = false;
+  return state;
+}
+
+void StitchEngine::adopt_state(EngineState state) {
+  const std::size_t n = net_->graph().node_count();
+  if (state.store.held.size() != n ||
+      state.trajectories.forward.size() != n) {
+    throw std::invalid_argument(
+        "StitchEngine::adopt_state: node count mismatch");
+  }
+  if (state.lambda == 0) {
+    throw std::invalid_argument("StitchEngine::adopt_state: lambda == 0");
+  }
+  store_ = std::move(state.store);
+  trajectories_ = std::move(state.trajectories);
+  lambda_ = state.lambda;
+  prepared_l_ = state.prepared_l;
+  prepared_k_ = std::max<std::uint64_t>(state.prepared_k, 1);
+  naive_mode_ = false;
+  prepared_ = true;
+  connector_visits_.assign(n, 0);
+  pending_phase1_ = {};
+  pending_prepared_ = 0;
+}
+
+PositionTable StitchEngine::drain_positions() {
+  PositionTable out = std::move(positions_);
+  positions_ = PositionTable();
+  if (params_.record_trajectories) {
+    positions_.resize(net_->graph().node_count());
+  }
+  return out;
 }
 
 StitchEngine::TailOutcome StitchEngine::run_deferred_tails() {
@@ -138,15 +226,29 @@ StitchEngine::TailOutcome StitchEngine::run_deferred_tails() {
 
 WalkResult StitchEngine::walk_impl(NodeId source, std::uint64_t l,
                                    std::uint32_t walk_id, bool defer_tail,
-                                   std::uint64_t start_step) {
+                                   std::uint64_t start_step,
+                                   bool record_positions) {
   if (!prepared_) throw std::logic_error("StitchEngine: prepare() first");
   if (l > prepared_l_) {
     throw std::logic_error("StitchEngine: walk longer than prepared for");
   }
   const Graph& g = net_->graph();
+  const bool record = params_.record_trajectories && record_positions;
 
   if (naive_mode_) {
-    WalkResult result = naive_walk_result(source, l, walk_id, true);
+    if (defer_tail && l > 0) {
+      // The whole walk becomes one deferred token job so a batch of naive
+      // walks runs concurrently (O(k + l) rounds, the MANY-RANDOM-WALKS
+      // fallback) instead of sequentially.
+      deferred_tails_.push_back(NaiveSegmentProtocol::Job{
+          source, l, walk_id, start_step, true, record});
+      WalkResult result;
+      result.counters.lambda = lambda_;
+      result.counters.naive_tail_steps = l;
+      result.destination = source;  // real destination: run_deferred_tails()
+      return result;
+    }
+    WalkResult result = naive_walk_result(source, l, walk_id, true, record);
     result.counters.lambda = lambda_;
     return result;
   }
@@ -160,7 +262,7 @@ WalkResult StitchEngine::walk_impl(NodeId source, std::uint64_t l,
 
   // The source knows it is step `start_step` of the walk (node-local
   // knowledge; for a continuation the previous phase already recorded it).
-  if (params_.record_trajectories && start_step == 0) {
+  if (record && start_step == 0) {
     positions_[source].push_back(WalkPosition{walk_id, 0});
   }
 
@@ -246,14 +348,13 @@ WalkResult StitchEngine::walk_impl(NodeId source, std::uint64_t l,
   const std::uint64_t tail = l - completed;
   if (tail > 0) {
     NaiveSegmentProtocol::Job job{current, tail, walk_id,
-                                  start_step + completed, false};
+                                  start_step + completed, false, record};
     result.counters.naive_tail_steps = tail;
     if (defer_tail) {
       deferred_tails_.push_back(job);
     } else {
       NaiveSegmentProtocol protocol(
-          g, {job}, params_.record_trajectories ? &positions_ : nullptr,
-          params_.transition);
+          g, {job}, record ? &positions_ : nullptr, params_.transition);
       const congest::RunStats tail_stats = net_->run(protocol);
       result.stats += tail_stats;
       total_ += tail_stats;
@@ -264,7 +365,7 @@ WalkResult StitchEngine::walk_impl(NodeId source, std::uint64_t l,
 
   // Regeneration (Section 2.2): replay every stitched segment in parallel so
   // all nodes learn their position(s).
-  if (params_.record_trajectories && !segments.empty()) {
+  if (record && !segments.empty()) {
     std::vector<RegenerateProtocol::ForwardJob> forward;
     std::vector<RegenerateProtocol::ReverseJob> reverse;
     for (const Segment& s : segments) {

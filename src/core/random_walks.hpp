@@ -61,10 +61,18 @@ class StitchEngine {
 
   bool naive_mode() const noexcept { return naive_mode_; }
   std::uint32_t lambda() const noexcept { return lambda_; }
+  bool prepared() const noexcept { return prepared_; }
+  std::uint64_t prepared_l() const noexcept { return prepared_l_; }
+  std::uint64_t prepared_k() const noexcept { return prepared_k_; }
 
   /// Phase 2: one l-step walk from `source`, stitching prepared short walks
   /// (or walking naively in naive mode). `walk_id` tags recorded positions.
-  WalkResult walk(NodeId source, std::uint64_t l, std::uint32_t walk_id = 0);
+  /// `record_positions` lets a caller opt a single walk out of position
+  /// recording + regeneration even when the engine records trajectories
+  /// (the serving layer's per-request `record_positions` flag); it is a
+  /// no-op when the engine does not record.
+  WalkResult walk(NodeId source, std::uint64_t l, std::uint32_t walk_id = 0,
+                  bool record_positions = true);
 
   /// Continues a logical walk whose first `start_step` steps were produced
   /// earlier (possibly by a previous engine): performs l further steps from
@@ -84,8 +92,12 @@ class StitchEngine {
   /// lambda) (they are independent token walks, exactly like the naive
   /// fallback). The paper's Theorem 2.8 round budget accounts Phase 1 +
   /// stitching only, which is consistent with concurrent tails.
+  /// In naive mode the WHOLE walk is deferred as one token job (the
+  /// destination is meaningful only after run_deferred_tails()), so a batch
+  /// of deferred naive walks costs O(k + l) rounds, not k * l.
   WalkResult walk_deferring_tail(NodeId source, std::uint64_t l,
-                                 std::uint32_t walk_id);
+                                 std::uint32_t walk_id,
+                                 bool record_positions = true);
 
   /// Completes all deferred tails in one protocol run; returns the final
   /// destination per deferred walk_id (in deferral order) plus the stats.
@@ -111,11 +123,57 @@ class StitchEngine {
   }
   std::uint64_t max_connector_visits() const noexcept;
 
+  // --- Serving-layer hooks (src/service) ---------------------------------
+  // The service keeps one engine's short-walk store alive across many
+  // batches instead of discarding it per prepare(); these hooks expose the
+  // inventory, accept external replenishment, and let the prepared envelope
+  // be retargeted without re-running Phase 1.
+
+  /// Read access to the distributed short-walk store (the inventory).
+  const WalkStore& store() const noexcept { return store_; }
+
+  /// Unused short-walk tokens per source node (one scan of the store).
+  std::vector<std::uint64_t> unused_counts_by_source() const;
+
+  /// External replenishment: adds `count` fresh short walks from `source`
+  /// via GET-MORE-WALKS (Algorithm 2 as a stand-alone top-up, O(lambda)
+  /// rounds) without stitching anything. Requires a prepared, non-naive
+  /// engine. Returns the rounds/messages spent.
+  congest::RunStats replenish(NodeId source, std::uint32_t count);
+
+  /// Retargets the prepared envelope to k walks of length <= l WITHOUT
+  /// discarding the store -- the persistent-inventory alternative to
+  /// prepare(). Lambda is kept; walks shorter than 2*lambda simply run as
+  /// naive tails (still exact samples). Requires a prepared, non-naive
+  /// engine.
+  void adopt_plan(std::uint64_t k, std::uint64_t l);
+
+  /// The engine's distributed walk state, movable between engines so a
+  /// serving layer can persist the inventory beyond one engine's lifetime.
+  struct EngineState {
+    WalkStore store{0};
+    TrajectoryStore trajectories{0};
+    std::uint32_t lambda = 0;
+    std::uint64_t prepared_l = 0;
+    std::uint64_t prepared_k = 1;
+  };
+  /// Moves the state out, leaving the engine unprepared.
+  EngineState release_state();
+  /// Adopts previously released state: the engine becomes prepared without
+  /// running Phase 1. The state's node count must match the network.
+  void adopt_state(EngineState state);
+
+  /// Drains recorded positions (move + reset), bounding position-table
+  /// growth across serving batches. Empty unless record_trajectories.
+  PositionTable drain_positions();
+
  private:
   WalkResult naive_walk_result(NodeId source, std::uint64_t l,
-                               std::uint32_t walk_id, bool record_start);
+                               std::uint32_t walk_id, bool record_start,
+                               bool record_positions);
   WalkResult walk_impl(NodeId source, std::uint64_t l, std::uint32_t walk_id,
-                       bool defer_tail, std::uint64_t start_step = 0);
+                       bool defer_tail, std::uint64_t start_step = 0,
+                       bool record_positions = true);
 
   congest::Network* net_;
   Params params_;

@@ -1,0 +1,95 @@
+#include "service/batch_scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace drw::service {
+
+std::vector<BatchScheduler::Unit> BatchScheduler::plan(
+    std::span<const WalkRequest> requests, std::uint32_t first_walk_id) {
+  std::vector<Unit> units;
+  for (std::uint32_t r = 0; r < requests.size(); ++r) {
+    for (std::uint32_t s = 0; s < requests[r].count; ++s) {
+      units.push_back(Unit{r, s, 0, requests[r].source, requests[r].length,
+                           requests[r].record_positions});
+    }
+  }
+  std::stable_sort(units.begin(), units.end(),
+                   [](const Unit& a, const Unit& b) {
+                     return a.length > b.length;
+                   });
+  // Walk ids are assigned AFTER sorting so id - first_walk_id indexes the
+  // execution order (used to map deferred-tail outcomes back to units).
+  for (std::uint32_t i = 0; i < units.size(); ++i) {
+    units[i].walk_id = first_walk_id + i;
+  }
+  return units;
+}
+
+BatchScheduler::Outcome BatchScheduler::run(
+    std::span<const WalkRequest> requests, std::uint32_t first_walk_id) {
+  Outcome out;
+  out.results.resize(requests.size());
+  for (std::uint32_t r = 0; r < requests.size(); ++r) {
+    out.results[r].request = requests[r];
+    out.results[r].destinations.assign(requests[r].count, kInvalidNode);
+  }
+
+  std::vector<Unit> units = plan(requests, first_walk_id);
+  out.walks = units.size();
+
+  // Stitch every unit, deferring all naive tails (whole-walk tails for
+  // units with length < 2*lambda or a naive-mode engine).
+  for (const Unit& u : units) {
+    const core::WalkResult walk =
+        engine_->walk_deferring_tail(u.source, u.length, u.walk_id, u.record);
+    RequestResult& result = out.results[u.request_index];
+    result.destinations[u.slot] = walk.destination;
+    result.stats += walk.stats;
+    result.counters += walk.counters;
+    out.stats += walk.stats;
+    out.counters += walk.counters;
+  }
+
+  // One concurrent run finishes every deferred tail.
+  const core::StitchEngine::TailOutcome tails = engine_->run_deferred_tails();
+  out.tail_stats = tails.stats;
+  out.stats += tails.stats;
+  for (std::size_t t = 0; t < tails.walk_ids.size(); ++t) {
+    const std::uint32_t index = tails.walk_ids[t] - first_walk_id;
+    if (index >= units.size()) {
+      throw std::logic_error("BatchScheduler: stray deferred tail");
+    }
+    const Unit& u = units[index];
+    out.results[u.request_index].destinations[u.slot] = tails.destinations[t];
+  }
+
+  // Path extraction: drain the engine's position table and invert it into
+  // per-unit node sequences for the units that asked.
+  const bool any_record =
+      std::any_of(units.begin(), units.end(),
+                  [](const Unit& u) { return u.record; });
+  if (any_record) {
+    const core::PositionTable positions = engine_->drain_positions();
+    std::vector<std::vector<NodeId>*> paths(units.size(), nullptr);
+    for (const Unit& u : units) {
+      if (!u.record) continue;
+      RequestResult& result = out.results[u.request_index];
+      if (result.paths.empty()) {
+        result.paths.resize(result.request.count);
+      }
+      result.paths[u.slot].assign(u.length + 1, kInvalidNode);
+      paths[u.walk_id - first_walk_id] = &result.paths[u.slot];
+    }
+    for (NodeId v = 0; v < positions.size(); ++v) {
+      for (const core::WalkPosition& p : positions[v]) {
+        const std::uint32_t index = p.walk - first_walk_id;
+        if (index >= units.size() || paths[index] == nullptr) continue;
+        if (p.step < paths[index]->size()) (*paths[index])[p.step] = v;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace drw::service

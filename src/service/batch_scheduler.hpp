@@ -1,0 +1,62 @@
+// Batch execution planning for the walk service.
+//
+// The scheduler turns a heterogeneous request batch into walk units and
+// drives one StitchEngine through them the way MANY-RANDOM-WALKS does
+// (Section 2.3): stitching runs per walk, but every naive tail -- including
+// the whole body of walks too short to stitch (l < 2*lambda) -- is deferred
+// and completed in ONE concurrent NaiveSegmentProtocol run, so k tails cost
+// O(k + 2*lambda) rounds instead of k * 2*lambda. Units run longest-first:
+// deep walks consume (and, via GET-MORE-WALKS, replenish) the inventory
+// early, so short walks behind them never stall on an empty pool.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/random_walks.hpp"
+#include "service/walk_request.hpp"
+
+namespace drw::service {
+
+class BatchScheduler {
+ public:
+  /// One walk unit: request `request_index`'s `slot`-th walk, tagged with a
+  /// service-global `walk_id`.
+  struct Unit {
+    std::uint32_t request_index = 0;
+    std::uint32_t slot = 0;
+    std::uint32_t walk_id = 0;
+    NodeId source = 0;
+    std::uint64_t length = 0;
+    bool record = false;
+  };
+
+  /// Everything one batch run produced.
+  struct Outcome {
+    std::vector<RequestResult> results;  ///< submission order
+    congest::RunStats stats;             ///< walks + shared tail run
+    congest::RunStats tail_stats;        ///< the shared tail run alone
+    core::WalkCounters counters;         ///< summed over all units
+    std::uint64_t walks = 0;
+  };
+
+  explicit BatchScheduler(core::StitchEngine& engine) : engine_(&engine) {}
+
+  /// Expands requests into units, longest-first (stable within a length).
+  static std::vector<Unit> plan(std::span<const WalkRequest> requests,
+                                std::uint32_t first_walk_id);
+
+  /// Runs the batch: per-unit stitching with deferred tails, one concurrent
+  /// tail run, per-request assembly, and -- for units with `record` on an
+  /// engine that records trajectories -- path extraction from the drained
+  /// position table. The engine must be prepared for (sum of counts,
+  /// max length).
+  Outcome run(std::span<const WalkRequest> requests,
+              std::uint32_t first_walk_id);
+
+ private:
+  core::StitchEngine* engine_;
+};
+
+}  // namespace drw::service

@@ -1,0 +1,44 @@
+// Request/result vocabulary of the walk service layer.
+//
+// A WalkRequest is what a serving client submits: "give me `count`
+// independent l-step random-walk samples from `source`" -- heterogeneous
+// lengths, sources and counts mix freely within one batch. A RequestResult
+// carries the per-request destinations (exact samples, Theorem 2.5 is Las
+// Vegas), the per-request share of the round/message cost, and -- when asked
+// -- the fully regenerated walk paths (Section 2.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "core/random_walks.hpp"
+#include "graph/graph.hpp"
+
+namespace drw::service {
+
+struct WalkRequest {
+  NodeId source = 0;
+  std::uint64_t length = 0;
+  std::uint32_t count = 1;
+  /// Regenerate and return the full node sequence of each walk (requires a
+  /// service configured with enable_paths; costs regeneration rounds).
+  bool record_positions = false;
+};
+
+struct RequestResult {
+  WalkRequest request;
+  /// One exact l-step destination per requested walk (size == count).
+  std::vector<NodeId> destinations;
+  /// Full walk paths (size count, each length+1 nodes) when
+  /// record_positions was set; empty otherwise.
+  std::vector<std::vector<NodeId>> paths;
+  /// Rounds/messages directly attributable to this request's walks
+  /// (stitching + any in-walk GET-MORE-WALKS + regeneration; the batch's
+  /// shared concurrent tail run is reported at batch level only).
+  congest::RunStats stats;
+  /// Summed instrumentation over this request's walks.
+  core::WalkCounters counters;
+};
+
+}  // namespace drw::service

@@ -1,0 +1,133 @@
+#include "service/walk_service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace drw::service {
+
+namespace {
+
+core::Params engine_params(const ServiceConfig& config) {
+  core::Params params = config.params;
+  params.record_trajectories = config.enable_paths;
+  return params;
+}
+
+}  // namespace
+
+WalkService::WalkService(congest::Network& net, std::uint32_t diameter,
+                         ServiceConfig config)
+    : net_(&net), diameter_(diameter), config_(config),
+      engine_(net, engine_params(config), diameter),
+      inventory_(net.graph().node_count()) {
+  if (config_.lambda_slack < 1.0) {
+    throw std::invalid_argument("WalkService: lambda_slack < 1");
+  }
+}
+
+void WalkService::submit(const WalkRequest& request) {
+  if (request.source >= net_->graph().node_count()) {
+    throw std::invalid_argument("WalkService::submit: source out of range");
+  }
+  if (request.record_positions && !config_.enable_paths) {
+    throw std::invalid_argument(
+        "WalkService::submit: record_positions requires enable_paths");
+  }
+  pending_.push_back(request);
+}
+
+BatchReport WalkService::serve(const std::vector<WalkRequest>& requests) {
+  for (const WalkRequest& r : requests) submit(r);
+  return flush();
+}
+
+BatchReport WalkService::flush() {
+  BatchReport report;
+  if (pending_.empty()) return report;
+  std::vector<WalkRequest> batch = std::move(pending_);
+  pending_.clear();
+
+  const Graph& g = net_->graph();
+  std::uint64_t units = 0;
+  std::uint64_t l_max = 0;
+  for (const WalkRequest& r : batch) {
+    units += r.count;
+    l_max = std::max(l_max, r.length);
+    report.naive_rounds_estimate +=
+        static_cast<std::uint64_t>(r.count) * r.length;
+  }
+  report.requests = batch.size();
+  if (units == 0) {
+    // All counts were zero: assemble empty results, no protocol runs.
+    for (const WalkRequest& r : batch) {
+      report.results.push_back(RequestResult{r, {}, {}, {}, {}});
+    }
+    ++lifetime_.batches;
+    lifetime_.requests += report.requests;
+    return report;
+  }
+
+  // Plan the batch-wide lambda (MANY-RANDOM-WALKS parameterization over the
+  // whole batch) and decide between inventory reuse and a full Phase 1.
+  const core::Params params = engine_params(config_);
+  const std::uint32_t lambda_plan =
+      units <= 1 ? params.lambda_single(l_max, diameter_, g.node_count())
+                 : params.lambda_many(units, l_max, diameter_, g.node_count());
+  bool reuse = engine_.prepared() && !engine_.naive_mode();
+  if (reuse) {
+    const double current = engine_.lambda();
+    const double planned = lambda_plan;
+    reuse = planned <= current * config_.lambda_slack &&
+            current <= planned * config_.lambda_slack;
+  }
+
+  if (reuse) {
+    engine_.adopt_plan(units, l_max);
+    // Targeted replenishment: top up connectors whose last-batch demand
+    // outran their remaining stock, one O(lambda) GET-MORE-WALKS run each.
+    for (const Replenishment& r :
+         inventory_.plan_replenishment(config_.policy)) {
+      report.stats += engine_.replenish(r.source, r.count);
+      ++report.replenishments;
+      report.replenished_walks += r.count;
+    }
+  } else {
+    engine_.prepare(units, l_max);
+    // A naive-mode prepare creates no short walks (the fallback of
+    // Section 2.3): no Phase 1 actually ran, so it is not counted.
+    report.full_prepare = !engine_.naive_mode();
+    inventory_.reset(engine_);
+  }
+  report.lambda = engine_.lambda();
+  report.naive_mode = engine_.naive_mode();
+
+  BatchScheduler scheduler(engine_);
+  BatchScheduler::Outcome outcome = scheduler.run(batch, next_walk_id_);
+  next_walk_id_ += static_cast<std::uint32_t>(units);
+
+  report.results = std::move(outcome.results);
+  report.stats += outcome.stats;
+  report.walks = outcome.walks;
+  report.stitches = outcome.counters.stitches;
+  report.engine_gmw_calls = outcome.counters.get_more_walks_calls;
+  report.inventory_hits =
+      report.stitches > report.engine_gmw_calls
+          ? report.stitches - report.engine_gmw_calls
+          : 0;
+  // Keep the position table bounded even when no request recorded paths.
+  if (config_.enable_paths) engine_.drain_positions();
+  if (!report.naive_mode) inventory_.refresh(engine_);
+
+  ++lifetime_.batches;
+  lifetime_.requests += report.requests;
+  lifetime_.walks += report.walks;
+  lifetime_.stats += report.stats;
+  if (report.full_prepare) ++lifetime_.full_prepares;
+  lifetime_.replenishments += report.replenishments;
+  lifetime_.stitches += report.stitches;
+  lifetime_.inventory_hits += report.inventory_hits;
+  lifetime_.naive_rounds_estimate += report.naive_rounds_estimate;
+  return report;
+}
+
+}  // namespace drw::service

@@ -1,0 +1,145 @@
+// WalkService: a serving layer over the stitched random-walk engine.
+//
+// The paper's Phase 1 prepares short walks once; everything after that is
+// consumption. Callers that drive StitchEngine by hand pay a full prepare()
+// per batch and cannot mix lengths or sources. WalkService instead:
+//
+//   * accepts a stream of heterogeneous WalkRequests ({source, length,
+//     count, record_positions}) via submit(), served batch-at-a-time by
+//     flush();
+//   * plans ONE batch-wide lambda (MANY-RANDOM-WALKS parameterization over
+//     the batch's total walk count and maximum length) and keeps it across
+//     batches while the plan stays within a slack factor -- so the
+//     short-walk inventory persists instead of being discarded;
+//   * tops the inventory up INCREMENTALLY: targeted GET-MORE-WALKS runs for
+//     hot connectors (planned from observed per-node demand vs supply by
+//     WalkInventory) plus the engine's own in-walk GET-MORE-WALKS when
+//     SAMPLE-DESTINATION still comes up empty. A full Phase 1 re-prepare
+//     happens only when the planned lambda drifts out of the slack window
+//     (or on first use);
+//   * reports per-request WalkResults and per-batch/lifetime throughput
+//     aggregates: rounds/request, messages/request, inventory hit rate,
+//     replenishment and prepare counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "core/params.hpp"
+#include "core/random_walks.hpp"
+#include "service/batch_scheduler.hpp"
+#include "service/walk_inventory.hpp"
+#include "service/walk_request.hpp"
+
+namespace drw::service {
+
+struct ServiceConfig {
+  /// Walk parameterization (preset, transition model, eta, scaling...).
+  /// record_trajectories is overridden by enable_paths below.
+  core::Params params;
+  /// Record trajectories so requests may set record_positions. Costs
+  /// regeneration rounds per recorded walk and requires the simple walk.
+  bool enable_paths = false;
+  /// Replenishment sizing (see WalkInventory).
+  InventoryPolicy policy;
+  /// The inventory is reused while the batch-planned lambda stays within
+  /// [lambda/slack, lambda*slack] of the engine's current lambda; outside
+  /// that window the service re-prepares. Must be >= 1.
+  double lambda_slack = 4.0;
+};
+
+/// Per-batch serving report.
+struct BatchReport {
+  std::vector<RequestResult> results;   ///< submission order
+  congest::RunStats stats;              ///< total cost of this batch
+  std::uint64_t requests = 0;
+  std::uint64_t walks = 0;
+  std::uint32_t lambda = 0;             ///< lambda the batch ran with
+  bool naive_mode = false;              ///< lambda > max length: token walks
+  bool full_prepare = false;            ///< Phase 1 actually ran (a naive-
+                                        ///< mode prepare creates nothing)
+  std::uint64_t stitches = 0;
+  std::uint64_t inventory_hits = 0;     ///< stitches served from stock
+  std::uint64_t engine_gmw_calls = 0;   ///< in-walk emergency top-ups
+  std::uint64_t replenishments = 0;     ///< targeted pre-batch top-up runs
+  std::uint64_t replenished_walks = 0;  ///< short walks added by those runs
+  /// Model cost of serving the same requests one naive token walk at a
+  /// time (sum of length over all walks; a naive walk is exactly l rounds).
+  std::uint64_t naive_rounds_estimate = 0;
+
+  double rounds_per_request() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(stats.rounds) /
+                               static_cast<double>(requests);
+  }
+  double messages_per_request() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(stats.messages) /
+                               static_cast<double>(requests);
+  }
+  /// Fraction of stitches served without an in-walk GET-MORE-WALKS stall.
+  double inventory_hit_rate() const {
+    return stitches == 0 ? 1.0
+                         : static_cast<double>(inventory_hits) /
+                               static_cast<double>(stitches);
+  }
+};
+
+/// Lifetime aggregates across all served batches.
+struct ServiceStats {
+  std::uint64_t batches = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t walks = 0;
+  congest::RunStats stats;
+  std::uint64_t full_prepares = 0;
+  std::uint64_t replenishments = 0;
+  std::uint64_t stitches = 0;
+  std::uint64_t inventory_hits = 0;
+  std::uint64_t naive_rounds_estimate = 0;
+
+  double inventory_hit_rate() const {
+    return stitches == 0 ? 1.0
+                         : static_cast<double>(inventory_hits) /
+                               static_cast<double>(stitches);
+  }
+};
+
+class WalkService {
+ public:
+  WalkService(congest::Network& net, std::uint32_t diameter,
+              ServiceConfig config = {});
+
+  congest::Network& network() noexcept { return *net_; }
+  std::uint32_t diameter() const noexcept { return diameter_; }
+  const ServiceConfig& config() const noexcept { return config_; }
+
+  /// Enqueues one request for the next flush(). Throws std::invalid_argument
+  /// for an out-of-range source or record_positions without enable_paths.
+  void submit(const WalkRequest& request);
+  std::size_t pending() const noexcept { return pending_.size(); }
+
+  /// Serves every pending request as one batch. Empty-queue flushes are
+  /// free no-ops.
+  BatchReport flush();
+
+  /// submit() + flush() in one call.
+  BatchReport serve(const std::vector<WalkRequest>& requests);
+
+  const ServiceStats& lifetime() const noexcept { return lifetime_; }
+  const WalkInventory& inventory() const noexcept { return inventory_; }
+  /// Escape hatch for instrumentation and tests.
+  core::StitchEngine& engine() noexcept { return engine_; }
+
+ private:
+  congest::Network* net_;
+  std::uint32_t diameter_;
+  ServiceConfig config_;
+  core::StitchEngine engine_;
+  WalkInventory inventory_;
+  std::vector<WalkRequest> pending_;
+  std::uint32_t next_walk_id_ = 0;
+  ServiceStats lifetime_;
+};
+
+}  // namespace drw::service

@@ -1,0 +1,234 @@
+// WalkInventory bookkeeping and the StitchEngine serving-layer hooks:
+// store exposure, targeted replenishment, plan adoption, and state
+// release/adopt round-trips.
+#include "service/walk_inventory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "congest/network.hpp"
+#include "core/random_walks.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/markov.hpp"
+#include "util/stats.hpp"
+
+namespace drw::service {
+namespace {
+
+using congest::Network;
+using core::Params;
+using core::StitchEngine;
+
+Params small_lambda_params() {
+  Params params = Params::paper();
+  params.lambda_override = 3;
+  return params;
+}
+
+TEST(EngineHooks, UnusedCountsMatchStoreScan) {
+  const Graph g = gen::grid(4, 4);
+  Network net(g, 11);
+  StitchEngine engine(net, small_lambda_params(), exact_diameter(g));
+  engine.prepare(1, 40);
+  for (std::uint32_t w = 0; w < 5; ++w) engine.walk(0, 40, w);
+
+  const std::vector<std::uint64_t> counts = engine.unused_counts_by_source();
+  ASSERT_EQ(counts.size(), g.node_count());
+  std::uint64_t manual_total = 0;
+  std::vector<std::uint64_t> manual(g.node_count(), 0);
+  for (const auto& held : engine.store().held) {
+    for (const core::HeldToken& t : held) {
+      if (!t.used) {
+        ++manual[t.source];
+        ++manual_total;
+      }
+    }
+  }
+  EXPECT_EQ(counts, manual);
+  EXPECT_GT(manual_total, 0u);
+}
+
+TEST(EngineHooks, ReplenishAddsExactlyCountUnusedTokens) {
+  const Graph g = gen::torus(5, 5);
+  Network net(g, 3);
+  StitchEngine engine(net, small_lambda_params(), exact_diameter(g));
+  engine.prepare(1, 30);
+  const std::vector<std::uint64_t> before = engine.unused_counts_by_source();
+
+  const congest::RunStats stats = engine.replenish(7, 10);
+  const std::vector<std::uint64_t> after = engine.unused_counts_by_source();
+  EXPECT_EQ(after[7], before[7] + 10);
+  // GET-MORE-WALKS is O(lambda) rounds regardless of count (aggregation).
+  EXPECT_GT(stats.rounds, 0u);
+  EXPECT_LE(stats.rounds, 8u * engine.lambda());
+  // Fresh tokens are tagged as GET-MORE-WALKS walks with lengths in
+  // [lambda, 2*lambda).
+  std::uint64_t fresh = 0;
+  for (const auto& held : engine.store().held) {
+    for (const core::HeldToken& t : held) {
+      if (t.source == 7 && t.kind == core::WalkKind::kGetMore) {
+        EXPECT_GE(t.length, engine.lambda());
+        EXPECT_LT(t.length, 2 * engine.lambda());
+        ++fresh;
+      }
+    }
+  }
+  EXPECT_EQ(fresh, 10u);
+}
+
+TEST(EngineHooks, ReplenishedTokensYieldExactWalkDistribution) {
+  // A walk stitched from externally replenished (GET-MORE-WALKS) tokens
+  // must still be an exact l-step sample. Phase 1 leaves each node only
+  // eta*deg = 2 walks; replenishing 40 more from node 0 means the sampled
+  // stitches overwhelmingly consume topped-up stock.
+  const Graph g = gen::cycle(5);
+  const MarkovOracle oracle(g);
+  const std::uint64_t l = 8;
+  const auto expected = oracle.distribution_after(0, l);
+  Params params = small_lambda_params();
+  params.lambda_override = 3;
+
+  std::vector<std::uint64_t> counts(g.node_count(), 0);
+  std::uint64_t getmore_consumed = 0;
+  const int runs = 2500;
+  for (int run = 0; run < runs; ++run) {
+    Network net(g, 52000 + run);
+    StitchEngine engine(net, params, 2);
+    engine.prepare(1, l);
+    engine.replenish(0, 40);
+    ++counts[engine.walk(0, l, 0).destination];
+    for (const auto& held : engine.store().held) {
+      for (const core::HeldToken& t : held) {
+        if (t.used && t.kind == core::WalkKind::kGetMore) ++getmore_consumed;
+      }
+    }
+  }
+  EXPECT_GT(getmore_consumed, 0u)
+      << "test never consumed a replenished token";
+  const auto result = chi_square_test(counts, expected);
+  EXPECT_GT(result.p_value, 1e-4) << "chi2=" << result.statistic;
+}
+
+TEST(EngineHooks, AdoptPlanKeepsInventoryAndLambda) {
+  const Graph g = gen::grid(4, 4);
+  Network net(g, 9);
+  StitchEngine engine(net, small_lambda_params(), exact_diameter(g));
+  engine.prepare(2, 30);
+  const std::uint32_t lambda = engine.lambda();
+  const auto stock_before = engine.unused_counts_by_source();
+
+  engine.adopt_plan(8, 60);
+  EXPECT_EQ(engine.lambda(), lambda);
+  EXPECT_EQ(engine.prepared_k(), 8u);
+  EXPECT_EQ(engine.prepared_l(), 60u);
+  EXPECT_EQ(engine.unused_counts_by_source(), stock_before);
+  // Walks longer than the original envelope are now allowed.
+  EXPECT_NO_THROW(engine.walk(0, 60, 0));
+}
+
+TEST(EngineHooks, ReleaseAdoptStateRoundTrip) {
+  const Graph g = gen::torus(4, 4);
+  const std::uint32_t diameter = exact_diameter(g);
+  Network net(g, 5);
+  StitchEngine first(net, small_lambda_params(), diameter);
+  first.prepare(1, 30);
+  const auto stock = first.unused_counts_by_source();
+
+  StitchEngine::EngineState state = first.release_state();
+  EXPECT_FALSE(first.prepared());
+  EXPECT_THROW(first.walk(0, 10, 0), std::logic_error);
+
+  StitchEngine second(net, small_lambda_params(), diameter);
+  second.adopt_state(std::move(state));
+  EXPECT_TRUE(second.prepared());
+  EXPECT_EQ(second.unused_counts_by_source(), stock);
+  const core::WalkResult walk = second.walk(0, 30, 0);
+  EXPECT_LT(walk.destination, g.node_count());
+  // No Phase 1 ran in `second`: the walk's counters carry no prepared cost.
+  EXPECT_EQ(walk.counters.walks_prepared, 0u);
+}
+
+TEST(EngineHooks, HookPreconditionsThrow) {
+  const Graph g = gen::cycle(6);
+  Network net(g, 1);
+  StitchEngine engine(net, Params::paper(), 3);
+  EXPECT_THROW(engine.replenish(0, 4), std::logic_error);
+  EXPECT_THROW(engine.adopt_plan(1, 10), std::logic_error);
+  EXPECT_THROW(engine.release_state(), std::logic_error);
+
+  StitchEngine other(net, Params::paper(), 3);
+  StitchEngine::EngineState bogus;
+  bogus.lambda = 0;
+  EXPECT_THROW(other.adopt_state(std::move(bogus)), std::invalid_argument);
+}
+
+TEST(RunStatsDelta, SaturatingDifference) {
+  congest::RunStats later{100, 2000, 7};
+  const congest::RunStats earlier{40, 500, 3};
+  const congest::RunStats delta = later - earlier;
+  EXPECT_EQ(delta.rounds, 60u);
+  EXPECT_EQ(delta.messages, 1500u);
+  const congest::RunStats clamped = earlier - later;
+  EXPECT_EQ(clamped.rounds, 0u);
+  EXPECT_EQ(clamped.messages, 0u);
+}
+
+TEST(Inventory, RefreshTracksSupplyAndDemand) {
+  const Graph g = gen::grid(4, 4);
+  Network net(g, 21);
+  StitchEngine engine(net, small_lambda_params(), exact_diameter(g));
+  engine.prepare(1, 40);
+
+  WalkInventory inventory(g.node_count());
+  inventory.refresh(engine);
+  const std::uint64_t stock0 = inventory.total_unused();
+  EXPECT_GT(stock0, 0u);
+  EXPECT_EQ(inventory.total_demand(), 0u);
+
+  core::WalkResult walk = engine.walk(0, 40, 0);
+  inventory.refresh(engine);
+  // Every stitch consumed one token and counted one connector visit.
+  EXPECT_EQ(inventory.total_demand(), walk.counters.stitches);
+  if (walk.counters.get_more_walks_calls == 0) {
+    // No in-walk top-up: stock shrank by exactly the stitch count.
+    EXPECT_EQ(stock0 - inventory.total_unused(), walk.counters.stitches);
+  }
+  // Second refresh without walks: demand delta drops to zero.
+  inventory.refresh(engine);
+  EXPECT_EQ(inventory.total_demand(), 0u);
+}
+
+TEST(Inventory, PlanTargetsStarvedConnectorsOnly) {
+  const Graph g = gen::grid(3, 3);
+  Network net(g, 33);
+  Params params = small_lambda_params();
+  params.lambda_override = 2;
+  StitchEngine engine(net, params, exact_diameter(g));
+  engine.prepare(1, 60);
+
+  WalkInventory inventory(g.node_count());
+  inventory.refresh(engine);
+  for (std::uint32_t w = 0; w < 6; ++w) engine.walk(4, 60, w);
+  inventory.refresh(engine);
+
+  InventoryPolicy policy;
+  policy.min_batch = 2;
+  policy.headroom = 2.0;
+  const std::vector<Replenishment> plan =
+      inventory.plan_replenishment(policy);
+  for (const Replenishment& r : plan) {
+    // Only nodes whose demand outran their remaining stock are topped up.
+    EXPECT_GT(inventory.demand(r.source), inventory.unused(r.source));
+    EXPECT_GE(r.count, policy.min_batch);
+    EXPECT_LE(r.count, policy.max_batch);
+  }
+  // Plan is most-starved first.
+  for (std::size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_GE(plan[i - 1].count, plan[i].count);
+  }
+}
+
+}  // namespace
+}  // namespace drw::service

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: configure, build, run the full test suite; optionally the
+# same under ASan/UBSan (DRW_SANITIZE=1) and the serving-layer acceptance
+# bench (DRW_BENCH=1).
+#
+#   tools/ci.sh                 # plain build + ctest
+#   DRW_SANITIZE=1 tools/ci.sh  # sanitizer build + ctest
+#   DRW_BENCH=1 tools/ci.sh     # also run bench_service acceptance gate
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-ci}
+CMAKE_ARGS=(-B "$BUILD_DIR" -S .)
+if [[ "${DRW_SANITIZE:-0}" == "1" ]]; then
+  CMAKE_ARGS+=(-DDRW_SANITIZE=ON)
+fi
+
+cmake "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+if [[ "${DRW_BENCH:-0}" == "1" ]]; then
+  # bench_service exits non-zero if the serviced workload fails to beat
+  # per-request serving or never exercises inventory replenishment.
+  "$BUILD_DIR/bench_service" --benchmark_min_time=1x
+fi
+echo "ci: OK"

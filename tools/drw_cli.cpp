@@ -6,6 +6,8 @@
 // Commands:
 //   walk       one l-step stitched walk          (--l, --source, --naive)
 //   many       k walks of length l               (--l, --k, --source)
+//   serve      walk service over request batches (--requests, --batch-size,
+//              alias: batch)                      --paths, --k, --l)
 //   rst        random spanning tree              (--root)
 //   mixing     decentralized mixing-time         (--samples, --lazy)
 //   expander   expander check                    (--samples)
@@ -20,10 +22,14 @@
 //   drw walk --graph=regular:128,4 --l=8192
 //   drw rst --graph=grid:8x8 --seed=7
 //   drw pagerank --graph=rgg:96,0.2 --alpha=0.15 --tokens=200
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -38,6 +44,7 @@
 #include "graph/spanning.hpp"
 #include "lowerbound/gadget.hpp"
 #include "lowerbound/path_verification.hpp"
+#include "service/walk_service.hpp"
 
 namespace {
 
@@ -46,10 +53,14 @@ using namespace drw;
 [[noreturn]] void usage(const char* error = nullptr) {
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
-               "usage: drw <walk|many|rst|mixing|expander|pagerank|verify>\n"
+               "usage: drw "
+               "<walk|many|serve|rst|mixing|expander|pagerank|verify>\n"
                "           [--graph=SPEC] [--seed=N] [--l=N] [--k=N]\n"
                "           [--source=N] [--root=N] [--alpha=F] [--tokens=N]\n"
                "           [--samples=N] [--naive] [--lazy] [--mh]\n"
+               "           [--requests=FILE] [--batch-size=N] [--paths]\n"
+               "request file: one `source length count [record]` per line,\n"
+               "              '#' starts a comment\n"
                "graph specs: path:N cycle:N grid:RxC torus:RxC hypercube:D\n"
                "             complete:N star:N lollipop:C,P barbell:C,P\n"
                "             er:N,P regular:N,D rgg:N,R chain:S,N,D file:PATH\n");
@@ -69,6 +80,9 @@ struct Args {
   std::uint32_t samples = 0;
   bool naive = false;
   TransitionModel model = TransitionModel::kSimple;
+  std::string requests_file;
+  std::uint32_t batch_size = 8;
+  bool paths = false;
 };
 
 std::optional<std::string> flag_value(const char* arg, const char* name) {
@@ -105,6 +119,13 @@ Args parse_args(int argc, char** argv) {
     } else if (auto v = flag_value(a, "--samples")) {
       args.samples =
           static_cast<std::uint32_t>(std::strtoul(v->c_str(), nullptr, 10));
+    } else if (auto v = flag_value(a, "--requests")) {
+      args.requests_file = *v;
+    } else if (auto v = flag_value(a, "--batch-size")) {
+      args.batch_size =
+          static_cast<std::uint32_t>(std::strtoul(v->c_str(), nullptr, 10));
+    } else if (std::strcmp(a, "--paths") == 0) {
+      args.paths = true;
     } else if (std::strcmp(a, "--naive") == 0) {
       args.naive = true;
     } else if (std::strcmp(a, "--lazy") == 0) {
@@ -234,6 +255,128 @@ int cmd_many(const Args& args, const Graph& g, std::uint32_t diameter) {
   return 0;
 }
 
+/// Parses a request file: one `source length count [record]` per line;
+/// blank lines and '#' comments skipped.
+std::vector<service::WalkRequest> read_request_file(const std::string& path,
+                                                    std::size_t node_count) {
+  std::ifstream in(path);
+  if (!in) usage(("cannot open request file: " + path).c_str());
+  std::vector<service::WalkRequest> requests;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::uint64_t source = 0;
+    std::uint64_t length = 0;
+    std::uint64_t count = 1;
+    std::uint64_t record = 0;
+    if (!(fields >> source)) continue;  // blank / comment-only line
+    if (!(fields >> length)) {
+      usage(("request file line " + std::to_string(line_no) +
+             ": expected `source length [count [record]]`").c_str());
+    }
+    // Optional fields keep their defaults when absent (a failed >> would
+    // zero the target).
+    std::uint64_t value = 0;
+    if (fields >> value) {
+      count = value;
+      if (fields >> value) record = value;
+    }
+    if (source >= node_count) {
+      usage(("request file line " + std::to_string(line_no) +
+             ": source out of range").c_str());
+    }
+    requests.push_back(service::WalkRequest{
+        static_cast<NodeId>(source), length,
+        static_cast<std::uint32_t>(count), record != 0});
+  }
+  return requests;
+}
+
+/// A reproducible synthetic workload: random sources, log-uniform lengths.
+std::vector<service::WalkRequest> synthetic_requests(
+    const Args& args, const Graph& g, std::uint32_t diameter) {
+  Rng rng(args.seed ^ 0x5e21fe);
+  std::vector<service::WalkRequest> requests;
+  const double lo = std::log2(std::max<double>(diameter, 2.0));
+  const double hi =
+      std::log2(static_cast<double>(std::max<std::uint64_t>(args.l, 4)));
+  for (std::uint64_t i = 0; i < std::max<std::uint64_t>(args.k, 1); ++i) {
+    const double x = lo + (hi - lo) * rng.next_double();
+    requests.push_back(service::WalkRequest{
+        static_cast<NodeId>(rng.next_below(g.node_count())),
+        static_cast<std::uint64_t>(std::llround(std::exp2(x))),
+        static_cast<std::uint32_t>(1 + rng.next_below(4)), false});
+  }
+  return requests;
+}
+
+int cmd_serve(const Args& args, const Graph& g, std::uint32_t diameter) {
+  congest::Network net(g, args.seed);
+  service::ServiceConfig config;
+  config.params = core::Params::paper();
+  config.params.transition = args.model;
+  config.enable_paths = args.paths;
+  service::WalkService service(net, diameter, config);
+
+  const std::vector<service::WalkRequest> requests =
+      args.requests_file.empty()
+          ? synthetic_requests(args, g, diameter)
+          : read_request_file(args.requests_file, g.node_count());
+  if (requests.empty()) usage("no requests to serve");
+  for (const service::WalkRequest& r : requests) {
+    if (r.record_positions && !args.paths) {
+      usage("request file asks for recorded paths: pass --paths");
+    }
+  }
+  const std::uint32_t batch_size = std::max(args.batch_size, 1u);
+
+  std::size_t batch_no = 0;
+  for (std::size_t at = 0; at < requests.size(); at += batch_size) {
+    for (std::size_t i = at;
+         i < std::min(requests.size(), at + batch_size); ++i) {
+      service.submit(requests[i]);
+    }
+    const service::BatchReport report = service.flush();
+    std::printf(
+        "batch %zu: %llu req / %llu walks | lambda=%u %s | rounds=%llu "
+        "(%.1f/req) msgs=%llu | hit=%.3f gmw=%llu topups=%llu(+%llu)\n",
+        ++batch_no, static_cast<unsigned long long>(report.requests),
+        static_cast<unsigned long long>(report.walks), report.lambda,
+        report.naive_mode ? "naive"
+                          : (report.full_prepare ? "phase1" : "reuse"),
+        static_cast<unsigned long long>(report.stats.rounds),
+        report.rounds_per_request(),
+        static_cast<unsigned long long>(report.stats.messages),
+        report.inventory_hit_rate(),
+        static_cast<unsigned long long>(report.engine_gmw_calls),
+        static_cast<unsigned long long>(report.replenishments),
+        static_cast<unsigned long long>(report.replenished_walks));
+  }
+  const service::ServiceStats& life = service.lifetime();
+  std::printf(
+      "served %llu requests (%llu walks) in %llu batches: rounds=%llu "
+      "messages=%llu | phase1=%llu topups=%llu hit=%.3f | naive model "
+      "rounds=%llu (%.1fx)\n",
+      static_cast<unsigned long long>(life.requests),
+      static_cast<unsigned long long>(life.walks),
+      static_cast<unsigned long long>(life.batches),
+      static_cast<unsigned long long>(life.stats.rounds),
+      static_cast<unsigned long long>(life.stats.messages),
+      static_cast<unsigned long long>(life.full_prepares),
+      static_cast<unsigned long long>(life.replenishments),
+      life.inventory_hit_rate(),
+      static_cast<unsigned long long>(life.naive_rounds_estimate),
+      life.stats.rounds == 0
+          ? 0.0
+          : static_cast<double>(life.naive_rounds_estimate) /
+                static_cast<double>(life.stats.rounds));
+  return 0;
+}
+
 int cmd_rst(const Args& args, const Graph& g, std::uint32_t diameter) {
   congest::Network net(g, args.seed);
   const auto result =
@@ -344,6 +487,9 @@ int main(int argc, char** argv) {
 
   if (args.command == "walk") return cmd_walk(args, g, diameter);
   if (args.command == "many") return cmd_many(args, g, diameter);
+  if (args.command == "serve" || args.command == "batch") {
+    return cmd_serve(args, g, diameter);
+  }
   if (args.command == "rst") return cmd_rst(args, g, diameter);
   if (args.command == "mixing") return cmd_mixing(args, g, diameter);
   if (args.command == "expander") return cmd_expander(args, g, diameter);
