@@ -1,14 +1,18 @@
 // Shared support for the experiment harness: aligned table printing, series
-// bookkeeping and log-log slope fits. Every bench binary prints the
-// paper-vs-measured series for its experiment (EXPERIMENTS.md records the
-// mapping), then runs its registered google-benchmark timings.
+// bookkeeping, log-log slope fits, and machine-readable result files. Every
+// bench binary prints the paper-vs-measured series for its experiment
+// (EXPERIMENTS.md records the mapping), then runs its registered
+// google-benchmark timings; perf-trajectory benches additionally emit a
+// BENCH_<name>.json via JsonReport.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/stats.hpp"
@@ -62,6 +66,72 @@ inline std::string fmt_double(double v, int precision = 2) {
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
 }
+
+/// Machine-readable bench output: accumulates flat key/value fields and
+/// writes them as `BENCH_<name>.json` in the working directory, so CI and
+/// perf-trajectory tooling can diff runs without scraping tables. Numbers
+/// are emitted as JSON numbers, everything else as strings.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  JsonReport& add(const std::string& key, double value) {
+    if (!std::isfinite(value)) {  // "inf"/"nan" are not valid JSON
+      fields_.emplace_back(key, "null");
+      return *this;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.emplace_back(key, buf);
+    return *this;
+  }
+  JsonReport& add(const std::string& key, std::uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonReport& add(const std::string& key, std::uint32_t value) {
+    return add(key, static_cast<std::uint64_t>(value));
+  }
+  JsonReport& add(const std::string& key, int value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonReport& add_string(const std::string& key, const std::string& value) {
+    std::string escaped = "\"";
+    for (const char c : value) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    escaped += '"';
+    fields_.emplace_back(key, std::move(escaped));
+    return *this;
+  }
+
+  /// Writes BENCH_<name>.json; returns false (with a stderr note) on IO
+  /// failure so benches can keep running in read-only environments.
+  bool write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(out, "{\n");
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      std::fprintf(out, "  \"%s\": %s%s\n", fields_[i].first.c_str(),
+                   fields_[i].second.c_str(),
+                   i + 1 < fields_.size() ? "," : "");
+    }
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 /// Fits and prints the log-log slope of a measured series.
 inline void print_slope(const std::string& label,

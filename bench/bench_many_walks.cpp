@@ -24,6 +24,12 @@ void run_experiment() {
   const Graph g = gen::random_regular(128, 4, rng);
   const std::uint32_t diameter = exact_diameter(g);
   const std::uint64_t l = 4096;
+  bench::JsonReport json("many_walks");
+  json.add("n", static_cast<std::uint64_t>(g.node_count()));
+  json.add("l", l);
+  // Reported values average reps seeded seed_base + rep, rep in {0, 1}.
+  json.add("seed_base", static_cast<std::uint64_t>(300));
+  json.add("reps", static_cast<std::uint64_t>(2));
 
   bench::banner("E3 / Theorem 2.8",
                 "k walks of length l = 4096 from one source on "
@@ -36,13 +42,22 @@ void run_experiment() {
     const std::vector<NodeId> sources(k, 0);
     RunningStats rounds;
     bool fallback = false;
+    double wall_ms = 0.0;
+    std::uint64_t messages = 0;
     for (int rep = 0; rep < 2; ++rep) {
       congest::Network net(g, 300 + rep);
       const auto out = core::many_random_walks(
           net, sources, l, core::Params::paper(), diameter);
       rounds.add(static_cast<double>(out.stats.rounds));
       fallback = out.used_naive_fallback;
+      wall_ms += out.stats.wall_ms;
+      messages += out.stats.messages;
+      if (rep == 0 && k == 1) json.add("threads", out.stats.threads);
     }
+    const std::string suffix = "_k" + std::to_string(k);
+    json.add("rounds" + suffix, rounds.mean());
+    json.add("wall_ms" + suffix, wall_ms / 2.0);
+    json.add("messages" + suffix, messages / 2);
     ks.push_back(static_cast<double>(k));
     rounds_series.push_back(rounds.mean());
     const double model = std::sqrt(static_cast<double>(k * l * diameter)) +
@@ -54,6 +69,7 @@ void run_experiment() {
   }
   table.print();
   bench::print_slope("rounds vs k", ks, rounds_series, 0.5);
+  json.write();
 }
 
 void BM_ManyWalks(benchmark::State& state) {

@@ -10,9 +10,15 @@
 // The workload: 36 requests, lengths mixed across 256..4096, sources spread
 // over an expander, served in 3 batches so cross-batch inventory reuse and
 // demand-driven top-ups are on the measured path.
+// It doubles as the parallel-executor gate: the same serviced workload on an
+// n = 10^4 expander is timed at 1/2/8 executor threads; endpoints must be
+// bit-identical and, when the host has >= 8 hardware threads, 8 threads must
+// be >= 2x faster than 1. Results land in BENCH_service.json.
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <span>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -86,6 +92,135 @@ Comparison run_comparison(const Graph& g, std::uint32_t diameter,
     }
   }
   return cmp;
+}
+
+/// Times one serviced workload at a fixed executor width; returns the
+/// destinations too so the sweep can assert thread-count independence.
+struct ParallelPoint {
+  double wall_ms = 0.0;
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::vector<NodeId> destinations;
+};
+
+ParallelPoint run_parallel_point_once(
+    const Graph& g, std::uint32_t diameter, unsigned threads,
+    std::span<const service::WalkRequest> reqs) {
+  congest::Network net(g, 9001);
+  service::ServiceConfig config;
+  config.threads = threads;
+  service::WalkService svc(net, diameter, config);
+  ParallelPoint point;
+  for (std::size_t at = 0; at < reqs.size(); at += 16) {
+    for (std::size_t i = at; i < std::min(reqs.size(), at + 16); ++i) {
+      svc.submit(reqs[i]);
+    }
+    const service::BatchReport report = svc.flush();
+    for (const service::RequestResult& r : report.results) {
+      point.destinations.insert(point.destinations.end(),
+                                r.destinations.begin(),
+                                r.destinations.end());
+    }
+  }
+  point.wall_ms = svc.lifetime().stats.wall_ms;
+  point.rounds = svc.lifetime().stats.rounds;
+  point.messages = svc.lifetime().stats.messages;
+  return point;
+}
+
+/// Best-of-2 wall time per width: one scheduling hiccup on a shared CI
+/// runner must not trip the speedup gates. Both reps are seeded alike, so
+/// they double as a same-width determinism check.
+ParallelPoint run_parallel_point(const Graph& g, std::uint32_t diameter,
+                                 unsigned threads,
+                                 std::span<const service::WalkRequest> reqs) {
+  ParallelPoint best = run_parallel_point_once(g, diameter, threads, reqs);
+  const ParallelPoint rep = run_parallel_point_once(g, diameter, threads, reqs);
+  if (rep.destinations != best.destinations) {
+    std::fprintf(stderr, "parallel experiment: same-seed reps diverged\n");
+    std::exit(1);
+  }
+  if (rep.wall_ms < best.wall_ms) best.wall_ms = rep.wall_ms;
+  return best;
+}
+
+int run_parallel_experiment(bench::JsonReport& json) {
+  const std::size_t n = 10000;
+  Rng rng(909);
+  const Graph g = gen::random_regular(n, 6, rng);
+  const std::uint32_t diameter =
+      double_sweep_diameter_estimate(g, 0);
+
+  Rng workload_rng(17);
+  std::vector<service::WalkRequest> requests;
+  const std::uint64_t lengths[] = {1024, 2048, 4096};
+  for (int i = 0; i < 32; ++i) {
+    const NodeId source =
+        i % 2 == 0 ? 0
+                   : static_cast<NodeId>(workload_rng.next_below(n));
+    requests.push_back(service::WalkRequest{
+        source, lengths[static_cast<std::size_t>(i) % 3], 1, false});
+  }
+
+  bench::banner(
+      "PARALLEL / sharded round executor",
+      "32 mixed-length requests (1024..4096) on expander(10000,6), the same "
+      "seeded workload at 1/2/8 executor threads: results must be "
+      "bit-identical, wall time should not be");
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned sweep[] = {1, 2, 8};
+  bench::Table table({"threads", "wall ms", "rounds", "messages", "speedup"});
+  ParallelPoint base;
+  double speedup2 = 0.0;
+  double speedup8 = 0.0;
+  bool identical = true;
+  for (const unsigned threads : sweep) {
+    const ParallelPoint point =
+        run_parallel_point(g, diameter, threads, requests);
+    if (threads == 1) {
+      base = point;
+    } else {
+      identical = identical && point.destinations == base.destinations &&
+                  point.rounds == base.rounds &&
+                  point.messages == base.messages;
+    }
+    const double speedup = base.wall_ms / point.wall_ms;
+    if (threads == 2) speedup2 = speedup;
+    if (threads == 8) speedup8 = speedup;
+    table.add_row({bench::fmt_u64(threads), bench::fmt_double(point.wall_ms, 1),
+                   bench::fmt_u64(point.rounds), bench::fmt_u64(point.messages),
+                   bench::fmt_double(speedup, 2)});
+    json.add("wall_ms_t" + std::to_string(threads), point.wall_ms);
+  }
+  table.print();
+
+  json.add_string("workload", "expander(10000,6) x 32 requests 1024..4096");
+  json.add("n", static_cast<std::uint64_t>(n));
+  json.add("seed", static_cast<std::uint64_t>(9001));
+  json.add("rounds", base.rounds);
+  json.add("messages", base.messages);
+  json.add("hw_threads", static_cast<std::uint64_t>(hw));
+  json.add("speedup_t2", speedup2);
+  json.add("speedup_t8", speedup8);
+  json.add("deterministic", identical ? 1 : 0);
+
+  // The >=2x gate only binds where 8 workers have real cores to run on.
+  // The 2-thread check is a WARN-only canary for 4-vCPU CI runners (it
+  // catches an accidentally serialized executor without hard-failing on a
+  // threshold that has never been calibrated on shared runners); smaller
+  // hosts still emit the trajectory point.
+  const bool enforce8 = hw >= 8;
+  const bool pass8 = !enforce8 || speedup8 >= 2.0;
+  const bool warn2 = hw >= 4 && speedup2 < 1.2;
+  std::printf("acceptance: bit-identical across thread counts: %s; "
+              "8-thread speedup %.2fx (>=2x gate %s); "
+              "2-thread speedup %.2fx (canary %s)\n",
+              identical ? "PASS" : "FAIL", speedup8,
+              !enforce8 ? "SKIP, <8 hw threads" : (pass8 ? "PASS" : "FAIL"),
+              speedup2,
+              hw < 4 ? "SKIP, <4 hw threads" : (warn2 ? "WARN" : "OK"));
+  return identical && pass8 ? 0 : 1;
 }
 
 int run_experiment() {
@@ -168,6 +303,10 @@ BENCHMARK(BM_IndependentWalks);
 int main(int argc, char** argv) {
   const int rc = run_experiment();
   if (rc != 0) return rc;
+  bench::JsonReport json("service");
+  const int parallel_rc = run_parallel_experiment(json);
+  json.write();
+  if (parallel_rc != 0) return parallel_rc;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,143 @@
+// Flat chunked FIFO arena for the per-directed-edge message backlogs.
+//
+// Replaces the simulator's former `std::vector<std::deque<Message>>`: a
+// deque per edge scatters every backlog over its own heap allocations, while
+// here all queued messages live in per-shard chunk pools -- contiguous
+// vectors of fixed-capacity chunks linked into per-edge FIFOs and recycled
+// through a free list. Two consequences:
+//
+//   * cache locality: one round's backlog traffic touches a handful of
+//     chunk-pool pages instead of 2m individual deques;
+//   * lock-free parallelism: every directed edge is owned by exactly one
+//     shard (the shard of its DESTINATION node), an edge's chunks are drawn
+//     only from its owner shard's pool, and the parallel executor lets only
+//     the owner worker touch that pool -- so enqueue (merge) and transmit
+//     need no locks or atomics at all.
+//
+// The arena itself is single-threaded per shard; all cross-shard discipline
+// lives in congest::Network's round executor.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "congest/message.hpp"
+
+namespace drw::congest {
+
+class EdgeArena {
+ public:
+  /// Messages per chunk: sized so a chunk (12 * 40B + link) spans a small
+  /// fixed number of cache lines while short backlogs (the common case --
+  /// one token queued per edge) waste little space.
+  static constexpr std::uint32_t kChunkCap = 12;
+
+  /// Re-initializes for `edge_count` directed edges and `shard_count` owner
+  /// pools. Drops all queued messages and pooled chunks.
+  void reset(std::size_t edge_count, unsigned shard_count) {
+    queues_.assign(edge_count, Queue{});
+    pools_.assign(shard_count, Pool{});
+  }
+
+  /// Appends to edge `eid`'s FIFO. `shard` must be the edge's owner shard.
+  void push(unsigned shard, std::uint32_t eid, const Message& m) {
+    Pool& pool = pools_[shard];
+    Queue& q = queues_[eid];
+    if (q.tail == kNil) {
+      const std::uint32_t c = alloc(pool);
+      q.head = q.tail = c;
+      q.head_off = q.tail_off = 0;
+    } else if (q.tail_off == kChunkCap) {
+      const std::uint32_t c = alloc(pool);
+      pool.chunks[q.tail].next = c;
+      q.tail = c;
+      q.tail_off = 0;
+    }
+    pool.chunks[q.tail].slot[q.tail_off++] = m;
+    ++q.size;
+  }
+
+  /// Pops the front of edge `eid`'s FIFO. Precondition: size(eid) > 0.
+  Message pop(unsigned shard, std::uint32_t eid) {
+    Pool& pool = pools_[shard];
+    Queue& q = queues_[eid];
+    Chunk& head = pool.chunks[q.head];
+    const Message m = head.slot[q.head_off++];
+    if (--q.size == 0) {
+      release(pool, q.head);  // head == tail when the queue drains
+      q = Queue{};
+    } else if (q.head_off == kChunkCap) {
+      const std::uint32_t next = head.next;
+      release(pool, q.head);
+      q.head = next;
+      q.head_off = 0;
+    }
+    return m;
+  }
+
+  std::uint32_t size(std::uint32_t eid) const noexcept {
+    return queues_[eid].size;
+  }
+
+  /// Drops all messages of edge `eid`, returning its chunks to the pool.
+  void clear_queue(unsigned shard, std::uint32_t eid) {
+    Pool& pool = pools_[shard];
+    Queue& q = queues_[eid];
+    std::uint32_t c = q.head;
+    while (c != kNil) {
+      const std::uint32_t next = pool.chunks[c].next;
+      release(pool, c);
+      c = next;
+    }
+    q = Queue{};
+  }
+
+  /// True iff no edge has queued messages (post-run invariant check).
+  bool all_empty() const noexcept {
+    for (const Queue& q : queues_) {
+      if (q.size != 0) return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr std::uint32_t kNil = static_cast<std::uint32_t>(-1);
+
+  struct Chunk {
+    std::array<Message, kChunkCap> slot;
+    std::uint32_t next = kNil;
+  };
+  struct Pool {
+    std::vector<Chunk> chunks;
+    std::uint32_t free_head = kNil;
+  };
+  struct Queue {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+    std::uint32_t size = 0;
+    std::uint16_t head_off = 0;
+    std::uint16_t tail_off = 0;
+  };
+
+  static std::uint32_t alloc(Pool& pool) {
+    if (pool.free_head != kNil) {
+      const std::uint32_t c = pool.free_head;
+      pool.free_head = pool.chunks[c].next;
+      pool.chunks[c].next = kNil;
+      return c;
+    }
+    pool.chunks.emplace_back();
+    return static_cast<std::uint32_t>(pool.chunks.size() - 1);
+  }
+
+  static void release(Pool& pool, std::uint32_t c) {
+    pool.chunks[c].next = pool.free_head;
+    pool.free_head = c;
+  }
+
+  std::vector<Queue> queues_;  // per directed edge
+  std::vector<Pool> pools_;    // per owner shard
+};
+
+}  // namespace drw::congest

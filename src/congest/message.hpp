@@ -1,0 +1,27 @@
+// The CONGEST message unit, shared by the network simulator and the
+// edge-queue arena (kept in its own header so the arena does not depend on
+// the full simulator interface).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace drw::congest {
+
+/// A CONGEST message: type tag + <= 4 payload words (O(log n) bits).
+struct Message {
+  std::uint16_t type = 0;
+  std::array<std::uint64_t, 4> f{};
+};
+static_assert(sizeof(Message) <= 48, "Message must stay O(log n) bits");
+
+/// A delivered message together with the neighbor it arrived from (the
+/// CONGEST model lets the receiver identify the incoming edge).
+struct Delivery {
+  Message msg;
+  NodeId from = kInvalidNode;
+};
+
+}  // namespace drw::congest

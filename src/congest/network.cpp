@@ -1,8 +1,40 @@
 #include "congest/network.hpp"
 
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
 namespace drw::congest {
+
+namespace {
+
+/// Below this much per-phase work (active nodes / staged sends + busy
+/// edges), a pool dispatch costs more than it saves: run the shards inline
+/// on the driver thread instead. The data flow is identical either way, so
+/// this is purely a latency knob -- results do not depend on it.
+/// DRW_PARALLEL_GRAIN overrides it; the CI TSan leg sets 1 so that even
+/// small-graph tests execute on_round concurrently under the race checker.
+std::size_t parallel_grain() {
+  static const std::size_t value = [] {
+    if (const char* env = std::getenv("DRW_PARALLEL_GRAIN")) {
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(env, &end, 10);
+      if (end != env) return static_cast<std::size_t>(parsed);
+    }
+    return static_cast<std::size_t>(192);
+  }();
+  return value;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ Context
 
 std::uint32_t Context::degree() const noexcept {
   return net_->graph().degree(self_);
@@ -21,7 +53,7 @@ std::uint32_t Context::slot_of(NodeId neighbor_id) const noexcept {
 }
 
 void Context::send(std::uint32_t slot, const Message& m) {
-  net_->enqueue(self_, slot, m);
+  net_->stage_send(worker_, self_, slot, m);
 }
 
 void Context::send_to(NodeId neighbor_id, const Message& m) {
@@ -29,18 +61,102 @@ void Context::send_to(NodeId neighbor_id, const Message& m) {
   if (slot >= degree()) {
     throw std::logic_error("Context::send_to: target is not a neighbor");
   }
-  net_->enqueue(self_, slot, m);
+  net_->stage_send(worker_, self_, slot, m);
 }
 
-void Context::wake_me() {
-  if (!net_->wake_flag_[self_]) {
-    net_->wake_flag_[self_] = 1;
-    net_->wake_list_.push_back(self_);
-    ++net_->wakes_next_round_;
-  }
-}
+void Context::wake_me() { net_->stage_wake(worker_, self_); }
 
 Rng& Context::rng() { return net_->node_rngs_[self_]; }
+
+// --------------------------------------------------------------- WorkerPool
+
+/// A persistent pool of workers_ - 1 threads; the driver thread acts as
+/// worker 0. run() dispatches one task generation to every worker and
+/// blocks until all finish; the mutex hand-offs give each phase the
+/// acquire/release edges the barrier-separated data flow relies on.
+struct Network::WorkerPool {
+  explicit WorkerPool(unsigned workers) {
+    threads_.reserve(workers - 1);
+    for (unsigned id = 1; id < workers; ++id) {
+      threads_.emplace_back([this, id] { loop(id); });
+    }
+  }
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  void run(const std::function<void(unsigned)>& task) {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      task_ = &task;
+      pending_ = static_cast<unsigned>(threads_.size());
+      ++generation_;
+    }
+    cv_start_.notify_all();
+    try {
+      task(0);
+    } catch (...) {
+      record_error();
+    }
+    std::exception_ptr error;
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      cv_done_.wait(lock, [this] { return pending_ == 0; });
+      task_ = nullptr;
+      error = error_;
+      error_ = nullptr;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  void loop(unsigned id) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(unsigned)>* task = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(m_);
+        cv_start_.wait(lock,
+                       [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        task = task_;
+      }
+      try {
+        (*task)(id);
+      } catch (...) {
+        record_error();
+      }
+      {
+        std::lock_guard<std::mutex> lock(m_);
+        if (--pending_ == 0) cv_done_.notify_one();
+      }
+    }
+  }
+
+  void record_error() {
+    std::lock_guard<std::mutex> lock(m_);
+    if (!error_) error_ = std::current_exception();
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex m_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(unsigned)>* task_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned pending_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+// ------------------------------------------------------------------ Network
 
 Network::Network(const Graph& g, std::uint64_t seed) : graph_(&g) {
   const std::size_t n = g.node_count();
@@ -48,7 +164,6 @@ Network::Network(const Graph& g, std::uint64_t seed) : graph_(&g) {
   node_rngs_.reserve(n);
   for (NodeId v = 0; v < n; ++v) node_rngs_.push_back(master.split_key(v));
 
-  queues_.resize(g.directed_edge_count());
   edge_source_.resize(g.directed_edge_count());
   for (NodeId v = 0; v < n; ++v) {
     for (std::uint32_t slot = 0; slot < g.degree(v); ++slot) {
@@ -59,116 +174,320 @@ Network::Network(const Graph& g, std::uint64_t seed) : graph_(&g) {
   wake_flag_.assign(n, 0);
 }
 
-void Network::enqueue(NodeId from, std::uint32_t slot, const Message& m) {
-  const std::size_t eid = graph_->directed_edge_index(from, slot);
-  auto& queue = queues_[eid];
-  if (queue.empty()) busy_edges_.push_back(static_cast<std::uint32_t>(eid));
-  queue.push_back(m);
-  if (queue.size() > max_backlog_) max_backlog_ = queue.size();
-  ++sends_this_round_;
+Network::~Network() = default;
+
+namespace {
+
+/// Parsed DRW_THREADS (0 = unset/invalid): an explicit width request, as
+/// opposed to the hardware-derived fallback.
+unsigned env_threads() {
+  static const unsigned value = [] {
+    if (const char* env = std::getenv("DRW_THREADS")) {
+      const unsigned long parsed = std::strtoul(env, nullptr, 10);
+      if (parsed >= 1) {
+        return static_cast<unsigned>(parsed < 256 ? parsed : 256);
+      }
+    }
+    return 0u;
+  }();
+  return value;
+}
+
+}  // namespace
+
+unsigned Network::default_threads() {
+  const unsigned env = env_threads();
+  if (env != 0) return env;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+void Network::set_threads(unsigned threads) {
+  threads_setting_ = threads < 256 ? threads : 256;
+}
+
+unsigned Network::resolve_threads() const noexcept {
+  unsigned want = threads_setting_ == 0 ? default_threads()
+                                        : threads_setting_;
+  const std::size_t n = graph_->node_count();
+  // When the width is purely hardware-derived (no set_threads, no
+  // DRW_THREADS), also bound it by available per-round work: a many-core
+  // host sharding a small graph 64 ways would pay 64 task hand-offs per
+  // phase for a node or two of work each. Explicit requests are honored
+  // up to one node per shard.
+  if (threads_setting_ == 0 && env_threads() == 0) {
+    const std::size_t by_work = n / 32 > 0 ? n / 32 : 1;
+    if (want > by_work) want = static_cast<unsigned>(by_work);
+  }
+  if (n > 0 && want > n) want = static_cast<unsigned>(n);
+  return want < 1 ? 1 : want;
+}
+
+unsigned Network::threads() const noexcept { return resolve_threads(); }
+
+unsigned Network::shard_of(NodeId v) const noexcept {
+  // Contiguous near-equal partition: the first `extra` shards hold base+1
+  // nodes. Inverse of the boundaries built in ensure_executor().
+  const std::size_t n = graph_->node_count();
+  const std::size_t base = n / workers_;
+  const std::size_t extra = n % workers_;
+  const std::size_t pivot = extra * (base + 1);
+  if (v < pivot) return static_cast<unsigned>(v / (base + 1));
+  return static_cast<unsigned>(extra + (v - pivot) / base);
+}
+
+void Network::ensure_executor() {
+  const unsigned want = resolve_threads();
+  if (want == workers_) return;
+  workers_ = want;
+  pool_.reset();
+  if (workers_ > 1) pool_ = std::make_unique<WorkerPool>(workers_);
+
+  const std::size_t n = graph_->node_count();
+  shard_begin_.assign(workers_ + 1, 0);
+  const std::size_t base = n / workers_;
+  const std::size_t extra = n % workers_;
+  for (unsigned s = 0; s < workers_; ++s) {
+    shard_begin_[s + 1] = static_cast<NodeId>(
+        shard_begin_[s] + base + (s < extra ? 1 : 0));
+  }
+
+  const std::size_t edges = graph_->directed_edge_count();
+  edge_owner_.resize(edges);
+  for (std::size_t eid = 0; eid < edges; ++eid) {
+    edge_owner_[eid] = shard_of(graph_->directed_edge_target(eid));
+  }
+  arena_.reset(edges, workers_);
+  shards_.assign(workers_, Shard{});
+  staged_.assign(workers_,
+                 std::vector<std::vector<PendingSend>>(workers_));
+}
+
+void Network::stage_send(unsigned worker, NodeId from, std::uint32_t slot,
+                         const Message& m) {
+  const auto eid = static_cast<std::uint32_t>(
+      graph_->directed_edge_index(from, slot));
+  staged_[worker][edge_owner_[eid]].push_back(PendingSend{eid, m});
+  ++shards_[worker].sends;
+}
+
+void Network::stage_wake(unsigned worker, NodeId self) {
+  if (!wake_flag_[self]) {
+    wake_flag_[self] = 1;
+    shards_[worker].wake_pending.push_back(self);
+    ++shards_[worker].wakes;
+  }
+}
+
+void Network::dispatch(std::size_t work,
+                       void (Network::*phase)(unsigned)) {
+  if (workers_ == 1 || work < parallel_grain()) {
+    for (unsigned s = 0; s < workers_; ++s) (this->*phase)(s);
+    return;
+  }
+  pool_->run([this, phase](unsigned s) { (this->*phase)(s); });
+}
+
+void Network::compute_phase(unsigned shard) {
+  Shard& sh = shards_[shard];
+  sh.deliveries = 0;
+  sh.sends = 0;
+  sh.wakes = 0;
+
+  // Build this round's active set in ascending node order -- the canonical
+  // processing order every thread count shares (it fixes the staged-send
+  // order, hence busy-edge order, hence next round's delivery order).
+  sh.active.clear();
+  if (global_wake_) {
+    for (NodeId v = shard_begin_[shard]; v < shard_begin_[shard + 1]; ++v) {
+      sh.active.push_back(v);
+    }
+  } else {
+    sh.wake_scratch.clear();
+    sh.wake_scratch.swap(sh.wake_pending);
+    for (NodeId v : sh.wake_scratch) wake_flag_[v] = 0;
+    sh.active.insert(sh.active.end(), sh.delivered.begin(),
+                     sh.delivered.end());
+    sh.active.insert(sh.active.end(), sh.wake_scratch.begin(),
+                     sh.wake_scratch.end());
+    sh.delivered.clear();
+    std::sort(sh.active.begin(), sh.active.end());
+    sh.active.erase(std::unique(sh.active.begin(), sh.active.end()),
+                    sh.active.end());
+  }
+
+  Context ctx;
+  ctx.net_ = this;
+  ctx.round_ = round_;
+  ctx.worker_ = shard;
+  for (NodeId v : sh.active) {
+    std::vector<Delivery>& in = inbox_[v];
+    sh.deliveries += in.size();
+    ctx.self_ = v;
+    ctx.inbox_ = std::span<const Delivery>(in);
+    running_->on_round(ctx);
+    in.clear();
+  }
+}
+
+void Network::transmit_phase(unsigned shard) {
+  Shard& sh = shards_[shard];
+  sh.transmitted = 0;
+
+  // Merge staged sends for owned edges, scanning workers in ascending
+  // order: combined with ascending-order processing this makes the merged
+  // sequence the global ascending-node send order, independent of how
+  // nodes were sharded.
+  for (unsigned w = 0; w < workers_; ++w) {
+    std::vector<PendingSend>& bucket = staged_[w][shard];
+    for (const PendingSend& ps : bucket) {
+      if (arena_.size(ps.eid) == 0) sh.busy.push_back(ps.eid);
+      arena_.push(shard, ps.eid, ps.msg);
+      const std::uint64_t depth = arena_.size(ps.eid);
+      if (depth > sh.max_backlog) sh.max_backlog = depth;
+    }
+    bucket.clear();
+  }
+
+  // Transmit: at most one queued message per owned directed edge moves into
+  // its destination inbox (all owned destinations are this shard's nodes).
+  std::size_t keep = 0;
+  for (const std::uint32_t eid : sh.busy) {
+    const Message m = arena_.pop(shard, eid);
+    const NodeId to = graph_->directed_edge_target(eid);
+    std::vector<Delivery>& in = inbox_[to];
+    if (in.empty()) sh.delivered.push_back(to);
+    in.push_back(Delivery{m, edge_source_[eid]});
+    ++sh.transmitted;
+    if (arena_.size(eid) != 0) sh.busy[keep++] = eid;
+  }
+  sh.busy.resize(keep);
+}
+
+void Network::reset_transients(bool aborted) {
+  for (unsigned s = 0; s < workers_; ++s) {
+    Shard& sh = shards_[s];
+    for (NodeId v : sh.delivered) inbox_[v].clear();
+    sh.delivered.clear();
+    for (NodeId v : sh.wake_pending) wake_flag_[v] = 0;
+    sh.wake_pending.clear();
+    for (std::uint32_t eid : sh.busy) arena_.clear_queue(s, eid);
+    sh.busy.clear();
+    // Sends staged in a final done()-stopped compute were never merged.
+    for (std::vector<PendingSend>& bucket : staged_[s]) bucket.clear();
+  }
+  if (aborted) {
+    // A protocol that threw mid-compute leaves inboxes of active nodes it
+    // never reached (compute_phase clears each inbox only after a
+    // successful on_round, and the delivered lists were consumed at phase
+    // start). Sweep everything so the aborted run cannot leak messages or
+    // stuck wake flags into the next protocol.
+    for (std::vector<Delivery>& in : inbox_) in.clear();
+    wake_flag_.assign(wake_flag_.size(), 0);
+  }
+  // Only busy edges were cleared above; every other queue must already be
+  // empty, or arena reuse would corrupt the next protocol run.
+  assert(arena_.all_empty() &&
+         "Network::run: non-busy edge queue left non-empty");
 }
 
 RunStats Network::run(Protocol& protocol, std::uint64_t max_rounds) {
-  const std::size_t n = graph_->node_count();
+  const auto start = std::chrono::steady_clock::now();
+  ensure_executor();
   RunStats stats;
-  max_backlog_ = 0;
+  stats.threads = workers_;
+  for (Shard& sh : shards_) sh.max_backlog = 0;
+  running_ = &protocol;
+  try {
+    run_loop(protocol, max_rounds, stats);
+  } catch (...) {
+    // Leave the network reusable even when a protocol throws (or the
+    // max_rounds guard fires): the aborted run's backlogs, inboxes and
+    // wake flags must not leak into the next protocol.
+    running_ = nullptr;
+    reset_transients(/*aborted=*/true);
+    throw;
+  }
+  running_ = nullptr;
 
+  for (const Shard& sh : shards_) {
+    stats.max_backlog = stats.max_backlog > sh.max_backlog
+                            ? stats.max_backlog
+                            : sh.max_backlog;
+  }
+  // Reset transient state so the network can host the next protocol run.
+  reset_transients(/*aborted=*/false);
+
+  stats.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  return stats;
+}
+
+void Network::run_loop(Protocol& protocol, std::uint64_t max_rounds,
+                       RunStats& stats) {
   // Round 0 activates every node once so protocols can initialize; this
   // forced wake does not by itself count as a round.
-  std::vector<NodeId> current_wakes;
-  bool forced_global_wake = true;
+  global_wake_ = true;
 
-  for (std::uint64_t round = 0;; ++round) {
-    if (round > max_rounds) {
+  for (round_ = 0;; ++round_) {
+    if (round_ > max_rounds) {
       throw std::runtime_error("Network::run: max_rounds exceeded");
     }
 
-    // Collect this round's activations (set up by the previous iteration).
-    if (!forced_global_wake) {
-      current_wakes.swap(wake_list_);
-      wake_list_.clear();
-      for (NodeId v : current_wakes) wake_flag_[v] = 0;
-    }
-    const std::uint64_t deliveries = [&] {
-      std::uint64_t count = 0;
-      for (NodeId v : inbox_nonempty_) count += inbox_[v].size();
-      return count;
-    }();
-    sends_this_round_ = 0;
-    wakes_next_round_ = 0;
-
-    // Process active nodes: first those with deliveries, then woken nodes
-    // that had no deliveries. (Inbox membership is tracked via inbox size.)
-    auto process = [&](NodeId v) {
-      Context ctx;
-      ctx.net_ = this;
-      ctx.self_ = v;
-      ctx.round_ = round;
-      ctx.inbox_ = std::span<const Delivery>(inbox_[v]);
-      protocol.on_round(ctx);
-    };
-    if (forced_global_wake) {
-      for (NodeId v = 0; v < n; ++v) process(v);
-    } else {
-      for (NodeId v : inbox_nonempty_) process(v);
-      for (NodeId v : current_wakes) {
-        if (inbox_[v].empty()) process(v);
+    // Compute: active nodes' on_round, sharded by node.
+    std::size_t active_bound = graph_->node_count();
+    if (!global_wake_) {
+      active_bound = 0;
+      for (const Shard& sh : shards_) {
+        active_bound += sh.delivered.size() + sh.wake_pending.size();
       }
     }
+    dispatch(active_bound, &Network::compute_phase);
+    global_wake_ = false;
 
-    // Clear consumed inboxes.
-    for (NodeId v : inbox_nonempty_) inbox_[v].clear();
-    inbox_nonempty_.clear();
-
+    std::uint64_t deliveries = 0;
+    std::uint64_t sends = 0;
+    std::uint64_t scheduled = 0;
+    for (const Shard& sh : shards_) {
+      deliveries += sh.deliveries;
+      sends += sh.sends;
+      // Wakes scheduled during this iteration mark local-only work
+      // happening in this round (e.g. a lazy walk's self-loop step): they
+      // cost a round even with no transmission.
+      scheduled += sh.wakes;
+    }
     stats.messages += deliveries;
-    forced_global_wake = false;
-    // Wakes scheduled during this iteration mark local-only work happening
-    // in this round (e.g. a lazy walk's self-loop step): they cost a round
-    // even with no transmission.
-    const std::uint64_t scheduled = wakes_next_round_;
 
     if (protocol.done()) {
-      if (scheduled > 0 || sends_this_round_ > 0) ++stats.rounds;
+      if (scheduled > 0 || sends > 0) ++stats.rounds;
       break;
     }
 
-    // Transmit: at most one queued message per directed edge moves into the
-    // next iteration's inboxes. Each iteration with at least one
-    // transmission (or an explicit waiting wake) is one CONGEST round --
-    // compute + send + delivery happen within a single round of the model.
+    // Transmit: merge staged sends and move at most one queued message per
+    // directed edge into the next iteration's inboxes. Each iteration with
+    // at least one transmission (or an explicit waiting wake) is one
+    // CONGEST round -- compute + send + delivery happen within a single
+    // round of the model.
+    std::size_t busy_bound = sends;
+    for (const Shard& sh : shards_) busy_bound += sh.busy.size();
+    dispatch(busy_bound, &Network::transmit_phase);
+
     std::uint64_t transmitted = 0;
-    std::vector<std::uint32_t> still_busy;
-    for (std::uint32_t eid : busy_edges_) {
-      auto& queue = queues_[eid];
-      const NodeId from = edge_source_[eid];
-      const NodeId to = graph_->neighbor(
-          from, static_cast<std::uint32_t>(
-                    eid - graph_->directed_edge_index(from, 0)));
-      if (inbox_[to].empty()) inbox_nonempty_.push_back(to);
-      inbox_[to].push_back(Delivery{queue.front(), from});
-      queue.pop_front();
-      ++transmitted;
-      if (!queue.empty()) still_busy.push_back(eid);
-    }
-    busy_edges_.swap(still_busy);
+    for (const Shard& sh : shards_) transmitted += sh.transmitted;
     if (transmitted > 0 || scheduled > 0) ++stats.rounds;
 
     // Quiescence: nothing queued, nothing scheduled, nothing to deliver.
-    if (busy_edges_.empty() && inbox_nonempty_.empty() &&
-        wake_list_.empty()) {
-      break;
+    bool quiescent = true;
+    for (const Shard& sh : shards_) {
+      if (!sh.busy.empty() || !sh.delivered.empty() ||
+          !sh.wake_pending.empty()) {
+        quiescent = false;
+        break;
+      }
     }
+    if (quiescent) break;
   }
-
-  stats.max_backlog = max_backlog_;
-  // Reset transient state so the network can host the next protocol run.
-  for (NodeId v : inbox_nonempty_) inbox_[v].clear();
-  inbox_nonempty_.clear();
-  for (NodeId v : wake_list_) wake_flag_[v] = 0;
-  wake_list_.clear();
-  for (std::uint32_t eid : busy_edges_) queues_[eid].clear();
-  busy_edges_.clear();
-  return stats;
 }
 
 }  // namespace drw::congest

@@ -9,15 +9,38 @@
 // Faithfulness mechanics:
 //   * `Message` is a type tag plus at most four 64-bit words -- a constant
 //     number of node IDs / counters, i.e. O(log n) bits.
-//   * Each *directed* edge owns a FIFO backlog queue. Protocols may enqueue
-//     any number of sends per round; the network delivers at most one message
-//     per directed edge per round and the rest wait. Congestion therefore
-//     costs rounds *emergently*, exactly as in the paper's analysis (e.g.
-//     Lemma 2.1: "any iteration could require more than 1 round").
+//   * Each *directed* edge owns a FIFO backlog queue (a chunked arena, see
+//     edge_arena.hpp). Protocols may enqueue any number of sends per round;
+//     the network delivers at most one message per directed edge per round
+//     and the rest wait. Congestion therefore costs rounds *emergently*,
+//     exactly as in the paper's analysis (e.g. Lemma 2.1: "any iteration
+//     could require more than 1 round").
 //   * Round accounting: a round is counted iff it carried any activity
 //     (delivery, send, or a self-scheduled wake). Global termination
 //     detection is free for the driver, which matches the paper's phase
 //     composition (phases have known length bounds in the real algorithm).
+//
+// Parallel round executor:
+//   The CONGEST model makes node steps within a round independent by
+//   construction, and the simulator exploits that. Nodes are partitioned
+//   into `threads()` contiguous shards; each round runs two barrier-
+//   separated phases on a persistent worker pool:
+//
+//     compute  -- every shard's active nodes run `on_round` in ascending
+//                 node order. Sends go to a per-worker staging buffer
+//                 bucketed by the DESTINATION edge's owner shard; nothing
+//                 shared is written.
+//     transmit -- every shard merges the staged sends for the edges it owns
+//                 (scanning workers in ascending order, so the merged order
+//                 is the global ascending-node send order regardless of the
+//                 thread count), then delivers at most one queued message
+//                 per owned edge into its own nodes' inboxes.
+//
+//   Each directed edge is owned by exactly one shard (its destination
+//   node's), so both phases are lock-free. Delivery order into every inbox
+//   -- and therefore every RNG draw -- is bit-identical across all thread
+//   counts, including 1. Configure with Network::set_threads() or the
+//   DRW_THREADS environment variable (default: hardware concurrency).
 //
 // Protocols are event-driven: a node's `on_round` runs when it received
 // messages this round, asked to be woken, or during round 0 (all nodes wake
@@ -25,51 +48,50 @@
 // split off the network's master seed, so runs are deterministic.
 #pragma once
 
-#include <array>
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "congest/edge_arena.hpp"
+#include "congest/message.hpp"
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
 
 namespace drw::congest {
 
-/// A CONGEST message: type tag + <= 4 payload words (O(log n) bits).
-struct Message {
-  std::uint16_t type = 0;
-  std::array<std::uint64_t, 4> f{};
-};
-static_assert(sizeof(Message) <= 48, "Message must stay O(log n) bits");
-
-/// A delivered message together with the neighbor it arrived from (the
-/// CONGEST model lets the receiver identify the incoming edge).
-struct Delivery {
-  Message msg;
-  NodeId from = kInvalidNode;
-};
-
 /// Statistics for one protocol run (or an accumulation of several).
 struct RunStats {
   std::uint64_t rounds = 0;
   std::uint64_t messages = 0;     ///< total messages delivered
-  std::uint64_t max_backlog = 0;  ///< peak per-edge queue length observed
+  /// Peak per-edge queue length observed. Counts messages that entered an
+  /// edge queue; sends staged in a final round that protocol.done() cut
+  /// short are discarded untransmitted and do not register here.
+  std::uint64_t max_backlog = 0;
+  double wall_ms = 0.0;  ///< wall-clock time inside Network::run
+  /// Widest executor width CONFIGURED among accumulated runs. Rounds whose
+  /// per-phase work falls below the parallel grain still execute inline on
+  /// the driver thread regardless of this width.
+  std::uint32_t threads = 0;
 
   RunStats& operator+=(const RunStats& other) noexcept {
     rounds += other.rounds;
     messages += other.messages;
     max_backlog = max_backlog > other.max_backlog ? max_backlog
                                                   : other.max_backlog;
+    wall_ms += other.wall_ms;
+    threads = threads > other.threads ? threads : other.threads;
     return *this;
   }
 
   /// Saturating difference of cumulative counters, for attributing deltas
   /// out of running totals (e.g. around StitchEngine::total_stats()). The
-  /// max_backlog peak is not differentiable and is kept as-is.
+  /// max_backlog peak and threads width are not differentiable and are kept
+  /// as-is.
   RunStats& operator-=(const RunStats& earlier) noexcept {
     rounds = rounds > earlier.rounds ? rounds - earlier.rounds : 0;
     messages = messages > earlier.messages ? messages - earlier.messages : 0;
+    wall_ms = wall_ms > earlier.wall_ms ? wall_ms - earlier.wall_ms : 0.0;
     return *this;
   }
   friend RunStats operator-(RunStats later, const RunStats& earlier) noexcept {
@@ -109,12 +131,22 @@ class Context {
   Network* net_ = nullptr;
   NodeId self_ = kInvalidNode;
   std::uint64_t round_ = 0;
+  unsigned worker_ = 0;  ///< executor shard running this node
   std::span<const Delivery> inbox_;
 };
 
 /// A distributed algorithm: one object holding the state of *all* nodes
 /// (indexed by NodeId), invoked per active node per round. Protocols must
 /// only let node v's logic read node v's slice of that state.
+///
+/// SHARD SAFETY: `on_round` calls of different nodes may run on different
+/// executor threads within a round. The rule above is therefore load-
+/// bearing, and for writes it is strict: node v's on_round may only write
+/// state indexed by v (or by something only v owns this round, e.g. the
+/// job a token it just received belongs to). Reads of shared *immutable*
+/// inputs (the graph, a BFS tree, config) are fine; cross-node mutable
+/// scratch members are not. Context::rng() is per-node and safe. Every
+/// protocol in this repository has been audited against this rule.
 class Protocol {
  public:
   virtual ~Protocol() = default;
@@ -123,7 +155,8 @@ class Protocol {
   virtual void on_round(Context& ctx) = 0;
 
   /// Optional early-stop: checked after each round. The default runs until
-  /// quiescence (no queued messages, no wakes).
+  /// quiescence (no queued messages, no wakes). Called between rounds on
+  /// the driver thread; it may read any protocol state.
   virtual bool done() const { return false; }
 };
 
@@ -131,8 +164,22 @@ class Network {
  public:
   /// The graph must be connected (the paper's standing assumption).
   explicit Network(const Graph& g, std::uint64_t seed);
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   const Graph& graph() const noexcept { return *graph_; }
+
+  /// Worker threads for subsequent runs: 0 = auto (DRW_THREADS env var if
+  /// set, else hardware concurrency, bounded by per-round work on small
+  /// graphs). Every request is clamped to [1, min(node_count, 256)]; read
+  /// back the effective width via threads() or RunStats.threads. Results
+  /// are bit-identical for every thread count; 1 runs fully inline.
+  void set_threads(unsigned threads);
+  /// The worker count the next run() will use.
+  unsigned threads() const noexcept;
+  /// The auto thread count (DRW_THREADS env var or hardware concurrency).
+  static unsigned default_threads();
 
   /// Runs `protocol` to completion (quiescence or protocol.done()).
   /// Throws std::runtime_error if `max_rounds` is exceeded -- a protocol bug.
@@ -143,26 +190,72 @@ class Network {
 
  private:
   friend class Context;
+  struct WorkerPool;
 
-  void enqueue(NodeId from, std::uint32_t slot, const Message& m);
+  /// A staged send: resolved directed-edge id + payload, buffered thread-
+  /// locally during the compute phase and merged by the owner shard.
+  struct PendingSend {
+    std::uint32_t eid = 0;
+    Message msg;
+  };
+
+  /// Per-shard executor working set. Every field is touched only by the
+  /// shard's worker during a phase (the driver reads counters between
+  /// phases, after the pool barrier).
+  struct Shard {
+    std::vector<NodeId> active;        ///< this round's nodes, ascending
+    std::vector<NodeId> delivered;     ///< inboxes filled for next round
+    std::vector<NodeId> wake_pending;  ///< wake_me() requests for next round
+    std::vector<NodeId> wake_scratch;  ///< last round's consumed wakes
+    std::vector<std::uint32_t> busy;   ///< owned edges with queued messages
+    std::uint64_t deliveries = 0;      ///< per-round counters, then run peak
+    std::uint64_t sends = 0;
+    std::uint64_t wakes = 0;
+    std::uint64_t transmitted = 0;
+    std::uint64_t max_backlog = 0;
+  };
+
+  void stage_send(unsigned worker, NodeId from, std::uint32_t slot,
+                  const Message& m);
+  void stage_wake(unsigned worker, NodeId self);
+  unsigned shard_of(NodeId v) const noexcept;
+  unsigned resolve_threads() const noexcept;
+  /// (Re)builds the shard partition, edge ownership, arena pools and worker
+  /// pool when the effective thread count changed. Only between runs.
+  void ensure_executor();
+  /// Runs `phase` for every shard: on the pool when `work` crosses the
+  /// parallel grain, inline (same data flow, same results) otherwise.
+  void dispatch(std::size_t work, void (Network::*phase)(unsigned));
+  void compute_phase(unsigned shard);
+  void transmit_phase(unsigned shard);
+  void run_loop(Protocol& protocol, std::uint64_t max_rounds,
+                RunStats& stats);
+  /// Clears backlogs, inboxes, wake flags and staged sends so the network
+  /// can host the next protocol run; invoked on normal AND exception exit.
+  /// `aborted` (exception path) additionally sweeps every inbox and wake
+  /// flag, since a mid-compute throw strands state the per-shard lists no
+  /// longer point at.
+  void reset_transients(bool aborted);
 
   const Graph* graph_;
   std::vector<Rng> node_rngs_;
+  std::vector<NodeId> edge_source_;  ///< source node per directed edge
 
-  // Directed edge e = adjacency index of (from -> to); queues_[e] is its
-  // backlog. edge_source_[e] caches `from` for delivery bookkeeping.
-  std::vector<std::deque<Message>> queues_;
-  std::vector<NodeId> edge_source_;
-  std::vector<std::uint32_t> busy_edges_;  // queues with pending messages
-
-  // Double-buffered inboxes + wake scheduling for the run loop.
+  unsigned threads_setting_ = 0;  ///< requested (0 = auto)
+  unsigned workers_ = 0;          ///< executor width currently built
+  std::vector<NodeId> shard_begin_;        ///< size workers_+1, contiguous
+  std::vector<std::uint32_t> edge_owner_;  ///< destination shard per edge
+  EdgeArena arena_;
+  std::vector<Shard> shards_;
+  /// staged_[worker][owner_shard]: sends buffered during compute.
+  std::vector<std::vector<std::vector<PendingSend>>> staged_;
   std::vector<std::vector<Delivery>> inbox_;
-  std::vector<NodeId> inbox_nonempty_;
   std::vector<std::uint8_t> wake_flag_;
-  std::vector<NodeId> wake_list_;
-  std::uint64_t sends_this_round_ = 0;
-  std::uint64_t wakes_next_round_ = 0;
-  std::uint64_t max_backlog_ = 0;
+  std::unique_ptr<WorkerPool> pool_;
+
+  Protocol* running_ = nullptr;  ///< current protocol during run()
+  std::uint64_t round_ = 0;
+  bool global_wake_ = false;  ///< round 0: every node is active
 };
 
 }  // namespace drw::congest

@@ -42,8 +42,9 @@ void BfsTreeProtocol::on_round(Context& ctx) {
         }
         joined_[v] = 1;
         tree_.parent[v] = best;
+        // height is derived in take_tree(): a running max here would be a
+        // cross-node write, which the parallel executor forbids.
         tree_.depth[v] = static_cast<std::uint32_t>(d.msg.f[0]) + 1;
-        tree_.height = std::max(tree_.height, tree_.depth[v]);
         ctx.send_to(best, Message{kJoin, {0, 0, 0, 0}});
         Message level{kLevel, {tree_.depth[v], 0, 0, 0}};
         for (std::uint32_t slot = 0; slot < ctx.degree(); ++slot) {
@@ -66,6 +67,7 @@ BfsTree BfsTreeProtocol::take_tree() {
       throw std::runtime_error("BfsTreeProtocol: graph not connected");
     }
     std::sort(tree_.children[v].begin(), tree_.children[v].end());
+    tree_.height = std::max(tree_.height, tree_.depth[v]);
   }
   return std::move(tree_);
 }

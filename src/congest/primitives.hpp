@@ -50,6 +50,11 @@ class BfsTreeProtocol final : public Protocol {
 /// Sends one payload message from the root to every node along tree edges.
 /// Each node's payload is observed via the `on_receive` callback (called with
 /// the receiving node's ID); O(height) rounds.
+///
+/// SHARD SAFETY: `on_receive` runs inside on_round and may execute on any
+/// executor thread -- it must only write state indexed by the receiving
+/// node (see the Protocol contract in network.hpp). All in-repo callbacks
+/// comply.
 class BroadcastProtocol final : public Protocol {
  public:
   BroadcastProtocol(const BfsTree& tree, Message payload,

@@ -50,6 +50,12 @@ class Graph {
   }
   std::size_t directed_edge_count() const noexcept { return adjacency_.size(); }
 
+  /// Target node of a directed edge index (the adjacency entry it points
+  /// at); O(1), used by the simulator's transmit phase.
+  NodeId directed_edge_target(std::size_t eid) const noexcept {
+    return adjacency_[eid];
+  }
+
   /// Slot of neighbor `u` in v's adjacency list; degree(v) if not adjacent.
   std::uint32_t slot_of(NodeId v, NodeId u) const noexcept;
 

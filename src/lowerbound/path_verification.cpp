@@ -82,26 +82,28 @@ class PathVerificationProtocol final : public congest::Protocol {
     // Streaming toward the verifier: one interval per round per tree edge
     // ("a node needs to only send the endpoints of the interval").
     if (v != tree_->root) {
+      // Locals, not members: node steps may run on different executor
+      // threads, so per-call scratch must stay on this call's stack.
       const Interval* best = nullptr;
       std::uint64_t best_len = 0;
-      pending_send_ = false;
-      scratch_ = verified_[v].to_vector();
-      for (const Interval& interval : scratch_) {
+      bool pending_send = false;
+      const std::vector<Interval> intervals = verified_[v].to_vector();
+      for (const Interval& interval : intervals) {
         if (sent_[v].covers(interval.lo, interval.hi)) continue;
         const std::uint64_t len = interval.hi - interval.lo + 1;
         if (best == nullptr || len > best_len) {
-          if (best != nullptr) pending_send_ = true;  // more than one waiting
+          if (best != nullptr) pending_send = true;  // more than one waiting
           best = &interval;
           best_len = len;
         } else {
-          pending_send_ = true;
+          pending_send = true;
         }
       }
       if (best != nullptr) {
         ctx.send_to(tree_->parent[v],
                     congest::Message{kInterval, {best->lo, best->hi, 0, 0}});
         sent_[v].insert(best->lo, best->hi);
-        if (pending_send_) ctx.wake_me();
+        if (pending_send) ctx.wake_me();
       }
     }
   }
@@ -125,9 +127,7 @@ class PathVerificationProtocol final : public congest::Protocol {
   std::vector<std::uint32_t> pred_slot_;
   std::vector<std::uint32_t> succ_slot_;
   std::vector<Interval> last_path_sent_;
-  std::vector<Interval> scratch_;
-  bool pending_send_ = false;
-  std::uint64_t intervals_at_verifier_ = 0;
+  std::uint64_t intervals_at_verifier_ = 0;  ///< root-only write: shard-safe
 };
 
 }  // namespace

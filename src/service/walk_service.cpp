@@ -23,6 +23,7 @@ WalkService::WalkService(congest::Network& net, std::uint32_t diameter,
   if (config_.lambda_slack < 1.0) {
     throw std::invalid_argument("WalkService: lambda_slack < 1");
   }
+  if (config_.threads != 0) net_->set_threads(config_.threads);
 }
 
 void WalkService::submit(const WalkRequest& request) {

@@ -47,6 +47,11 @@ struct ServiceConfig {
   /// [lambda/slack, lambda*slack] of the engine's current lambda; outside
   /// that window the service re-prepares. Must be >= 1.
   double lambda_slack = 4.0;
+  /// Executor threads applied to the network on construction (0 = leave the
+  /// network's setting alone). Results are thread-count independent; this
+  /// only changes wall time. Per-batch wall time and the executor width
+  /// land in BatchReport::stats / ServiceStats::stats (wall_ms, threads).
+  unsigned threads = 0;
 };
 
 /// Per-batch serving report.

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "graph/generators.hpp"
 
 namespace drw::congest {
@@ -64,7 +66,8 @@ class Burst final : public Protocol {
         ctx.send(0, Message{1, {i, 0, 0, 0}});
       }
     }
-    received_ += (ctx.self() != 0) ? ctx.inbox().size() : 0;
+    // Only node 1 writes the counter (shard-safety: no cross-node writes).
+    if (ctx.self() != 0) received_ += ctx.inbox().size();
   }
   std::uint64_t count_;
   std::uint64_t received_ = 0;
@@ -87,18 +90,27 @@ TEST(Network, ParallelEdgesDoNotCongest) {
   Network net(g, 1);
   class Scatter final : public Protocol {
    public:
+    Scatter() : received_(9, 0) {}
     void on_round(Context& ctx) override {
       if (ctx.round() == 0 && ctx.self() == 0) {
         for (std::uint32_t slot = 0; slot < ctx.degree(); ++slot) {
           ctx.send(slot, Message{1, {slot, 0, 0, 0}});
         }
       }
-      if (ctx.self() != 0) received_ += ctx.inbox().size();
+      // Node-indexed tally (shard-safety: spokes run on other workers).
+      received_[ctx.self()] += ctx.inbox().size();
     }
-    std::uint64_t received_ = 0;
+    std::uint64_t total() const {
+      std::uint64_t sum = 0;
+      for (std::size_t v = 1; v < received_.size(); ++v) {
+        sum += received_[v];
+      }
+      return sum;
+    }
+    std::vector<std::uint64_t> received_;
   } protocol;
   const RunStats stats = net.run(protocol);
-  EXPECT_EQ(protocol.received_, 8u);
+  EXPECT_EQ(protocol.total(), 8u);
   EXPECT_EQ(stats.rounds, 1u);
   EXPECT_EQ(stats.max_backlog, 1u);
 }
@@ -155,7 +167,7 @@ TEST(Network, DeterministicAcrossIdenticalRuns) {
   EXPECT_EQ(s1.messages, s2.messages);
 }
 
-TEST(Network, MaxRoundsGuardThrows) {
+TEST(Network, MaxRoundsGuardThrowsAndNetworkStaysReusable) {
   const Graph g = gen::path(2);
   Network net(g, 1);
   class Forever final : public Protocol {
@@ -171,6 +183,47 @@ TEST(Network, MaxRoundsGuardThrows) {
     }
   } protocol;
   EXPECT_THROW(net.run(protocol, 100), std::runtime_error);
+
+  // The aborted run's in-flight message and backlogs must not leak into
+  // the next protocol hosted on the same network.
+  PingPong fresh(4);
+  const RunStats stats = net.run(fresh);
+  EXPECT_TRUE(fresh.finished_);
+  EXPECT_EQ(stats.rounds, 4u);
+  EXPECT_EQ(stats.messages, 4u);
+}
+
+TEST(Network, ThrowMidComputeLeavesNoStaleDeliveries) {
+  // Center 0 scatters to both spokes; in round 1 the lower spoke throws
+  // BEFORE the higher spoke's inbox is processed, stranding a delivery
+  // that the abort cleanup must sweep.
+  const Graph g = gen::star(3);
+  Network net(g, 1);
+  class ThrowOnFirstSpoke final : public Protocol {
+   public:
+    void on_round(Context& ctx) override {
+      if (ctx.round() == 0) {
+        if (ctx.self() == 0) {
+          for (std::uint32_t slot = 0; slot < ctx.degree(); ++slot) {
+            ctx.send(slot, Message{1, {slot, 0, 0, 0}});
+          }
+        }
+        return;
+      }
+      throw std::logic_error("boom");
+    }
+  } bad;
+  EXPECT_THROW(net.run(bad), std::logic_error);
+
+  class ExpectCleanSlate final : public Protocol {
+   public:
+    void on_round(Context& ctx) override {
+      EXPECT_TRUE(ctx.inbox().empty());
+    }
+  } probe;
+  const RunStats stats = net.run(probe);
+  EXPECT_EQ(stats.messages, 0u);
+  EXPECT_EQ(stats.rounds, 0u);
 }
 
 TEST(Network, SendToNonNeighborThrows) {
@@ -217,6 +270,7 @@ TEST(Network, DeliveryIdentifiesSender) {
   Network net(g, 1);
   class Check final : public Protocol {
    public:
+    Check() : checked_(4, 0) {}
     void on_round(Context& ctx) override {
       if (ctx.round() == 0) {
         for (std::uint32_t slot = 0; slot < ctx.degree(); ++slot) {
@@ -226,13 +280,15 @@ TEST(Network, DeliveryIdentifiesSender) {
       }
       for (const Delivery& d : ctx.inbox()) {
         EXPECT_EQ(d.from, static_cast<NodeId>(d.msg.f[0]));
-        ++checked_;
+        ++checked_[ctx.self()];  // node-indexed (shard-safety)
       }
     }
-    int checked_ = 0;
+    std::vector<int> checked_;
   } protocol;
   net.run(protocol);
-  EXPECT_EQ(protocol.checked_, 8);
+  int total = 0;
+  for (const int c : protocol.checked_) total += c;
+  EXPECT_EQ(total, 8);
 }
 
 }  // namespace

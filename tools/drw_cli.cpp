@@ -1,7 +1,7 @@
 // drw — command-line driver for the distributed random-walk library.
 //
 // Usage:
-//   drw <command> [--graph=SPEC] [--seed=N] [options]
+//   drw <command> [--graph=SPEC] [--seed=N] [--threads=N] [options]
 //
 // Commands:
 //   walk       one l-step stitched walk          (--l, --source, --naive)
@@ -58,6 +58,8 @@ using namespace drw;
                "           [--graph=SPEC] [--seed=N] [--l=N] [--k=N]\n"
                "           [--source=N] [--root=N] [--alpha=F] [--tokens=N]\n"
                "           [--samples=N] [--naive] [--lazy] [--mh]\n"
+               "           [--threads=N]  (executor threads; 0 = auto,\n"
+               "                           results identical at any count)\n"
                "           [--requests=FILE] [--batch-size=N] [--paths]\n"
                "request file: one `source length count [record]` per line,\n"
                "              '#' starts a comment\n"
@@ -83,6 +85,7 @@ struct Args {
   std::string requests_file;
   std::uint32_t batch_size = 8;
   bool paths = false;
+  unsigned threads = 0;  // 0 = auto (DRW_THREADS env / hardware)
 };
 
 std::optional<std::string> flag_value(const char* arg, const char* name) {
@@ -116,6 +119,9 @@ Args parse_args(int argc, char** argv) {
     } else if (auto v = flag_value(a, "--tokens")) {
       args.tokens =
           static_cast<std::uint32_t>(std::strtoul(v->c_str(), nullptr, 10));
+    } else if (auto v = flag_value(a, "--threads")) {
+      args.threads =
+          static_cast<unsigned>(std::strtoul(v->c_str(), nullptr, 10));
     } else if (auto v = flag_value(a, "--samples")) {
       args.samples =
           static_cast<std::uint32_t>(std::strtoul(v->c_str(), nullptr, 10));
@@ -210,8 +216,15 @@ Graph build_graph(const std::string& spec, std::uint64_t seed) {
   usage(("unknown graph spec: " + spec).c_str());
 }
 
+/// Applies the --threads override (the parallel executor's width; results
+/// are bit-identical at every setting).
+void configure_threads(congest::Network& net, const Args& args) {
+  if (args.threads != 0) net.set_threads(args.threads);
+}
+
 int cmd_walk(const Args& args, const Graph& g, std::uint32_t diameter) {
   congest::Network net(g, args.seed);
+  configure_threads(net, args);
   if (args.naive) {
     const auto result =
         core::naive_random_walk(net, args.source, args.l, args.model);
@@ -239,6 +252,7 @@ int cmd_walk(const Args& args, const Graph& g, std::uint32_t diameter) {
 
 int cmd_many(const Args& args, const Graph& g, std::uint32_t diameter) {
   congest::Network net(g, args.seed);
+  configure_threads(net, args);
   core::Params params = core::Params::paper();
   params.transition = args.model;
   const std::vector<NodeId> sources(args.k, args.source);
@@ -317,6 +331,7 @@ std::vector<service::WalkRequest> synthetic_requests(
 int cmd_serve(const Args& args, const Graph& g, std::uint32_t diameter) {
   congest::Network net(g, args.seed);
   service::ServiceConfig config;
+  config.threads = args.threads;
   config.params = core::Params::paper();
   config.params.transition = args.model;
   config.enable_paths = args.paths;
@@ -374,11 +389,14 @@ int cmd_serve(const Args& args, const Graph& g, std::uint32_t diameter) {
           ? 0.0
           : static_cast<double>(life.naive_rounds_estimate) /
                 static_cast<double>(life.stats.rounds));
+  std::printf("executor: %u thread(s), %.1f ms wall inside Network::run\n",
+              life.stats.threads, life.stats.wall_ms);
   return 0;
 }
 
 int cmd_rst(const Args& args, const Graph& g, std::uint32_t diameter) {
   congest::Network net(g, args.seed);
+  configure_threads(net, args);
   const auto result =
       apps::random_spanning_tree(net, args.root, core::Params::paper(),
                                  diameter);
@@ -398,6 +416,7 @@ int cmd_rst(const Args& args, const Graph& g, std::uint32_t diameter) {
 
 int cmd_mixing(const Args& args, const Graph& g, std::uint32_t diameter) {
   congest::Network net(g, args.seed);
+  configure_threads(net, args);
   core::Params params = core::Params::paper();
   params.transition = args.model;
   apps::MixingOptions options;
@@ -417,6 +436,7 @@ int cmd_mixing(const Args& args, const Graph& g, std::uint32_t diameter) {
 
 int cmd_expander(const Args& args, const Graph& g, std::uint32_t diameter) {
   congest::Network net(g, args.seed);
+  configure_threads(net, args);
   apps::MixingOptions options;
   options.samples = args.samples;
   const auto verdict = apps::check_expander(
@@ -432,6 +452,7 @@ int cmd_expander(const Args& args, const Graph& g, std::uint32_t diameter) {
 
 int cmd_pagerank(const Args& args, const Graph& g, std::uint32_t) {
   congest::Network net(g, args.seed);
+  configure_threads(net, args);
   apps::PageRankOptions options;
   options.alpha = args.alpha;
   options.tokens_per_node = args.tokens;
@@ -455,6 +476,7 @@ int cmd_pagerank(const Args& args, const Graph& g, std::uint32_t) {
 int cmd_verify(const Args& args) {
   const lowerbound::Gadget gadget = lowerbound::build_gadget(args.l);
   congest::Network net(gadget.graph, args.seed);
+  configure_threads(net, args);
   std::vector<NodeId> sequence;
   for (std::uint64_t i = 1; i <= args.l + 1; ++i) {
     sequence.push_back(gadget.path_node(i));
