@@ -13,7 +13,10 @@
 // It doubles as the parallel-executor gate: the same serviced workload on an
 // n = 10^4 expander is timed at 1/2/8 executor threads; endpoints must be
 // bit-identical and, when the host has >= 8 hardware threads, 8 threads must
-// be >= 2x faster than 1. Results land in BENCH_service.json.
+// be >= 2x faster than 1 (4..7-thread hosts enforce the calibrated 2-thread
+// floor instead; 1-core hosts measure t1 only -- the widths would execute
+// identically). Results land in BENCH_service.json, including the per-phase
+// compute/transmit/merge breakdown of the widest point.
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
@@ -94,12 +97,15 @@ Comparison run_comparison(const Graph& g, std::uint32_t diameter,
   return cmp;
 }
 
+using bench::kSpeedupFloorT2;
+
 /// Times one serviced workload at a fixed executor width; returns the
 /// destinations too so the sweep can assert thread-count independence.
 struct ParallelPoint {
   double wall_ms = 0.0;
   std::uint64_t rounds = 0;
   std::uint64_t messages = 0;
+  congest::RunStats stats;  ///< lifetime totals (per-phase breakdown)
   std::vector<NodeId> destinations;
 };
 
@@ -122,9 +128,10 @@ ParallelPoint run_parallel_point_once(
                                 r.destinations.end());
     }
   }
-  point.wall_ms = svc.lifetime().stats.wall_ms;
-  point.rounds = svc.lifetime().stats.rounds;
-  point.messages = svc.lifetime().stats.messages;
+  point.stats = svc.lifetime().stats;
+  point.wall_ms = point.stats.wall_ms;
+  point.rounds = point.stats.rounds;
+  point.messages = point.stats.messages;
   return point;
 }
 
@@ -140,7 +147,10 @@ ParallelPoint run_parallel_point(const Graph& g, std::uint32_t diameter,
     std::fprintf(stderr, "parallel experiment: same-seed reps diverged\n");
     std::exit(1);
   }
-  if (rep.wall_ms < best.wall_ms) best.wall_ms = rep.wall_ms;
+  if (rep.wall_ms < best.wall_ms) {
+    best.wall_ms = rep.wall_ms;
+    best.stats = rep.stats;
+  }
   return best;
 }
 
@@ -169,15 +179,23 @@ int run_parallel_experiment(bench::JsonReport& json) {
       "bit-identical, wall time should not be");
 
   const unsigned hw = std::thread::hardware_concurrency();
+  // On a 1-core host every width executes the same single-stream schedule
+  // (the pool only adds hand-offs), so re-measuring t2/t8 burns ~3x the
+  // wall time for three copies of the same number; measure t1 once and let
+  // the cross-width determinism guarantee rest on tests/test_determinism.
+  const bool sweep_widths = hw > 1;
   const unsigned sweep[] = {1, 2, 8};
   bench::Table table({"threads", "wall ms", "rounds", "messages", "speedup"});
   ParallelPoint base;
+  ParallelPoint widest;
   double speedup2 = 0.0;
   double speedup8 = 0.0;
   bool identical = true;
   for (const unsigned threads : sweep) {
+    if (threads != 1 && !sweep_widths) continue;
     const ParallelPoint point =
         run_parallel_point(g, diameter, threads, requests);
+    widest = point;
     if (threads == 1) {
       base = point;
     } else {
@@ -201,26 +219,33 @@ int run_parallel_experiment(bench::JsonReport& json) {
   json.add("rounds", base.rounds);
   json.add("messages", base.messages);
   json.add("hw_threads", static_cast<std::uint64_t>(hw));
+  json.add("sweep_skipped_hw1", sweep_widths ? 0 : 1);
   json.add("speedup_t2", speedup2);
   json.add("speedup_t8", speedup8);
+  json.add("speedup_floor_t2", kSpeedupFloorT2);
   json.add("deterministic", identical ? 1 : 0);
+  // Per-phase breakdown of the widest measured point -- how to read these
+  // fields is documented in README "Performance tuning".
+  bench::add_phase_fields(json, "t_widest_", widest.stats);
 
-  // The >=2x gate only binds where 8 workers have real cores to run on.
-  // The 2-thread check is a WARN-only canary for 4-vCPU CI runners (it
-  // catches an accidentally serialized executor without hard-failing on a
-  // threshold that has never been calibrated on shared runners); smaller
-  // hosts still emit the trajectory point.
+  // The >=2x gate only binds where 8 workers have real cores to run on;
+  // on 4..7-thread hosts (the common CI runner shape) the calibrated
+  // 2-thread floor is ENFORCED, replacing the old WARN-only canary;
+  // smaller hosts still emit the trajectory point.
   const bool enforce8 = hw >= 8;
+  const bool enforce2 = !enforce8 && hw >= 4;
   const bool pass8 = !enforce8 || speedup8 >= 2.0;
-  const bool warn2 = hw >= 4 && speedup2 < 1.2;
+  const bool pass2 = !enforce2 || speedup2 >= kSpeedupFloorT2;
   std::printf("acceptance: bit-identical across thread counts: %s; "
               "8-thread speedup %.2fx (>=2x gate %s); "
-              "2-thread speedup %.2fx (canary %s)\n",
+              "2-thread speedup %.2fx (>=%.2fx floor %s)\n",
               identical ? "PASS" : "FAIL", speedup8,
               !enforce8 ? "SKIP, <8 hw threads" : (pass8 ? "PASS" : "FAIL"),
-              speedup2,
-              hw < 4 ? "SKIP, <4 hw threads" : (warn2 ? "WARN" : "OK"));
-  return identical && pass8 ? 0 : 1;
+              speedup2, kSpeedupFloorT2,
+              !enforce2 ? (enforce8 ? "SKIP, 8t gate binds"
+                                    : "SKIP, <4 hw threads")
+                        : (pass2 ? "PASS" : "FAIL"));
+  return identical && pass8 && pass2 ? 0 : 1;
 }
 
 int run_experiment() {

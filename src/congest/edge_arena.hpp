@@ -41,7 +41,9 @@ class EdgeArena {
   }
 
   /// Appends to edge `eid`'s FIFO. `shard` must be the edge's owner shard.
-  void push(unsigned shard, std::uint32_t eid, const Message& m) {
+  /// Returns the queue depth after the push (1 == the edge was idle), so the
+  /// merge loop needs no separate size() lookups on its hottest path.
+  std::uint32_t push(unsigned shard, std::uint32_t eid, const Message& m) {
     Pool& pool = pools_[shard];
     Queue& q = queues_[eid];
     if (q.tail == kNil) {
@@ -55,7 +57,7 @@ class EdgeArena {
       q.tail_off = 0;
     }
     pool.chunks[q.tail].slot[q.tail_off++] = m;
-    ++q.size;
+    return ++q.size;
   }
 
   /// Pops the front of edge `eid`'s FIFO. Precondition: size(eid) > 0.

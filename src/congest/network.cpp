@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <mutex>
 #include <stdexcept>
@@ -14,20 +15,99 @@ namespace drw::congest {
 
 namespace {
 
-/// Below this much per-phase work (active nodes / staged sends + busy
-/// edges), a pool dispatch costs more than it saves: run the shards inline
-/// on the driver thread instead. The data flow is identical either way, so
-/// this is purely a latency knob -- results do not depend on it.
-/// DRW_PARALLEL_GRAIN overrides it; the CI TSan leg sets 1 so that even
-/// small-graph tests execute on_round concurrently under the race checker.
-std::size_t parallel_grain() {
-  static const std::size_t value = [] {
+using Clock = std::chrono::steady_clock;
+
+double ns_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - start)
+      .count();
+}
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Parsed DRW_PARALLEL_GRAIN: an explicit inline-dispatch grain that
+/// disables the startup micro-calibration (the CI TSan leg sets 1 so that
+/// even small-graph tests execute on_round on concurrent workers under the
+/// race checker). Negative = unset, calibrate instead.
+long long env_parallel_grain() {
+  static const long long value = [] {
     if (const char* env = std::getenv("DRW_PARALLEL_GRAIN")) {
       char* end = nullptr;
       const unsigned long parsed = std::strtoul(env, &end, 10);
-      if (end != env) return static_cast<std::size_t>(parsed);
+      if (end != env) return static_cast<long long>(parsed);
     }
-    return static_cast<std::size_t>(192);
+    return -1ll;
+  }();
+  return value;
+}
+
+/// Parsed DRW_STEAL_CHUNK (0 = unset): target work units per compute
+/// steal-chunk, overriding the grain-derived default.
+std::uint32_t env_steal_chunk() {
+  static const std::uint32_t value = [] {
+    if (const char* env = std::getenv("DRW_STEAL_CHUNK")) {
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(env, &end, 10);
+      if (end != env && parsed >= 1) {
+        return static_cast<std::uint32_t>(
+            parsed < (1u << 30) ? parsed : (1u << 30));
+      }
+    }
+    return 0u;
+  }();
+  return value;
+}
+
+/// Parsed DRW_PARTITION ("nodes"/"edges"; default edge-weighted).
+Partition env_partition() {
+  static const Partition value = [] {
+    if (const char* env = std::getenv("DRW_PARTITION")) {
+      if (std::strcmp(env, "nodes") == 0 || std::strcmp(env, "node") == 0) {
+        return Partition::kNodeCount;
+      }
+    }
+    return Partition::kEdgeWeighted;
+  }();
+  return value;
+}
+
+/// Cuts `count` items into chunks of ~`steal_chunk` accumulated weight
+/// units: the single source of truth for the steal-chunk boundary
+/// invariant, shared by the round-0 (degree-weighted) and steady-state
+/// (inbox-weighted) builders. Appends cumulative chunk ends to `chunk_end`
+/// and returns the total weight.
+template <typename WeightFn>
+std::uint64_t cut_chunks(std::uint32_t steal_chunk, std::uint32_t count,
+                         WeightFn&& weight,
+                         std::vector<std::uint32_t>& chunk_end) {
+  std::uint64_t acc = 0;
+  std::uint64_t work = 0;
+  for (std::uint32_t idx = 0; idx < count; ++idx) {
+    const std::uint64_t w = weight(idx);
+    acc += w;
+    work += w;
+    if (acc >= steal_chunk) {
+      chunk_end.push_back(idx + 1);
+      acc = 0;
+    }
+  }
+  if (acc > 0) chunk_end.push_back(count);
+  return work;
+}
+
+/// Parsed DRW_THREADS (0 = unset/invalid): an explicit width request, as
+/// opposed to the hardware-derived fallback.
+unsigned env_threads() {
+  static const unsigned value = [] {
+    if (const char* env = std::getenv("DRW_THREADS")) {
+      const unsigned long parsed = std::strtoul(env, nullptr, 10);
+      if (parsed >= 1) {
+        return static_cast<unsigned>(parsed < 256 ? parsed : 256);
+      }
+    }
+    return 0u;
   }();
   return value;
 }
@@ -158,7 +238,8 @@ struct Network::WorkerPool {
 
 // ------------------------------------------------------------------ Network
 
-Network::Network(const Graph& g, std::uint64_t seed) : graph_(&g) {
+Network::Network(const Graph& g, std::uint64_t seed)
+    : graph_(&g), partition_setting_(env_partition()) {
   const std::size_t n = g.node_count();
   Rng master(seed);
   node_rngs_.reserve(n);
@@ -175,25 +256,6 @@ Network::Network(const Graph& g, std::uint64_t seed) : graph_(&g) {
 }
 
 Network::~Network() = default;
-
-namespace {
-
-/// Parsed DRW_THREADS (0 = unset/invalid): an explicit width request, as
-/// opposed to the hardware-derived fallback.
-unsigned env_threads() {
-  static const unsigned value = [] {
-    if (const char* env = std::getenv("DRW_THREADS")) {
-      const unsigned long parsed = std::strtoul(env, nullptr, 10);
-      if (parsed >= 1) {
-        return static_cast<unsigned>(parsed < 256 ? parsed : 256);
-      }
-    }
-    return 0u;
-  }();
-  return value;
-}
-
-}  // namespace
 
 unsigned Network::default_threads() {
   const unsigned env = env_threads();
@@ -225,108 +287,240 @@ unsigned Network::resolve_threads() const noexcept {
 
 unsigned Network::threads() const noexcept { return resolve_threads(); }
 
-unsigned Network::shard_of(NodeId v) const noexcept {
-  // Contiguous near-equal partition: the first `extra` shards hold base+1
-  // nodes. Inverse of the boundaries built in ensure_executor().
-  const std::size_t n = graph_->node_count();
-  const std::size_t base = n / workers_;
-  const std::size_t extra = n % workers_;
-  const std::size_t pivot = extra * (base + 1);
-  if (v < pivot) return static_cast<unsigned>(v / (base + 1));
-  return static_cast<unsigned>(extra + (v - pivot) / base);
+std::uint32_t Network::resolve_steal_chunk() const noexcept {
+  if (steal_chunk_setting_ != 0) return steal_chunk_setting_;
+  const std::uint32_t env = env_steal_chunk();
+  if (env != 0) return env;
+  // Auto: a fraction of the dispatch grain, so a round that barely
+  // justifies the pool still splits into several stealable pieces, while
+  // wide rounds do not drown in cursor traffic.
+  const std::size_t derived = grain_ / 8;
+  if (derived < 16) return 16;
+  if (derived > 1024) return 1024;
+  return static_cast<std::uint32_t>(derived);
 }
 
-void Network::ensure_executor() {
-  const unsigned want = resolve_threads();
-  if (want == workers_) return;
-  workers_ = want;
-  pool_.reset();
-  if (workers_ > 1) pool_ = std::make_unique<WorkerPool>(workers_);
+std::size_t Network::calibrate_grain() {
+  // Dispatch overhead: the fixed cost of waking every pool worker and
+  // re-joining at the barrier, measured as the best of a few empty
+  // generations (the best approximates the uncontended hand-off; worse
+  // reps are scheduler noise we should not bake into the grain).
+  const std::function<void(unsigned)> noop = [](unsigned) {};
+  double overhead_ns = 1e18;
+  for (int rep = 0; rep < 8; ++rep) {
+    const auto t0 = Clock::now();
+    pool_->run(noop);
+    const double ns = ns_since(t0);
+    if (ns < overhead_ns) overhead_ns = ns;
+  }
 
+  // Per-work-unit cost: probe a light per-node visit (degree + inbox-size
+  // reads over the real arrays). This underestimates a protocol's actual
+  // on_round, which makes the derived grain err toward inline execution --
+  // the safe side for latency; genuinely wide rounds sit far above any
+  // plausible grain.
+  const std::size_t n = graph_->node_count();
+  const std::size_t probe = n < 4096 ? n : 4096;
+  std::uint64_t sink = 0;
+  std::uint64_t visits = 0;
+  const auto t0 = Clock::now();
+  double elapsed_ns = 0.0;
+  do {
+    for (NodeId v = 0; v < probe; ++v) {
+      sink += graph_->degree(v) + inbox_[v].size();
+    }
+    visits += probe;
+    elapsed_ns = ns_since(t0);
+  } while (elapsed_ns < 16384.0 && visits < (1u << 22));
+  // Keep the probe's result observable so the loop cannot be elided.
+  if (sink == 0x9e3779b97f4a7c15ull) ++visits;
+  const double per_unit_ns =
+      visits == 0 ? 1.0 : std::max(elapsed_ns / static_cast<double>(visits),
+                                   0.25);
+
+  // Dispatch pays off once the round's work dwarfs the hand-off cost; the
+  // clamp keeps degenerate measurements (hot VM, coarse clock) sane.
+  const double raw = overhead_ns / per_unit_ns;
+  const auto grain = static_cast<std::size_t>(raw);
+  if (grain < 96) return 96;
+  if (grain > 16384) return 16384;
+  return grain;
+}
+
+void Network::build_partition() {
   const std::size_t n = graph_->node_count();
   shard_begin_.assign(workers_ + 1, 0);
-  const std::size_t base = n / workers_;
-  const std::size_t extra = n % workers_;
+  shard_begin_[workers_] = static_cast<NodeId>(n);
+  if (built_partition_ == Partition::kNodeCount) {
+    // Legacy contiguous near-equal split: the first `extra` shards hold
+    // base+1 nodes.
+    const std::size_t base = n / workers_;
+    const std::size_t extra = n % workers_;
+    for (unsigned s = 0; s < workers_; ++s) {
+      shard_begin_[s + 1] = static_cast<NodeId>(
+          shard_begin_[s] + base + (s < extra ? 1 : 0));
+    }
+  } else {
+    // Edge-weighted: contiguous ranges balanced by (1 + degree) prefix
+    // sums, so per-shard edge traffic -- the round executor's actual work
+    // -- is near-equal even when degrees are wildly skewed. A node heavier
+    // than a whole share (a star center) yields empty neighbor shards;
+    // work-stealing absorbs what the partition cannot split.
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(n) + graph_->directed_edge_count();
+    std::uint64_t acc = 0;
+    unsigned s = 1;
+    for (NodeId v = 0; v < n && s < workers_; ++v) {
+      acc += 1 + graph_->degree(v);
+      while (s < workers_ &&
+             acc * workers_ >= static_cast<std::uint64_t>(s) * total) {
+        shard_begin_[s++] = v + 1;
+      }
+    }
+    for (; s < workers_; ++s) shard_begin_[s] = static_cast<NodeId>(n);
+  }
+
+  node_shard_.resize(n);
   for (unsigned s = 0; s < workers_; ++s) {
-    shard_begin_[s + 1] = static_cast<NodeId>(
-        shard_begin_[s] + base + (s < extra ? 1 : 0));
+    for (NodeId v = shard_begin_[s]; v < shard_begin_[s + 1]; ++v) {
+      node_shard_[v] = s;
+    }
   }
 
   const std::size_t edges = graph_->directed_edge_count();
   edge_owner_.resize(edges);
   for (std::size_t eid = 0; eid < edges; ++eid) {
-    edge_owner_[eid] = shard_of(graph_->directed_edge_target(eid));
+    edge_owner_[eid] = node_shard_[graph_->directed_edge_target(eid)];
   }
-  arena_.reset(edges, workers_);
+}
+
+void Network::ensure_executor() {
+  const unsigned want = resolve_threads();
+  if (want == workers_ && partition_setting_ == built_partition_ &&
+      steal_chunk_setting_ == built_steal_setting_) {
+    return;
+  }
+
+  if (want != workers_) {
+    workers_ = want;
+    pool_.reset();
+    if (workers_ > 1) pool_ = std::make_unique<WorkerPool>(workers_);
+    const long long env_grain = env_parallel_grain();
+    if (env_grain >= 0) {
+      grain_ = static_cast<std::size_t>(env_grain);
+    } else if (workers_ == 1) {
+      grain_ = 192;  // inert: the single-worker path never dispatches
+    } else {
+      grain_ = calibrate_grain();
+    }
+  }
+  built_partition_ = partition_setting_;
+  built_steal_setting_ = steal_chunk_setting_;
+  steal_chunk_ = resolve_steal_chunk();
+
+  build_partition();
+  arena_.reset(graph_->directed_edge_count(), workers_);
   shards_.assign(workers_, Shard{});
+  lanes_.assign(workers_, WorkerLane{});
+  cursors_ = std::make_unique<ChunkCursor[]>(workers_);
   staged_.assign(workers_,
                  std::vector<std::vector<PendingSend>>(workers_));
+  seg_marks_.assign(workers_, std::vector<std::vector<SegMark>>(workers_));
+  wake_staged_.assign(workers_, std::vector<std::vector<NodeId>>(workers_));
+
+  // Round-0 chunking: every node is active with an empty inbox, so weight
+  // by 1 + degree (initialization work -- e.g. Phase 1 seeding eta*deg
+  // short walks -- is typically degree-proportional).
+  round0_chunk_end_.assign(workers_, {});
+  round0_work_.assign(workers_, 0);
+  for (unsigned s = 0; s < workers_; ++s) {
+    const NodeId begin = shard_begin_[s];
+    round0_work_[s] = cut_chunks(
+        steal_chunk_, shard_begin_[s + 1] - begin,
+        [&](std::uint32_t idx) {
+          return std::uint64_t{1} + graph_->degree(begin + idx);
+        },
+        round0_chunk_end_[s]);
+  }
 }
 
 void Network::stage_send(unsigned worker, NodeId from, std::uint32_t slot,
                          const Message& m) {
   const auto eid = static_cast<std::uint32_t>(
       graph_->directed_edge_index(from, slot));
-  staged_[worker][edge_owner_[eid]].push_back(PendingSend{eid, m});
-  ++shards_[worker].sends;
+  const std::uint32_t owner = edge_owner_[eid];
+  WorkerLane& lane = lanes_[worker];
+  std::vector<PendingSend>& bucket = staged_[worker][owner];
+  std::vector<SegMark>& marks = seg_marks_[worker][owner];
+  if (marks.empty() || marks.back().chunk != lane.chunk) {
+    marks.push_back(
+        SegMark{lane.chunk, static_cast<std::uint32_t>(bucket.size())});
+  }
+  bucket.push_back(PendingSend{eid, m});
+  ++lane.sends;
 }
 
 void Network::stage_wake(unsigned worker, NodeId self) {
   if (!wake_flag_[self]) {
     wake_flag_[self] = 1;
-    shards_[worker].wake_pending.push_back(self);
-    ++shards_[worker].wakes;
+    wake_staged_[worker][node_shard_[self]].push_back(self);
+    ++lanes_[worker].wakes;
   }
 }
 
 void Network::dispatch(std::size_t work,
-                       void (Network::*phase)(unsigned)) {
-  if (workers_ == 1 || work < parallel_grain()) {
-    for (unsigned s = 0; s < workers_; ++s) (this->*phase)(s);
+                       void (Network::*phase)(unsigned),
+                       bool collaborative) {
+  if (workers_ == 1 || work < grain_) {
+    parallel_round_ = false;
+    if (collaborative) {
+      // A collaborative phase drains every shard's chunk cursor itself; a
+      // single inline call covers all shards in canonical order.
+      (this->*phase)(0);
+    } else {
+      for (unsigned s = 0; s < workers_; ++s) (this->*phase)(s);
+    }
     return;
   }
+  parallel_round_ = true;
   pool_->run([this, phase](unsigned s) { (this->*phase)(s); });
 }
 
-void Network::compute_phase(unsigned shard) {
-  Shard& sh = shards_[shard];
-  sh.deliveries = 0;
-  sh.sends = 0;
-  sh.wakes = 0;
-
-  // Build this round's active set in ascending node order -- the canonical
-  // processing order every thread count shares (it fixes the staged-send
-  // order, hence busy-edge order, hence next round's delivery order).
-  sh.active.clear();
-  if (global_wake_) {
-    for (NodeId v = shard_begin_[shard]; v < shard_begin_[shard + 1]; ++v) {
-      sh.active.push_back(v);
-    }
-  } else {
-    sh.wake_scratch.clear();
-    sh.wake_scratch.swap(sh.wake_pending);
-    for (NodeId v : sh.wake_scratch) wake_flag_[v] = 0;
-    sh.active.insert(sh.active.end(), sh.delivered.begin(),
-                     sh.delivered.end());
-    sh.active.insert(sh.active.end(), sh.wake_scratch.begin(),
-                     sh.wake_scratch.end());
-    sh.delivered.clear();
-    std::sort(sh.active.begin(), sh.active.end());
-    sh.active.erase(std::unique(sh.active.begin(), sh.active.end()),
-                    sh.active.end());
-  }
-
+void Network::compute_phase(unsigned worker) {
+  WorkerLane& lane = lanes_[worker];
   Context ctx;
   ctx.net_ = this;
   ctx.round_ = round_;
-  ctx.worker_ = shard;
-  for (NodeId v : sh.active) {
-    std::vector<Delivery>& in = inbox_[v];
-    sh.deliveries += in.size();
-    ctx.self_ = v;
-    ctx.inbox_ = std::span<const Delivery>(in);
-    running_->on_round(ctx);
-    in.clear();
+  ctx.worker_ = worker;
+  // Drain the own shard's chunks first (cache locality: its active nodes,
+  // inboxes and arena pages are this worker's), then sweep the other
+  // shards claiming whatever their owners have not reached yet. Chunks are
+  // claimed exactly once; which worker runs a chunk never influences
+  // results, only wall time.
+  for (unsigned i = 0; i < workers_; ++i) {
+    const unsigned s = worker + i < workers_ ? worker + i
+                                             : worker + i - workers_;
+    Shard& sh = shards_[s];
+    const auto chunks = static_cast<std::uint32_t>(sh.chunk_end.size());
+    if (chunks == 0) continue;
+    for (;;) {
+      const std::uint32_t c =
+          cursors_[s].next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) break;
+      if (i != 0 && parallel_round_) ++lane.steals;
+      lane.chunk = (static_cast<std::uint64_t>(s) << 32) | c;
+      const std::uint32_t begin = c == 0 ? 0 : sh.chunk_end[c - 1];
+      const std::uint32_t end = sh.chunk_end[c];
+      for (std::uint32_t idx = begin; idx < end; ++idx) {
+        const NodeId v = sh.active[idx];
+        std::vector<Delivery>& in = inbox_[v];
+        lane.deliveries += in.size();
+        ctx.self_ = v;
+        ctx.inbox_ = std::span<const Delivery>(in);
+        running_->on_round(ctx);
+        in.clear();
+      }
+    }
   }
 }
 
@@ -334,23 +528,51 @@ void Network::transmit_phase(unsigned shard) {
   Shard& sh = shards_[shard];
   sh.transmitted = 0;
 
-  // Merge staged sends for owned edges, scanning workers in ascending
-  // order: combined with ascending-order processing this makes the merged
-  // sequence the global ascending-node send order, independent of how
-  // nodes were sharded.
+  // Merge staged sends for owned edges in ascending global chunk order.
+  // Chunks tile the canonical ascending-node order and each was executed
+  // contiguously by exactly one worker, so replaying their bucket segments
+  // sorted by chunk id reconstructs the global ascending-node send order
+  // -- independent of thread count, partition and who stole what.
+  std::vector<Segment>& segments = sh.merge_scratch;
+  segments.clear();
   for (unsigned w = 0; w < workers_; ++w) {
-    std::vector<PendingSend>& bucket = staged_[w][shard];
-    for (const PendingSend& ps : bucket) {
-      if (arena_.size(ps.eid) == 0) sh.busy.push_back(ps.eid);
-      arena_.push(shard, ps.eid, ps.msg);
-      const std::uint64_t depth = arena_.size(ps.eid);
-      if (depth > sh.max_backlog) sh.max_backlog = depth;
+    const std::vector<SegMark>& marks = seg_marks_[w][shard];
+    const auto bucket_size =
+        static_cast<std::uint32_t>(staged_[w][shard].size());
+    for (std::size_t k = 0; k < marks.size(); ++k) {
+      const std::uint32_t end =
+          k + 1 < marks.size() ? marks[k + 1].begin : bucket_size;
+      segments.push_back(Segment{marks[k].chunk, w, marks[k].begin, end});
     }
-    bucket.clear();
+  }
+  if (!segments.empty()) {
+    // Thin rounds (nothing staged for this shard) skip the merge timer:
+    // two clock reads per shard per round would dominate the near-zero
+    // work they bracket.
+    const auto merge_start = Clock::now();
+    std::sort(segments.begin(), segments.end(),
+              [](const Segment& a, const Segment& b) {
+                return a.chunk < b.chunk;
+              });
+    for (const Segment& seg : segments) {
+      const std::vector<PendingSend>& bucket = staged_[seg.worker][shard];
+      for (std::uint32_t k = seg.begin; k < seg.end; ++k) {
+        const PendingSend& ps = bucket[k];
+        const std::uint32_t depth = arena_.push(shard, ps.eid, ps.msg);
+        if (depth == 1) sh.busy.push_back(ps.eid);
+        if (depth > sh.max_backlog) sh.max_backlog = depth;
+      }
+    }
+    for (unsigned w = 0; w < workers_; ++w) {
+      staged_[w][shard].clear();
+      seg_marks_[w][shard].clear();
+    }
+    lanes_[shard].merge_ns += ns_since(merge_start);
   }
 
   // Transmit: at most one queued message per owned directed edge moves into
   // its destination inbox (all owned destinations are this shard's nodes).
+  sh.delivered.clear();
   std::size_t keep = 0;
   for (const std::uint32_t eid : sh.busy) {
     const Message m = arena_.pop(shard, eid);
@@ -362,6 +584,40 @@ void Network::transmit_phase(unsigned shard) {
     if (arena_.size(eid) != 0) sh.busy[keep++] = eid;
   }
   sh.busy.resize(keep);
+
+  // Assemble the next round's active list (delivered nodes + staged wakes,
+  // deduplicated in ascending order) and chunk it for stealing, so the
+  // next compute phase starts without an extra barrier.
+  sh.wake_scratch.clear();
+  for (unsigned w = 0; w < workers_; ++w) {
+    for (const NodeId v : wake_staged_[w][shard]) {
+      wake_flag_[v] = 0;
+      sh.wake_scratch.push_back(v);
+    }
+    wake_staged_[w][shard].clear();
+  }
+  sh.active.clear();
+  sh.active.insert(sh.active.end(), sh.delivered.begin(),
+                   sh.delivered.end());
+  sh.active.insert(sh.active.end(), sh.wake_scratch.begin(),
+                   sh.wake_scratch.end());
+  std::sort(sh.active.begin(), sh.active.end());
+  sh.active.erase(std::unique(sh.active.begin(), sh.active.end()),
+                  sh.active.end());
+  chunk_active_list(sh);
+}
+
+void Network::chunk_active_list(Shard& sh) {
+  // Weight by pending deliveries: the dominant on_round cost is walking
+  // the inbox, and it is known exactly here. A hub with a flooded inbox
+  // lands alone in its own chunk, so thieves can take everything else.
+  sh.chunk_end.clear();
+  sh.work = cut_chunks(
+      steal_chunk_, static_cast<std::uint32_t>(sh.active.size()),
+      [&](std::uint32_t idx) {
+        return std::uint64_t{1} + inbox_[sh.active[idx]].size();
+      },
+      sh.chunk_end);
 }
 
 void Network::reset_transients(bool aborted) {
@@ -369,12 +625,21 @@ void Network::reset_transients(bool aborted) {
     Shard& sh = shards_[s];
     for (NodeId v : sh.delivered) inbox_[v].clear();
     sh.delivered.clear();
-    for (NodeId v : sh.wake_pending) wake_flag_[v] = 0;
-    sh.wake_pending.clear();
+    sh.active.clear();
+    sh.chunk_end.clear();
+    sh.work = 0;
     for (std::uint32_t eid : sh.busy) arena_.clear_queue(s, eid);
     sh.busy.clear();
-    // Sends staged in a final done()-stopped compute were never merged.
-    for (std::vector<PendingSend>& bucket : staged_[s]) bucket.clear();
+  }
+  for (unsigned w = 0; w < workers_; ++w) {
+    for (unsigned o = 0; o < workers_; ++o) {
+      // Sends staged in a final done()-stopped compute were never merged;
+      // staged wakes still hold their flags.
+      staged_[w][o].clear();
+      seg_marks_[w][o].clear();
+      for (const NodeId v : wake_staged_[w][o]) wake_flag_[v] = 0;
+      wake_staged_[w][o].clear();
+    }
   }
   if (aborted) {
     // A protocol that threw mid-compute leaves inboxes of active nodes it
@@ -392,11 +657,18 @@ void Network::reset_transients(bool aborted) {
 }
 
 RunStats Network::run(Protocol& protocol, std::uint64_t max_rounds) {
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = Clock::now();
   ensure_executor();
   RunStats stats;
   stats.threads = workers_;
-  for (Shard& sh : shards_) sh.max_backlog = 0;
+  for (Shard& sh : shards_) {
+    sh.max_backlog = 0;
+    sh.transmitted = 0;
+  }
+  for (WorkerLane& lane : lanes_) {
+    lane.steals = 0;
+    lane.merge_ns = 0.0;
+  }
   running_ = &protocol;
   try {
     run_loop(protocol, max_rounds, stats);
@@ -410,6 +682,12 @@ RunStats Network::run(Protocol& protocol, std::uint64_t max_rounds) {
   }
   running_ = nullptr;
 
+  double merge_ns = 0.0;
+  for (const WorkerLane& lane : lanes_) {
+    stats.steals += lane.steals;
+    merge_ns += lane.merge_ns;
+  }
+  stats.merge_ms = merge_ns / 1e6;
   for (const Shard& sh : shards_) {
     stats.max_backlog = stats.max_backlog > sh.max_backlog
                             ? stats.max_backlog
@@ -418,9 +696,7 @@ RunStats Network::run(Protocol& protocol, std::uint64_t max_rounds) {
   // Reset transient state so the network can host the next protocol run.
   reset_transients(/*aborted=*/false);
 
-  stats.wall_ms = std::chrono::duration<double, std::milli>(
-                      std::chrono::steady_clock::now() - start)
-                      .count();
+  stats.wall_ms = ms_since(start);
   return stats;
 }
 
@@ -435,27 +711,45 @@ void Network::run_loop(Protocol& protocol, std::uint64_t max_rounds,
       throw std::runtime_error("Network::run: max_rounds exceeded");
     }
 
-    // Compute: active nodes' on_round, sharded by node.
-    std::size_t active_bound = graph_->node_count();
-    if (!global_wake_) {
-      active_bound = 0;
-      for (const Shard& sh : shards_) {
-        active_bound += sh.delivered.size() + sh.wake_pending.size();
+    if (global_wake_) {
+      // Install the cached canonical round-0 chunking: every node active.
+      for (unsigned s = 0; s < workers_; ++s) {
+        Shard& sh = shards_[s];
+        sh.active.clear();
+        for (NodeId v = shard_begin_[s]; v < shard_begin_[s + 1]; ++v) {
+          sh.active.push_back(v);
+        }
+        sh.chunk_end = round0_chunk_end_[s];
+        sh.work = round0_work_[s];
       }
     }
-    dispatch(active_bound, &Network::compute_phase);
+
+    // Compute: active nodes' on_round, chunk-claimed across workers.
+    std::size_t active_work = 0;
+    for (const Shard& sh : shards_) active_work += sh.work;
+    for (unsigned s = 0; s < workers_; ++s) {
+      cursors_[s].next.store(0, std::memory_order_relaxed);
+    }
+    for (WorkerLane& lane : lanes_) {
+      lane.deliveries = 0;
+      lane.sends = 0;
+      lane.wakes = 0;
+    }
+    const auto compute_start = Clock::now();
+    dispatch(active_work, &Network::compute_phase, /*collaborative=*/true);
+    stats.compute_ms += ms_since(compute_start);
     global_wake_ = false;
 
     std::uint64_t deliveries = 0;
     std::uint64_t sends = 0;
     std::uint64_t scheduled = 0;
-    for (const Shard& sh : shards_) {
-      deliveries += sh.deliveries;
-      sends += sh.sends;
+    for (const WorkerLane& lane : lanes_) {
+      deliveries += lane.deliveries;
+      sends += lane.sends;
       // Wakes scheduled during this iteration mark local-only work
       // happening in this round (e.g. a lazy walk's self-loop step): they
       // cost a round even with no transmission.
-      scheduled += sh.wakes;
+      scheduled += lane.wakes;
     }
     stats.messages += deliveries;
 
@@ -464,24 +758,25 @@ void Network::run_loop(Protocol& protocol, std::uint64_t max_rounds,
       break;
     }
 
-    // Transmit: merge staged sends and move at most one queued message per
-    // directed edge into the next iteration's inboxes. Each iteration with
-    // at least one transmission (or an explicit waiting wake) is one
-    // CONGEST round -- compute + send + delivery happen within a single
-    // round of the model.
+    // Transmit: merge staged sends, move at most one queued message per
+    // directed edge into the next iteration's inboxes, and prepare the
+    // next active lists. Each iteration with at least one transmission (or
+    // an explicit waiting wake) is one CONGEST round -- compute + send +
+    // delivery happen within a single round of the model.
     std::size_t busy_bound = sends;
     for (const Shard& sh : shards_) busy_bound += sh.busy.size();
-    dispatch(busy_bound, &Network::transmit_phase);
+    const auto transmit_start = Clock::now();
+    dispatch(busy_bound, &Network::transmit_phase, /*collaborative=*/false);
+    stats.transmit_ms += ms_since(transmit_start);
 
     std::uint64_t transmitted = 0;
     for (const Shard& sh : shards_) transmitted += sh.transmitted;
     if (transmitted > 0 || scheduled > 0) ++stats.rounds;
 
-    // Quiescence: nothing queued, nothing scheduled, nothing to deliver.
+    // Quiescence: nothing queued, nothing active next round.
     bool quiescent = true;
     for (const Shard& sh : shards_) {
-      if (!sh.busy.empty() || !sh.delivered.empty() ||
-          !sh.wake_pending.empty()) {
+      if (!sh.busy.empty() || !sh.active.empty()) {
         quiescent = false;
         break;
       }

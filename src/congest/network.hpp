@@ -26,21 +26,38 @@
 //   into `threads()` contiguous shards; each round runs two barrier-
 //   separated phases on a persistent worker pool:
 //
-//     compute  -- every shard's active nodes run `on_round` in ascending
-//                 node order. Sends go to a per-worker staging buffer
-//                 bucketed by the DESTINATION edge's owner shard; nothing
-//                 shared is written.
+//     compute  -- active nodes run `on_round` in the canonical ascending
+//                 node order, chunked for WORK-STEALING: every shard's
+//                 active list is cut into weight-bounded chunks, each
+//                 worker drains its own shard's chunks first and then
+//                 claims remaining chunks of busier shards. Sends go to
+//                 per-worker staging buffers carrying per-chunk segment
+//                 marks; nothing shared is written.
 //     transmit -- every shard merges the staged sends for the edges it owns
-//                 (scanning workers in ascending order, so the merged order
-//                 is the global ascending-node send order regardless of the
-//                 thread count), then delivers at most one queued message
-//                 per owned edge into its own nodes' inboxes.
+//                 in ascending CHUNK order (chunks tile the canonical order,
+//                 so the merged sequence is the global ascending-node send
+//                 order no matter which worker ran which chunk), delivers at
+//                 most one queued message per owned edge into its own nodes'
+//                 inboxes, and finally assembles + chunks its own next-round
+//                 active list (so the compute phase needs no extra barrier).
 //
-//   Each directed edge is owned by exactly one shard (its destination
-//   node's), so both phases are lock-free. Delivery order into every inbox
-//   -- and therefore every RNG draw -- is bit-identical across all thread
-//   counts, including 1. Configure with Network::set_threads() or the
-//   DRW_THREADS environment variable (default: hardware concurrency).
+//   Shards are contiguous node ranges balanced by DIRECTED-EDGE count by
+//   default (Partition::kEdgeWeighted, a prefix-sum over degrees) so that
+//   degree-skewed graphs -- stars, lollipops, power laws -- do not pile all
+//   edge traffic onto one worker; Partition::kNodeCount keeps the legacy
+//   equal-count split. Each directed edge is owned by exactly one shard (its
+//   destination node's), so both phases are lock-free apart from the chunk
+//   cursors. Delivery order into every inbox -- and therefore every RNG draw
+//   -- is bit-identical across all thread counts, all partition strategies
+//   and all steal-chunk sizes, including the fully inline 1-thread run.
+//   Configure with Network::set_threads() / set_partition() /
+//   set_steal_chunk() or the DRW_THREADS / DRW_PARTITION / DRW_STEAL_CHUNK
+//   environment variables.
+//
+//   Rounds whose work falls below the dispatch grain run inline on the
+//   driver thread (identical data flow and results). The grain is
+//   micro-calibrated at executor build time from the measured pool dispatch
+//   overhead vs a probed per-node visit cost; DRW_PARALLEL_GRAIN overrides.
 //
 // Protocols are event-driven: a node's `on_round` runs when it received
 // messages this round, asked to be woken, or during round 0 (all nodes wake
@@ -48,6 +65,7 @@
 // split off the network's master seed, so runs are deterministic.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -69,6 +87,20 @@ struct RunStats {
   /// short are discarded untransmitted and do not register here.
   std::uint64_t max_backlog = 0;
   double wall_ms = 0.0;  ///< wall-clock time inside Network::run
+  /// Per-phase breakdown of wall_ms, measured on the driver thread around
+  /// each phase dispatch. compute_ms + transmit_ms ~= wall_ms minus the
+  /// between-phase bookkeeping; exported by the bench JSON reports.
+  double compute_ms = 0.0;
+  double transmit_ms = 0.0;
+  /// CPU time spent merging staged sends inside the transmit phase, SUMMED
+  /// across shards (shards merge concurrently, so this can legitimately
+  /// exceed transmit_ms x 1; it attributes how much of transmit is merge
+  /// work rather than delivery work).
+  double merge_ms = 0.0;
+  /// Compute chunks executed by a worker other than the owning shard's
+  /// (work-stealing balance indicator; 0 for inline rounds). NOT part of
+  /// the determinism contract -- results never depend on who stole what.
+  std::uint64_t steals = 0;
   /// Widest executor width CONFIGURED among accumulated runs. Rounds whose
   /// per-phase work falls below the parallel grain still execute inline on
   /// the driver thread regardless of this width.
@@ -80,6 +112,10 @@ struct RunStats {
     max_backlog = max_backlog > other.max_backlog ? max_backlog
                                                   : other.max_backlog;
     wall_ms += other.wall_ms;
+    compute_ms += other.compute_ms;
+    transmit_ms += other.transmit_ms;
+    merge_ms += other.merge_ms;
+    steals += other.steals;
     threads = threads > other.threads ? threads : other.threads;
     return *this;
   }
@@ -92,12 +128,28 @@ struct RunStats {
     rounds = rounds > earlier.rounds ? rounds - earlier.rounds : 0;
     messages = messages > earlier.messages ? messages - earlier.messages : 0;
     wall_ms = wall_ms > earlier.wall_ms ? wall_ms - earlier.wall_ms : 0.0;
+    compute_ms = compute_ms > earlier.compute_ms
+                     ? compute_ms - earlier.compute_ms : 0.0;
+    transmit_ms = transmit_ms > earlier.transmit_ms
+                      ? transmit_ms - earlier.transmit_ms : 0.0;
+    merge_ms = merge_ms > earlier.merge_ms ? merge_ms - earlier.merge_ms
+                                           : 0.0;
+    steals = steals > earlier.steals ? steals - earlier.steals : 0;
     return *this;
   }
   friend RunStats operator-(RunStats later, const RunStats& earlier) noexcept {
     later -= earlier;
     return later;
   }
+};
+
+/// Shard partition strategy. Results are bit-identical under either; only
+/// wall time differs (kEdgeWeighted tracks per-round *work* on degree-skewed
+/// graphs, kNodeCount is the legacy equal-count split kept for A/B
+/// benchmarks -- see bench_skew).
+enum class Partition : std::uint8_t {
+  kNodeCount,     ///< contiguous ranges of equal node count
+  kEdgeWeighted,  ///< contiguous ranges of equal (1 + degree) weight
 };
 
 class Network;
@@ -131,7 +183,7 @@ class Context {
   Network* net_ = nullptr;
   NodeId self_ = kInvalidNode;
   std::uint64_t round_ = 0;
-  unsigned worker_ = 0;  ///< executor shard running this node
+  unsigned worker_ = 0;  ///< executor worker running this node's chunk
   std::span<const Delivery> inbox_;
 };
 
@@ -140,13 +192,14 @@ class Context {
 /// only let node v's logic read node v's slice of that state.
 ///
 /// SHARD SAFETY: `on_round` calls of different nodes may run on different
-/// executor threads within a round. The rule above is therefore load-
-/// bearing, and for writes it is strict: node v's on_round may only write
-/// state indexed by v (or by something only v owns this round, e.g. the
-/// job a token it just received belongs to). Reads of shared *immutable*
-/// inputs (the graph, a BFS tree, config) are fine; cross-node mutable
-/// scratch members are not. Context::rng() is per-node and safe. Every
-/// protocol in this repository has been audited against this rule.
+/// executor threads within a round (with work-stealing, even nodes of the
+/// same shard may). The rule above is therefore load-bearing, and for
+/// writes it is strict: node v's on_round may only write state indexed by v
+/// (or by something only v owns this round, e.g. the job a token it just
+/// received belongs to). Reads of shared *immutable* inputs (the graph, a
+/// BFS tree, config) are fine; cross-node mutable scratch members are not.
+/// Context::rng() is per-node and safe. Every protocol in this repository
+/// has been audited against this rule.
 class Protocol {
  public:
   virtual ~Protocol() = default;
@@ -181,6 +234,32 @@ class Network {
   /// The auto thread count (DRW_THREADS env var or hardware concurrency).
   static unsigned default_threads();
 
+  /// Shard partition strategy for subsequent runs (default: DRW_PARTITION
+  /// env var -- "nodes" or "edges" -- else kEdgeWeighted). The executor is
+  /// rebuilt lazily on the next run() when this, the thread count, or the
+  /// steal-chunk grain changed; the graph itself is immutable per Network.
+  void set_partition(Partition partition) noexcept {
+    partition_setting_ = partition;
+  }
+  Partition partition() const noexcept { return partition_setting_; }
+
+  /// Work-stealing chunk grain: target work units (1 + pending deliveries,
+  /// or 1 + degree in round 0) per compute chunk. 0 = auto (DRW_STEAL_CHUNK
+  /// env var, else derived from the dispatch grain). Small chunks balance
+  /// better and interleave more under TSan; results never depend on it.
+  void set_steal_chunk(std::uint32_t work) noexcept {
+    steal_chunk_setting_ = work;
+  }
+  /// Effective steal-chunk grain of the current executor (0 before the
+  /// first run builds it).
+  std::uint32_t steal_chunk() const noexcept { return steal_chunk_; }
+
+  /// Effective inline-dispatch grain (work units below which a phase runs
+  /// on the driver thread): the DRW_PARALLEL_GRAIN override, or the value
+  /// micro-calibrated when the executor was (re)built; 0 before the first
+  /// run builds it.
+  std::size_t dispatch_grain() const noexcept { return grain_; }
+
   /// Runs `protocol` to completion (quiescence or protocol.done()).
   /// Throws std::runtime_error if `max_rounds` is exceeded -- a protocol bug.
   RunStats run(Protocol& protocol, std::uint64_t max_rounds = 10'000'000);
@@ -199,34 +278,85 @@ class Network {
     Message msg;
   };
 
-  /// Per-shard executor working set. Every field is touched only by the
-  /// shard's worker during a phase (the driver reads counters between
-  /// phases, after the pool barrier).
+  /// Marks where a compute chunk's sends begin inside one (worker, owner)
+  /// staging bucket. Each chunk is executed by exactly one worker, so its
+  /// sends form one contiguous bucket segment; the transmit merge replays
+  /// segments in ascending chunk order to reconstruct the canonical global
+  /// send order regardless of which worker stole which chunk.
+  struct SegMark {
+    std::uint64_t chunk = 0;  ///< global chunk id: (shard << 32) | index
+    std::uint32_t begin = 0;  ///< first PendingSend of the segment
+  };
+
+  /// A gathered segment during the transmit merge (owner-shard scratch).
+  struct Segment {
+    std::uint64_t chunk = 0;
+    std::uint32_t worker = 0;
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+  };
+
+  /// Per-shard executor working set. `active`/`chunk_end`/`work` are
+  /// written by the owner shard during transmit (or by the driver for the
+  /// round-0 global wake) and read-only during compute; everything else is
+  /// touched only by the owner's worker during a phase (the driver reads
+  /// counters between phases, after the pool barrier).
   struct Shard {
-    std::vector<NodeId> active;        ///< this round's nodes, ascending
-    std::vector<NodeId> delivered;     ///< inboxes filled for next round
-    std::vector<NodeId> wake_pending;  ///< wake_me() requests for next round
-    std::vector<NodeId> wake_scratch;  ///< last round's consumed wakes
+    std::vector<NodeId> active;  ///< this round's nodes, ascending
+    /// Cumulative chunk ends (indices into `active`): chunk c covers
+    /// active[chunk_end[c-1] .. chunk_end[c]).
+    std::vector<std::uint32_t> chunk_end;
+    std::uint64_t work = 0;            ///< weight of `active` (dispatch sizing)
+    std::vector<NodeId> delivered;     ///< inboxes filled in last transmit
     std::vector<std::uint32_t> busy;   ///< owned edges with queued messages
-    std::uint64_t deliveries = 0;      ///< per-round counters, then run peak
-    std::uint64_t sends = 0;
-    std::uint64_t wakes = 0;
     std::uint64_t transmitted = 0;
     std::uint64_t max_backlog = 0;
+    std::vector<Segment> merge_scratch;  ///< transmit-local segment gather
+    std::vector<NodeId> wake_scratch;    ///< transmit-local wake gather
+  };
+
+  /// Per-worker hot counters, cache-line separated so concurrent chunk
+  /// execution does not false-share. deliveries/sends/wakes are per round
+  /// (driver resets), steals/merge_ns accumulate per run.
+  struct alignas(64) WorkerLane {
+    std::uint64_t chunk = 0;  ///< global id of the chunk being computed
+    std::uint64_t deliveries = 0;
+    std::uint64_t sends = 0;
+    std::uint64_t wakes = 0;
+    std::uint64_t steals = 0;
+    double merge_ns = 0.0;
+  };
+
+  /// One chunk cursor per shard, cache-line separated. Workers claim
+  /// chunks with fetch_add; the pool barrier publishes the chunk data.
+  struct alignas(64) ChunkCursor {
+    std::atomic<std::uint32_t> next{0};
   };
 
   void stage_send(unsigned worker, NodeId from, std::uint32_t slot,
                   const Message& m);
   void stage_wake(unsigned worker, NodeId self);
-  unsigned shard_of(NodeId v) const noexcept;
   unsigned resolve_threads() const noexcept;
-  /// (Re)builds the shard partition, edge ownership, arena pools and worker
-  /// pool when the effective thread count changed. Only between runs.
+  std::uint32_t resolve_steal_chunk() const noexcept;
+  /// Measures pool dispatch overhead vs a probed per-node visit cost and
+  /// derives the inline-dispatch grain (only when DRW_PARALLEL_GRAIN is
+  /// unset and the pool is real).
+  std::size_t calibrate_grain();
+  /// (Re)builds the shard partition, edge ownership, arena pools, worker
+  /// pool and round-0 chunking when the effective thread count, partition
+  /// strategy or steal-chunk grain changed. Only between runs.
   void ensure_executor();
+  void build_partition();
+  /// Cuts `shard`'s active list into steal chunks of ~steal_chunk_ work
+  /// units (weight 1 + pending inbox size per node) and records the total.
+  void chunk_active_list(Shard& sh);
   /// Runs `phase` for every shard: on the pool when `work` crosses the
-  /// parallel grain, inline (same data flow, same results) otherwise.
-  void dispatch(std::size_t work, void (Network::*phase)(unsigned));
-  void compute_phase(unsigned shard);
+  /// dispatch grain, inline (same data flow, same results) otherwise.
+  /// `collaborative` phases (compute) drain every shard's chunks from a
+  /// single inline call; owner-bound phases (transmit) are called per shard.
+  void dispatch(std::size_t work, void (Network::*phase)(unsigned),
+                bool collaborative);
+  void compute_phase(unsigned worker);
   void transmit_phase(unsigned shard);
   void run_loop(Protocol& protocol, std::uint64_t max_rounds,
                 RunStats& stats);
@@ -242,20 +372,41 @@ class Network {
   std::vector<NodeId> edge_source_;  ///< source node per directed edge
 
   unsigned threads_setting_ = 0;  ///< requested (0 = auto)
-  unsigned workers_ = 0;          ///< executor width currently built
+  Partition partition_setting_;   ///< requested (ctor: DRW_PARTITION / edges)
+  std::uint32_t steal_chunk_setting_ = 0;  ///< requested (0 = auto)
+
+  unsigned workers_ = 0;  ///< executor width currently built
+  Partition built_partition_ = Partition::kEdgeWeighted;
+  std::uint32_t built_steal_setting_ = 0;
+  std::uint32_t steal_chunk_ = 0;  ///< effective steal-chunk grain
+  std::size_t grain_ = 0;          ///< effective inline-dispatch grain
+
   std::vector<NodeId> shard_begin_;        ///< size workers_+1, contiguous
+  std::vector<std::uint32_t> node_shard_;  ///< shard per node
   std::vector<std::uint32_t> edge_owner_;  ///< destination shard per edge
   EdgeArena arena_;
   std::vector<Shard> shards_;
-  /// staged_[worker][owner_shard]: sends buffered during compute.
+  std::vector<WorkerLane> lanes_;
+  std::unique_ptr<ChunkCursor[]> cursors_;  ///< one per shard
+  /// staged_[worker][owner_shard]: sends buffered during compute, with
+  /// per-chunk segment marks alongside.
   std::vector<std::vector<std::vector<PendingSend>>> staged_;
+  std::vector<std::vector<std::vector<SegMark>>> seg_marks_;
+  /// wake_staged_[worker][owner_shard]: wake_me() requests, merged into the
+  /// owner's next active list during transmit.
+  std::vector<std::vector<std::vector<NodeId>>> wake_staged_;
+  /// Cached round-0 chunking (weight 1 + degree: init work is typically
+  /// degree-proportional) per shard, rebuilt with the executor.
+  std::vector<std::vector<std::uint32_t>> round0_chunk_end_;
+  std::vector<std::uint64_t> round0_work_;
   std::vector<std::vector<Delivery>> inbox_;
   std::vector<std::uint8_t> wake_flag_;
   std::unique_ptr<WorkerPool> pool_;
 
   Protocol* running_ = nullptr;  ///< current protocol during run()
   std::uint64_t round_ = 0;
-  bool global_wake_ = false;  ///< round 0: every node is active
+  bool global_wake_ = false;      ///< round 0: every node is active
+  bool parallel_round_ = false;   ///< current compute went to the pool
 };
 
 }  // namespace drw::congest

@@ -231,6 +231,41 @@ Graph random_regular(std::size_t n, std::uint32_t d, Rng& rng) {
   return connect_components(std::move(b), rng);
 }
 
+Graph power_law(std::size_t n, std::uint32_t m, Rng& rng) {
+  if (m < 1) throw std::invalid_argument("power_law: m < 1");
+  if (n < m + 1) throw std::invalid_argument("power_law: n < m + 1");
+  GraphBuilder b(n);
+  // Seed with a small clique so the first arrivals have m targets, then
+  // attach each new node to m distinct existing nodes sampled by degree
+  // (the classic repeated-endpoint list: every edge endpoint appears once,
+  // so uniform draws from it are degree-proportional).
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * m * n);
+  for (NodeId i = 0; i <= m; ++i) {
+    for (NodeId j = i + 1; j <= m; ++j) {
+      b.add_edge(i, j);
+      endpoints.push_back(i);
+      endpoints.push_back(j);
+    }
+  }
+  std::vector<NodeId> chosen;
+  for (NodeId v = m + 1; v < n; ++v) {
+    chosen.clear();
+    while (chosen.size() < m) {
+      const NodeId u = endpoints[rng.next_below(endpoints.size())];
+      if (std::find(chosen.begin(), chosen.end(), u) == chosen.end()) {
+        chosen.push_back(u);
+      }
+    }
+    for (const NodeId u : chosen) {
+      b.add_edge(v, u);
+      endpoints.push_back(v);
+      endpoints.push_back(u);
+    }
+  }
+  return b.build();
+}
+
 Graph random_geometric(std::size_t n, double radius, Rng& rng) {
   if (n < 2) throw std::invalid_argument("random_geometric: n < 2");
   if (radius <= 0.0) throw std::invalid_argument("random_geometric: radius");

@@ -62,6 +62,13 @@ Graph erdos_renyi_connected(std::size_t n, double p, Rng& rng);
 /// used as the "low diameter, fast mixing" family.
 Graph random_regular(std::size_t n, std::uint32_t d, Rng& rng);
 
+/// Power-law (scale-free) graph via preferential attachment (Barabasi-
+/// Albert): nodes arrive one at a time and connect `m` edges to existing
+/// nodes picked proportionally to degree. Produces the heavy-tailed hub
+/// degrees that stress executor load balance (hubs concentrate edge
+/// traffic); connected by construction.
+Graph power_law(std::size_t n, std::uint32_t m, Rng& rng);
+
 /// Random geometric graph: n points uniform in the unit square, edges
 /// between pairs within `radius`; components joined by nearest-pair bridges.
 /// The paper (Section 1.2) cites RGGs as the ad-hoc network model where

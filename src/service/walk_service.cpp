@@ -24,6 +24,7 @@ WalkService::WalkService(congest::Network& net, std::uint32_t diameter,
     throw std::invalid_argument("WalkService: lambda_slack < 1");
   }
   if (config_.threads != 0) net_->set_threads(config_.threads);
+  if (config_.partition) net_->set_partition(*config_.partition);
 }
 
 void WalkService::submit(const WalkRequest& request) {

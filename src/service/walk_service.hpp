@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "congest/network.hpp"
@@ -50,8 +51,13 @@ struct ServiceConfig {
   /// Executor threads applied to the network on construction (0 = leave the
   /// network's setting alone). Results are thread-count independent; this
   /// only changes wall time. Per-batch wall time and the executor width
-  /// land in BatchReport::stats / ServiceStats::stats (wall_ms, threads).
+  /// land in BatchReport::stats / ServiceStats::stats (wall_ms, threads;
+  /// per-phase compute/transmit/merge breakdowns ride along).
   unsigned threads = 0;
+  /// Shard partition strategy applied on construction (nullopt = leave the
+  /// network's setting alone -- DRW_PARTITION env or edge-weighted).
+  /// Results are partition-independent; only wall time changes.
+  std::optional<congest::Partition> partition;
 };
 
 /// Per-batch serving report.

@@ -1,9 +1,14 @@
 // Determinism of the parallel round executor (tier-1): the same seeded
 // workload must produce bit-identical results at every thread count --
-// delivery traces, walk endpoints, recorded paths, RunStats.messages.
+// delivery traces, walk endpoints, recorded paths, RunStats.messages --
+// and be invariant under the shard partition strategy (node-count vs
+// edge-weighted) and the work-stealing chunk grain, including on the
+// degree-skewed topologies (star, lollipop, power-law) where the
+// edge-weighted partition actually moves shard boundaries.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "congest/network.hpp"
@@ -164,6 +169,119 @@ TEST(Determinism, ServiceBatchBitIdentical) {
     EXPECT_EQ(report.stats.messages, baseline_messages)
         << "threads=" << threads;
     EXPECT_EQ(report.stats.rounds, baseline_rounds) << "threads=" << threads;
+  }
+}
+
+/// One executor configuration of the skew sweep.
+struct ExecConfig {
+  unsigned threads;
+  congest::Partition partition;
+  std::uint32_t steal_chunk;  // 0 = auto
+};
+
+std::string describe(const ExecConfig& c) {
+  return "threads=" + std::to_string(c.threads) + " partition=" +
+         (c.partition == congest::Partition::kEdgeWeighted ? "edges"
+                                                           : "nodes") +
+         " steal_chunk=" + std::to_string(c.steal_chunk);
+}
+
+/// The cross product that must all collapse onto the 1-thread/node-count
+/// baseline: every thread count under both partition strategies, plus a
+/// forced chunk grain of 1 (every active node its own steal chunk -- the
+/// maximum-interleaving configuration the TSan CI leg also exercises).
+std::vector<ExecConfig> skew_configs() {
+  std::vector<ExecConfig> configs;
+  for (const unsigned threads : kThreadCounts) {
+    configs.push_back({threads, congest::Partition::kNodeCount, 0});
+    configs.push_back({threads, congest::Partition::kEdgeWeighted, 0});
+    configs.push_back({threads, congest::Partition::kEdgeWeighted, 1});
+  }
+  return configs;
+}
+
+TEST(Determinism, SkewedTopologyTracesInvariantAcrossPartitions) {
+  Rng pl_rng(909);
+  struct Family {
+    const char* name;
+    Graph graph;
+  };
+  const Family families[] = {
+      {"star", gen::star(96)},
+      {"lollipop", gen::lollipop(24, 48)},
+      {"power_law", gen::power_law(96, 3, pl_rng)},
+  };
+
+  for (const Family& family : families) {
+    std::vector<std::vector<std::uint64_t>> baseline_trace;
+    congest::RunStats baseline;
+    bool first = true;
+    for (const ExecConfig& config : skew_configs()) {
+      congest::Network net(family.graph, 4321);
+      net.set_threads(config.threads);
+      net.set_partition(config.partition);
+      if (config.steal_chunk != 0) net.set_steal_chunk(config.steal_chunk);
+      TracingStorm protocol(family.graph.node_count());
+      const congest::RunStats stats = net.run(protocol);
+      if (first) {
+        baseline_trace = protocol.trace();
+        baseline = stats;
+        first = false;
+        continue;
+      }
+      EXPECT_EQ(protocol.trace(), baseline_trace)
+          << family.name << " " << describe(config);
+      EXPECT_EQ(stats.rounds, baseline.rounds)
+          << family.name << " " << describe(config);
+      EXPECT_EQ(stats.messages, baseline.messages)
+          << family.name << " " << describe(config);
+      EXPECT_EQ(stats.max_backlog, baseline.max_backlog)
+          << family.name << " " << describe(config);
+    }
+  }
+}
+
+TEST(Determinism, SkewedWalkEndpointsInvariantAcrossPartitions) {
+  // A serviced batch on the lollipop: walks pile into the clique, so the
+  // edge-weighted partition genuinely reshapes shard boundaries while the
+  // endpoints must not move.
+  const Graph g = gen::lollipop(24, 48);
+  const std::uint32_t diameter = exact_diameter(g);
+
+  std::vector<service::WalkRequest> requests;
+  Rng workload_rng(55);
+  for (int i = 0; i < 8; ++i) {
+    requests.push_back(service::WalkRequest{
+        static_cast<NodeId>(workload_rng.next_below(g.node_count())),
+        256u << (i % 3), 1 + static_cast<std::uint32_t>(i % 2), false});
+  }
+
+  std::vector<std::vector<NodeId>> baseline_destinations;
+  std::uint64_t baseline_messages = 0;
+  std::uint64_t baseline_rounds = 0;
+  bool first = true;
+  for (const ExecConfig& config : skew_configs()) {
+    congest::Network net(g, 777);
+    if (config.steal_chunk != 0) net.set_steal_chunk(config.steal_chunk);
+    service::ServiceConfig service_config;
+    service_config.threads = config.threads;
+    service_config.partition = config.partition;
+    service::WalkService svc(net, diameter, service_config);
+    const service::BatchReport report = svc.serve(requests);
+    std::vector<std::vector<NodeId>> destinations;
+    for (const service::RequestResult& r : report.results) {
+      destinations.push_back(r.destinations);
+    }
+    if (first) {
+      baseline_destinations = std::move(destinations);
+      baseline_messages = report.stats.messages;
+      baseline_rounds = report.stats.rounds;
+      first = false;
+      continue;
+    }
+    EXPECT_EQ(destinations, baseline_destinations) << describe(config);
+    EXPECT_EQ(report.stats.messages, baseline_messages) << describe(config);
+    EXPECT_EQ(report.stats.rounds, baseline_rounds) << describe(config);
   }
 }
 

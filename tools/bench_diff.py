@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_<name>.json trajectory files.
+
+Compares every numeric field present in both files and classifies the
+movement:
+
+  * wall-clock fields (``*_ms``, ``wall_ms_*``): relative change beyond the
+    threshold is a REGRESSION (slower) or an improvement (faster);
+  * exact counters (rounds, messages, determinism flags, ...): any change is
+    reported -- these are correctness-relevant, not noise;
+  * fields present on only one side are listed, since gates and knobs come
+    and go across PRs.
+
+Exit status: 0 when clean or in the default warn-only mode (CI runners are
+too noisy for a hard wall-clock gate); 1 when regressions were found and
+``--fail-on-regression`` was passed. When GITHUB_ACTIONS is set,
+regressions are emitted as ``::warning::`` annotations so they surface on
+the workflow summary without failing the build.
+
+Usage:
+  tools/bench_diff.py BASELINE.json CURRENT.json [--threshold 0.10]
+                      [--fail-on-regression]
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+# Fields whose change is expected run-to-run and never worth reporting.
+IGNORED = {"seed"}
+# Exact fields that describe the measuring host, not the measured code.
+HOST_FIELDS = {"hw_threads", "sweep_skipped_hw1", "dispatch_grain",
+               "steal_chunk"}
+
+
+def is_wall_field(key: str) -> bool:
+    return key.endswith("_ms") or "wall_ms" in key
+
+
+def load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict):
+        raise SystemExit(f"{path}: expected a flat JSON object")
+    return data
+
+
+def annotate(message: str) -> None:
+    print(message)
+    if os.environ.get("GITHUB_ACTIONS"):
+        print(f"::warning::{message}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_<name>.json files")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative wall-clock change that counts as a "
+                             "regression (default 0.10 = 10%%)")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 on wall-clock regressions (default: "
+                             "warn only -- shared CI runners are noisy)")
+    args = parser.parse_args()
+
+    if not os.path.exists(args.current):
+        annotate(f"bench_diff: {args.current} missing (bench did not run?)")
+        return 0
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    # A baseline captured on a different host shape (e.g. the committed
+    # 1-core dev-container numbers vs a 4-vCPU runner) makes wall-clock
+    # comparisons meaningless: report them informationally, but do not
+    # annotate or fail until the baseline is refreshed on matching hardware.
+    same_host = base.get("hw_threads") == cur.get("hw_threads")
+
+    regressions = []
+    improvements = []
+    moved = []
+    counter_changes = []
+    shared = [k for k in base if k in cur and k not in IGNORED]
+    for key in shared:
+        b, c = base[key], cur[key]
+        if not (isinstance(b, (int, float)) and isinstance(c, (int, float))):
+            if b != c:
+                counter_changes.append(f"{key}: {b!r} -> {c!r}")
+            continue
+        if is_wall_field(key):
+            if b <= 0 or math.isnan(b) or math.isnan(c):
+                continue
+            rel = (c - b) / b
+            line = f"{key}: {b:.6g} -> {c:.6g} ms ({rel:+.1%})"
+            if rel > args.threshold:
+                regressions.append(line)
+            elif rel < -args.threshold:
+                improvements.append(line)
+        elif key in HOST_FIELDS:
+            if b != c:
+                counter_changes.append(
+                    f"{key}: {b!r} -> {c!r} (host/knob difference -- "
+                    "wall-clock deltas may be meaningless)")
+        elif key.endswith("steals"):
+            # Which worker steals which chunk is scheduling-dependent (it
+            # is explicitly outside the determinism contract), so steal
+            # counts move every multi-threaded run; informational only.
+            if b != c:
+                moved.append(f"{key}: {b!r} -> {c!r}")
+        elif isinstance(b, float) or isinstance(c, float):
+            # Measured ratios (speedups, improvements, hit rates) jitter
+            # run to run; threshold them like wall fields but keep them
+            # informational -- the gates in the benches themselves decide
+            # pass/fail for these.
+            if b != 0 and abs(c - b) / abs(b) > args.threshold:
+                moved.append(f"{key}: {b:.6g} -> {c:.6g}")
+        elif b != c:
+            counter_changes.append(f"{key}: {b!r} -> {c!r}")
+
+    only_base = sorted(k for k in base if k not in cur)
+    only_cur = sorted(k for k in cur if k not in base)
+
+    print(f"bench_diff: {args.baseline} vs {args.current} "
+          f"({len(shared)} shared fields, threshold {args.threshold:.0%})")
+    if not same_host:
+        print("  NOTE: hw_threads differs between baseline and current -- "
+              "wall-clock deltas reported informationally only; refresh "
+              "the baseline on matching hardware to re-arm the gate")
+    for line in counter_changes:
+        print(f"  counter  {line}")
+    for line in moved:
+        print(f"  moved    {line}")
+    for line in improvements:
+        print(f"  faster   {line}")
+    for line in regressions:
+        if same_host:
+            annotate(f"  REGRESSION {line}")
+        else:
+            print(f"  slower   {line}")
+    if only_base:
+        print(f"  removed fields: {', '.join(only_base)}")
+    if only_cur:
+        print(f"  new fields: {', '.join(only_cur)}")
+    if not (counter_changes or moved or improvements or regressions):
+        print("  no movement beyond threshold")
+
+    if regressions and same_host and args.fail_on_regression:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

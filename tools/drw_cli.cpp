@@ -60,12 +60,16 @@ using namespace drw;
                "           [--samples=N] [--naive] [--lazy] [--mh]\n"
                "           [--threads=N]  (executor threads; 0 = auto,\n"
                "                           results identical at any count)\n"
+               "           [--partition=nodes|edges]  (shard balance; results\n"
+               "                           identical under either strategy)\n"
+               "           [--steal-chunk=N]  (work-stealing grain; 0 = auto)\n"
                "           [--requests=FILE] [--batch-size=N] [--paths]\n"
                "request file: one `source length count [record]` per line,\n"
                "              '#' starts a comment\n"
                "graph specs: path:N cycle:N grid:RxC torus:RxC hypercube:D\n"
                "             complete:N star:N lollipop:C,P barbell:C,P\n"
-               "             er:N,P regular:N,D rgg:N,R chain:S,N,D file:PATH\n");
+               "             er:N,P regular:N,D powerlaw:N,M rgg:N,R\n"
+               "             chain:S,N,D file:PATH\n");
   std::exit(2);
 }
 
@@ -86,6 +90,8 @@ struct Args {
   std::uint32_t batch_size = 8;
   bool paths = false;
   unsigned threads = 0;  // 0 = auto (DRW_THREADS env / hardware)
+  std::optional<congest::Partition> partition;  // nullopt = network default
+  std::uint32_t steal_chunk = 0;  // 0 = auto (DRW_STEAL_CHUNK env / derived)
 };
 
 std::optional<std::string> flag_value(const char* arg, const char* name) {
@@ -122,6 +128,17 @@ Args parse_args(int argc, char** argv) {
     } else if (auto v = flag_value(a, "--threads")) {
       args.threads =
           static_cast<unsigned>(std::strtoul(v->c_str(), nullptr, 10));
+    } else if (auto v = flag_value(a, "--partition")) {
+      if (*v == "nodes") {
+        args.partition = congest::Partition::kNodeCount;
+      } else if (*v == "edges") {
+        args.partition = congest::Partition::kEdgeWeighted;
+      } else {
+        usage("--partition must be nodes or edges");
+      }
+    } else if (auto v = flag_value(a, "--steal-chunk")) {
+      args.steal_chunk =
+          static_cast<std::uint32_t>(std::strtoul(v->c_str(), nullptr, 10));
     } else if (auto v = flag_value(a, "--samples")) {
       args.samples =
           static_cast<std::uint32_t>(std::strtoul(v->c_str(), nullptr, 10));
@@ -204,6 +221,10 @@ Graph build_graph(const std::string& spec, std::uint64_t seed) {
     return gen::random_regular(static_cast<std::size_t>(p(0, 64)),
                                static_cast<std::uint32_t>(p(1, 4)), rng);
   }
+  if (name == "powerlaw") {
+    return gen::power_law(static_cast<std::size_t>(p(0, 64)),
+                          static_cast<std::uint32_t>(p(1, 3)), rng);
+  }
   if (name == "rgg") {
     return gen::random_geometric(static_cast<std::size_t>(p(0, 96)),
                                  p(1, 0.2), rng);
@@ -216,10 +237,12 @@ Graph build_graph(const std::string& spec, std::uint64_t seed) {
   usage(("unknown graph spec: " + spec).c_str());
 }
 
-/// Applies the --threads override (the parallel executor's width; results
-/// are bit-identical at every setting).
+/// Applies the executor overrides (--threads / --partition / --steal-chunk;
+/// results are bit-identical at every setting).
 void configure_threads(congest::Network& net, const Args& args) {
   if (args.threads != 0) net.set_threads(args.threads);
+  if (args.partition) net.set_partition(*args.partition);
+  if (args.steal_chunk != 0) net.set_steal_chunk(args.steal_chunk);
 }
 
 int cmd_walk(const Args& args, const Graph& g, std::uint32_t diameter) {
@@ -330,8 +353,10 @@ std::vector<service::WalkRequest> synthetic_requests(
 
 int cmd_serve(const Args& args, const Graph& g, std::uint32_t diameter) {
   congest::Network net(g, args.seed);
+  if (args.steal_chunk != 0) net.set_steal_chunk(args.steal_chunk);
   service::ServiceConfig config;
   config.threads = args.threads;
+  config.partition = args.partition;
   config.params = core::Params::paper();
   config.params.transition = args.model;
   config.enable_paths = args.paths;
@@ -389,8 +414,15 @@ int cmd_serve(const Args& args, const Graph& g, std::uint32_t diameter) {
           ? 0.0
           : static_cast<double>(life.naive_rounds_estimate) /
                 static_cast<double>(life.stats.rounds));
-  std::printf("executor: %u thread(s), %.1f ms wall inside Network::run\n",
-              life.stats.threads, life.stats.wall_ms);
+  std::printf("executor: %u thread(s), %.1f ms wall inside Network::run "
+              "(compute %.1f / transmit %.1f / merge %.1f cpu-ms; "
+              "%llu chunks stolen; grain %zu, steal chunk %u, %s shards)\n",
+              life.stats.threads, life.stats.wall_ms, life.stats.compute_ms,
+              life.stats.transmit_ms, life.stats.merge_ms,
+              static_cast<unsigned long long>(life.stats.steals),
+              net.dispatch_grain(), net.steal_chunk(),
+              net.partition() == congest::Partition::kEdgeWeighted
+                  ? "edge-weighted" : "node-count");
   return 0;
 }
 
