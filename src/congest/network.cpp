@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -133,7 +134,7 @@ std::uint32_t Context::slot_of(NodeId neighbor_id) const noexcept {
 }
 
 void Context::send(std::uint32_t slot, const Message& m) {
-  net_->stage_send(worker_, self_, slot, m);
+  net_->stage_send(worker_, self_, slot, m, lane_);
 }
 
 void Context::send_to(NodeId neighbor_id, const Message& m) {
@@ -141,12 +142,17 @@ void Context::send_to(NodeId neighbor_id, const Message& m) {
   if (slot >= degree()) {
     throw std::logic_error("Context::send_to: target is not a neighbor");
   }
-  net_->stage_send(worker_, self_, slot, m);
+  net_->stage_send(worker_, self_, slot, m, lane_);
 }
 
-void Context::wake_me() { net_->stage_wake(worker_, self_); }
+void Context::wake_me() {
+  lane_woke_ = true;
+  net_->stage_wake(worker_, self_);
+}
 
-Rng& Context::rng() { return net_->node_rngs_[self_]; }
+Rng& Context::rng() {
+  return lane_rng_ != nullptr ? *lane_rng_ : net_->node_rngs_[self_];
+}
 
 // --------------------------------------------------------------- WorkerPool
 
@@ -239,7 +245,7 @@ struct Network::WorkerPool {
 // ------------------------------------------------------------------ Network
 
 Network::Network(const Graph& g, std::uint64_t seed)
-    : graph_(&g), partition_setting_(env_partition()) {
+    : graph_(&g), seed_(seed), partition_setting_(env_partition()) {
   const std::size_t n = g.node_count();
   Rng master(seed);
   node_rngs_.reserve(n);
@@ -397,7 +403,8 @@ void Network::build_partition() {
 void Network::ensure_executor() {
   const unsigned want = resolve_threads();
   if (want == workers_ && partition_setting_ == built_partition_ &&
-      steal_chunk_setting_ == built_steal_setting_) {
+      steal_chunk_setting_ == built_steal_setting_ &&
+      run_lanes_ <= arena_lanes_) {
     return;
   }
 
@@ -416,10 +423,16 @@ void Network::ensure_executor() {
   }
   built_partition_ = partition_setting_;
   built_steal_setting_ = steal_chunk_setting_;
+  if (run_lanes_ > arena_lanes_) arena_lanes_ = run_lanes_;
   steal_chunk_ = resolve_steal_chunk();
 
   build_partition();
-  arena_.reset(graph_->directed_edge_count(), workers_);
+  // One virtual FIFO per (directed edge, lane): a multiplexed run gives
+  // every lane the solo per-edge delivery pacing (see run_multiplexed).
+  // Sized for the widest multiplexing seen so far; lane l's queues occupy
+  // the contiguous block [l * E, (l + 1) * E), so narrower runs just leave
+  // the upper blocks idle.
+  arena_.reset(graph_->directed_edge_count() * arena_lanes_, workers_);
   shards_.assign(workers_, Shard{});
   lanes_.assign(workers_, WorkerLane{});
   cursors_ = std::make_unique<ChunkCursor[]>(workers_);
@@ -445,7 +458,17 @@ void Network::ensure_executor() {
 }
 
 void Network::stage_send(unsigned worker, NodeId from, std::uint32_t slot,
-                         const Message& m) {
+                         const Message& m, std::uint16_t msg_lane) {
+  if (msg_lane >= run_lanes_) {
+    // A multi-lane mux driven through run() instead of run_multiplexed()
+    // (or a protocol stamping Message::lane by hand) would otherwise index
+    // another lane's -- or nonexistent -- arena queues. Fail loudly in
+    // every build mode; the branch is one predictable compare on the send
+    // path.
+    throw std::logic_error(
+        "Network::stage_send: message lane exceeds the run's lane count "
+        "(multi-lane protocols must go through run_multiplexed)");
+  }
   const auto eid = static_cast<std::uint32_t>(
       graph_->directed_edge_index(from, slot));
   const std::uint32_t owner = edge_owner_[eid];
@@ -456,7 +479,11 @@ void Network::stage_send(unsigned worker, NodeId from, std::uint32_t slot,
     marks.push_back(
         SegMark{lane.chunk, static_cast<std::uint32_t>(bucket.size())});
   }
-  bucket.push_back(PendingSend{eid, m});
+  bucket.push_back(PendingSend{
+      eid + msg_lane * static_cast<std::uint32_t>(
+                           graph_->directed_edge_count()),
+      m});
+  bucket.back().msg.lane = msg_lane;
   ++lane.sends;
 }
 
@@ -570,16 +597,20 @@ void Network::transmit_phase(unsigned shard) {
     lanes_[shard].merge_ns += ns_since(merge_start);
   }
 
-  // Transmit: at most one queued message per owned directed edge moves into
-  // its destination inbox (all owned destinations are this shard's nodes).
+  // Transmit: at most one queued message per owned virtual edge (directed
+  // edge x lane) moves into its destination inbox (all owned destinations
+  // are this shard's nodes).
   sh.delivered.clear();
   std::size_t keep = 0;
+  const auto edges =
+      static_cast<std::uint32_t>(graph_->directed_edge_count());
   for (const std::uint32_t eid : sh.busy) {
     const Message m = arena_.pop(shard, eid);
-    const NodeId to = graph_->directed_edge_target(eid);
+    const std::uint32_t base_eid = eid - m.lane * edges;
+    const NodeId to = graph_->directed_edge_target(base_eid);
     std::vector<Delivery>& in = inbox_[to];
     if (in.empty()) sh.delivered.push_back(to);
-    in.push_back(Delivery{m, edge_source_[eid]});
+    in.push_back(Delivery{m, edge_source_[base_eid]});
     ++sh.transmitted;
     if (arena_.size(eid) != 0) sh.busy[keep++] = eid;
   }
@@ -657,7 +688,31 @@ void Network::reset_transients(bool aborted) {
 }
 
 RunStats Network::run(Protocol& protocol, std::uint64_t max_rounds) {
+  return run_with_lanes(protocol, 1, max_rounds);
+}
+
+RunStats Network::run_multiplexed(Protocol& protocol, unsigned lanes,
+                                  std::uint64_t max_rounds) {
+  if (lanes == 0 || lanes > kMaxLanes) {
+    throw std::invalid_argument(
+        "Network::run_multiplexed: lanes must be in [1, kMaxLanes]");
+  }
+  // Virtual edge ids (lane * E + eid) live in 32 bits; a graph wide enough
+  // to overflow them must fail loudly, not wrap into another lane's FIFOs.
+  const std::uint64_t virtual_edges =
+      static_cast<std::uint64_t>(lanes) * graph_->directed_edge_count();
+  if (virtual_edges > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument(
+        "Network::run_multiplexed: lanes * directed edges exceeds the "
+        "32-bit virtual edge id space");
+  }
+  return run_with_lanes(protocol, lanes, max_rounds);
+}
+
+RunStats Network::run_with_lanes(Protocol& protocol, unsigned lanes,
+                                 std::uint64_t max_rounds) {
   const auto start = Clock::now();
+  run_lanes_ = lanes;
   ensure_executor();
   RunStats stats;
   stats.threads = workers_;
@@ -670,6 +725,7 @@ RunStats Network::run(Protocol& protocol, std::uint64_t max_rounds) {
     lane.merge_ns = 0.0;
   }
   running_ = &protocol;
+  protocol.on_run_start(workers_);
   try {
     run_loop(protocol, max_rounds, stats);
   } catch (...) {

@@ -153,6 +153,7 @@ enum class Partition : std::uint8_t {
 };
 
 class Network;
+class ProtocolMux;
 
 /// Per-node view handed to Protocol::on_round. Only exposes information a
 /// real processor would have: its own ID, its neighbors, its inbox, its coin.
@@ -175,16 +176,22 @@ class Context {
   void send_to(NodeId neighbor_id, const Message& m);
   /// Requests on_round next round even if no message arrives.
   void wake_me();
-  /// This node's private random stream.
+  /// This node's private random stream. Under a multiplexed run the mux
+  /// retargets this to the running lane's private per-node stream, so a
+  /// lane's draws are independent of what other lanes consume.
   Rng& rng();
 
  private:
   friend class Network;
+  friend class ProtocolMux;  ///< retargets lane_/lane_rng_ per lane dispatch
   Network* net_ = nullptr;
   NodeId self_ = kInvalidNode;
   std::uint64_t round_ = 0;
   unsigned worker_ = 0;  ///< executor worker running this node's chunk
   std::span<const Delivery> inbox_;
+  std::uint16_t lane_ = 0;    ///< stamped onto every send
+  Rng* lane_rng_ = nullptr;   ///< overrides the shared node stream when set
+  bool lane_woke_ = false;    ///< wake_me() happened during a lane dispatch
 };
 
 /// A distributed algorithm: one object holding the state of *all* nodes
@@ -204,6 +211,11 @@ class Protocol {
  public:
   virtual ~Protocol() = default;
 
+  /// Called once on the driver thread before round 0 of every run, with
+  /// the effective executor width. Default no-op; the protocol mux uses it
+  /// to size per-worker scratch.
+  virtual void on_run_start(unsigned workers) { (void)workers; }
+
   /// Called for every active node each round (round 0 activates all nodes).
   virtual void on_round(Context& ctx) = 0;
 
@@ -215,6 +227,10 @@ class Protocol {
 
 class Network {
  public:
+  /// Hard cap on run_multiplexed lanes: each lane costs one virtual FIFO
+  /// head per directed edge (O(E * lanes) arena index memory).
+  static constexpr unsigned kMaxLanes = 256;
+
   /// The graph must be connected (the paper's standing assumption).
   explicit Network(const Graph& g, std::uint64_t seed);
   ~Network();
@@ -264,17 +280,35 @@ class Network {
   /// Throws std::runtime_error if `max_rounds` is exceeded -- a protocol bug.
   RunStats run(Protocol& protocol, std::uint64_t max_rounds = 10'000'000);
 
+  /// Runs a multiplexed protocol (normally a congest::ProtocolMux) with
+  /// `lanes` independent message lanes: every (directed edge, lane) pair
+  /// gets its own FIFO backlog, so each lane's queueing and delivery pacing
+  /// is exactly what it would be in a solo run -- the per-edge CONGEST
+  /// budget applies per lane, mirroring the paper's interleaving analysis
+  /// where non-contending traversals share rounds. `lanes` == 1 is
+  /// identical to run(). Messages must carry Message::lane < lanes.
+  RunStats run_multiplexed(Protocol& protocol, unsigned lanes,
+                           std::uint64_t max_rounds = 10'000'000);
+
   /// Node-private random stream (stable per node per network instance).
   Rng& node_rng(NodeId v) { return node_rngs_[v]; }
+
+  /// The master seed this network's per-node streams were split from;
+  /// multiplexed drivers derive per-lane streams from it (see mux.hpp).
+  std::uint64_t seed() const noexcept { return seed_; }
 
  private:
   friend class Context;
   struct WorkerPool;
 
-  /// A staged send: resolved directed-edge id + payload, buffered thread-
-  /// locally during the compute phase and merged by the owner shard.
+  /// A staged send: resolved VIRTUAL edge id (directed edge x lane) +
+  /// payload, buffered thread-locally during the compute phase and merged
+  /// by the owner shard. Lane regions are contiguous (lane * E + eid), so
+  /// each lane's queue index block is as cache-dense as a solo run and the
+  /// base edge recovers with one multiply-subtract from the message's own
+  /// lane tag.
   struct PendingSend {
-    std::uint32_t eid = 0;
+    std::uint32_t eid = 0;  ///< msg.lane * directed_edge_count + base_eid
     Message msg;
   };
 
@@ -334,8 +368,10 @@ class Network {
   };
 
   void stage_send(unsigned worker, NodeId from, std::uint32_t slot,
-                  const Message& m);
+                  const Message& m, std::uint16_t lane);
   void stage_wake(unsigned worker, NodeId self);
+  RunStats run_with_lanes(Protocol& protocol, unsigned lanes,
+                          std::uint64_t max_rounds);
   unsigned resolve_threads() const noexcept;
   std::uint32_t resolve_steal_chunk() const noexcept;
   /// Measures pool dispatch overhead vs a probed per-node visit cost and
@@ -344,7 +380,7 @@ class Network {
   std::size_t calibrate_grain();
   /// (Re)builds the shard partition, edge ownership, arena pools, worker
   /// pool and round-0 chunking when the effective thread count, partition
-  /// strategy or steal-chunk grain changed. Only between runs.
+  /// strategy, steal-chunk grain or lane count changed. Only between runs.
   void ensure_executor();
   void build_partition();
   /// Cuts `shard`'s active list into steal chunks of ~steal_chunk_ work
@@ -368,6 +404,7 @@ class Network {
   void reset_transients(bool aborted);
 
   const Graph* graph_;
+  std::uint64_t seed_ = 0;
   std::vector<Rng> node_rngs_;
   std::vector<NodeId> edge_source_;  ///< source node per directed edge
 
@@ -378,6 +415,13 @@ class Network {
   unsigned workers_ = 0;  ///< executor width currently built
   Partition built_partition_ = Partition::kEdgeWeighted;
   std::uint32_t built_steal_setting_ = 0;
+  /// Message lanes of the current/next run: the arena holds one virtual
+  /// edge queue per (directed edge, lane), id = lane * E + eid.
+  unsigned run_lanes_ = 1;
+  /// Lanes the arena is sized for. Grow-only: a 1-lane run on an arena
+  /// sized for 8 simply leaves the upper queues untouched, so alternating
+  /// mux and plain runs does not thrash the arena (or the executor).
+  unsigned arena_lanes_ = 0;
   std::uint32_t steal_chunk_ = 0;  ///< effective steal-chunk grain
   std::size_t grain_ = 0;          ///< effective inline-dispatch grain
 

@@ -4,6 +4,14 @@
 //
 // Each protocol is a self-contained CONGEST state machine; the drivers in
 // single_random_walk.cpp sequence them and accumulate round counts.
+//
+// LANE COMPATIBILITY: every protocol here draws randomness exclusively
+// through Context::rng() and keeps all mutable state node-indexed, so each
+// can run as one lane of a congest::ProtocolMux (the mux retargets
+// ctx.rng() to a per-lane stream and isolates messages/wakes per lane).
+// The stitch protocols' only cross-instance coupling is the shared
+// WalkStore, whose token pools are keyed by source connector -- the
+// conflict rule BatchScheduler serializes on.
 #pragma once
 
 #include <cstdint>

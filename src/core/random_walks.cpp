@@ -1,7 +1,9 @@
 #include "core/random_walks.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "congest/mux.hpp"
 #include "congest/primitives.hpp"
 
 namespace drw::core {
@@ -210,6 +212,15 @@ PositionTable StitchEngine::drain_positions() {
 StitchEngine::TailOutcome StitchEngine::run_deferred_tails() {
   TailOutcome outcome;
   if (deferred_tails_.empty()) return outcome;
+  // Canonical ascending-walk_id order: tail tokens draw from the SHARED
+  // node streams, so the job order must not depend on the mux scheduler's
+  // task completion order. Legacy callers defer in walk_id order already
+  // (stable: preserves their order).
+  std::stable_sort(deferred_tails_.begin(), deferred_tails_.end(),
+                   [](const NaiveSegmentProtocol::Job& a,
+                      const NaiveSegmentProtocol::Job& b) {
+                     return a.walk_id < b.walk_id;
+                   });
   for (const auto& job : deferred_tails_) {
     outcome.walk_ids.push_back(job.walk_id);
   }
@@ -222,6 +233,190 @@ StitchEngine::TailOutcome StitchEngine::run_deferred_tails() {
   outcome.destinations = protocol.destinations();
   total_ += outcome.stats;
   return outcome;
+}
+
+// --------------------------------------------------------------- WalkTask
+
+StitchEngine::WalkTask::WalkTask(StitchEngine& engine, NodeId source,
+                                 std::uint64_t l, std::uint32_t walk_id,
+                                 bool record_positions)
+    : engine_(&engine), source_(source), l_(l), walk_id_(walk_id),
+      record_(engine.params_.record_trajectories && record_positions),
+      current_(source),
+      rngs_(congest::ProtocolMux::derive_lane_rngs(
+          engine.net_->seed(), walk_id,
+          engine.net_->graph().node_count())) {
+  result_.counters.lambda = engine.lambda_;
+  result_.counters.phase1 = engine.pending_phase1_;
+  result_.counters.walks_prepared = engine.pending_prepared_;
+  engine.pending_phase1_ = {};
+  engine.pending_prepared_ = 0;
+  result_.stats += result_.counters.phase1;
+  if (record_) {
+    engine.positions_[source].push_back(WalkPosition{walk_id, 0});
+  }
+  begin_stitch_or_finish();
+}
+
+void StitchEngine::WalkTask::begin_stitch_or_finish() {
+  // "While length of walk completed is at most l - 2*lambda" (Algorithm 1).
+  if (completed_ + 2 * static_cast<std::uint64_t>(engine_->lambda_) <= l_) {
+    protocol_ = std::make_unique<congest::BfsTreeProtocol>(
+        engine_->net_->graph(), current_);
+    step_ = Step::kBfs;
+  } else {
+    finish();
+  }
+}
+
+void StitchEngine::WalkTask::advance(const congest::RunStats& lane_stats) {
+  result_.stats += lane_stats;
+  result_.counters.phase2 += lane_stats;
+  switch (step_) {
+    case Step::kBfs: {
+      auto& bfs = static_cast<congest::BfsTreeProtocol&>(*protocol_);
+      tree_ = std::make_unique<congest::BfsTree>(bfs.take_tree());
+      protocol_ = std::make_unique<SampleConvergecast>(*tree_, engine_->store_,
+                                                       current_);
+      step_ = Step::kSample;
+      break;
+    }
+    case Step::kSample:
+    case Step::kResample: {
+      auto& sample = static_cast<SampleConvergecast&>(*protocol_);
+      candidate_ = sample.result();
+      ++result_.counters.sample_calls;
+      if (candidate_.count != 0) {
+        // Sweep 3: broadcast down the tree to delete the sampled token at
+        // its holder and hand the walk token to it.
+        WalkStore* store = &engine_->store_;
+        const auto held_index = candidate_.held_index;
+        protocol_ = std::make_unique<congest::BroadcastProtocol>(
+            *tree_,
+            congest::Message{
+                0, {candidate_.holder, candidate_.held_index, 0, 0}},
+            [store, held_index](NodeId at, const congest::Message& m) {
+              if (at != static_cast<NodeId>(m.f[0])) return;
+              auto& held = store->held[at][held_index];
+              if (held.used) {
+                throw std::logic_error("StitchEngine: token already used");
+              }
+              held.used = true;
+            });
+        step_ = Step::kCommit;
+        break;
+      }
+      if (step_ == Step::kResample) {
+        throw std::logic_error("StitchEngine: GET-MORE-WALKS yielded none");
+      }
+      // Pool at the connector is dry: GET-MORE-WALKS, scaled by the
+      // prepared walk count exactly as in walk_impl.
+      const Params& params = engine_->params_;
+      const std::uint32_t count = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(
+              static_cast<std::uint64_t>(params.get_more_walks_count(
+                  l_, engine_->lambda_, engine_->diameter_)) *
+                  engine_->prepared_k_,
+              1u << 20));
+      protocol_ = std::make_unique<GetMoreWalksProtocol>(
+          engine_->net_->graph(), current_, count, engine_->lambda_,
+          params.random_lengths, engine_->store_,
+          params.record_trajectories ? &engine_->trajectories_ : nullptr,
+          params.transition);
+      step_ = Step::kGetMore;
+      break;
+    }
+    case Step::kGetMore:
+      ++result_.counters.get_more_walks_calls;
+      protocol_ = std::make_unique<SampleConvergecast>(*tree_, engine_->store_,
+                                                       current_);
+      step_ = Step::kResample;
+      break;
+    case Step::kCommit:
+      segments_.push_back(
+          Segment{candidate_, current_, completed_});
+      ++engine_->connector_visits_[current_];
+      completed_ += candidate_.length;
+      current_ = candidate_.holder;
+      ++result_.counters.stitches;
+      begin_stitch_or_finish();
+      break;
+    case Step::kDone:
+      throw std::logic_error("WalkTask::advance: task already finished");
+  }
+}
+
+void StitchEngine::WalkTask::finish() {
+  step_ = Step::kDone;
+  protocol_.reset();
+  result_.destination = current_;
+
+  // "Walk naively until l steps are completed": deferred into the engine's
+  // shared concurrent tail run (the source/connector position is already
+  // recorded, so record_start stays false).
+  const std::uint64_t tail = l_ - completed_;
+  if (tail > 0) {
+    result_.counters.naive_tail_steps = tail;
+    engine_->deferred_tails_.push_back(NaiveSegmentProtocol::Job{
+        current_, tail, walk_id_, completed_, false, record_});
+  }
+
+  // Regeneration jobs (Section 2.2), deferred into one batched replay.
+  if (record_) {
+    for (const Segment& s : segments_) {
+      if (s.token.kind == WalkKind::kPhase1) {
+        engine_->deferred_forward_.push_back(RegenerateProtocol::ForwardJob{
+            s.from, s.token.seq, s.offset, walk_id_});
+      } else {
+        const HeldToken& held =
+            engine_->store_.held[s.token.holder][s.token.held_index];
+        engine_->deferred_reverse_.push_back(RegenerateProtocol::ReverseJob{
+            s.token.holder, s.from, s.token.length, held.arrival_slot,
+            s.offset, walk_id_});
+      }
+    }
+  }
+}
+
+StitchEngine::WalkTask StitchEngine::start_walk_task(NodeId source,
+                                                     std::uint64_t l,
+                                                     std::uint32_t walk_id,
+                                                     bool record_positions) {
+  if (!prepared_) throw std::logic_error("StitchEngine: prepare() first");
+  if (naive_mode_) {
+    throw std::logic_error(
+        "StitchEngine::start_walk_task: naive mode defers whole walks "
+        "(use walk_deferring_tail)");
+  }
+  if (l > prepared_l_) {
+    throw std::logic_error("StitchEngine: walk longer than prepared for");
+  }
+  return WalkTask(*this, source, l, walk_id, record_positions);
+}
+
+congest::RunStats StitchEngine::run_deferred_regen() {
+  if (deferred_forward_.empty() && deferred_reverse_.empty()) return {};
+  // Canonical ascending-walk_id order (stable: preserves each walk's
+  // segment order): reverse replay consumes shared anonymous fragments, so
+  // the job order must not depend on task completion order.
+  std::stable_sort(deferred_forward_.begin(), deferred_forward_.end(),
+                   [](const RegenerateProtocol::ForwardJob& a,
+                      const RegenerateProtocol::ForwardJob& b) {
+                     return a.walk_id < b.walk_id;
+                   });
+  std::stable_sort(deferred_reverse_.begin(), deferred_reverse_.end(),
+                   [](const RegenerateProtocol::ReverseJob& a,
+                      const RegenerateProtocol::ReverseJob& b) {
+                     return a.walk_id < b.walk_id;
+                   });
+  RegenerateProtocol regen(net_->graph(), std::move(deferred_forward_),
+                           std::move(deferred_reverse_), trajectories_,
+                           positions_);
+  deferred_forward_.clear();
+  deferred_reverse_.clear();
+  const congest::RunStats stats = net_->run(regen);
+  total_ += stats;
+  return stats;
 }
 
 WalkResult StitchEngine::walk_impl(NodeId source, std::uint64_t l,

@@ -16,10 +16,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "congest/network.hpp"
+#include "congest/primitives.hpp"
 #include "core/params.hpp"
 #include "core/protocols.hpp"
 #include "core/walk_state.hpp"
@@ -52,6 +54,10 @@ struct WalkResult {
 class StitchEngine {
  public:
   StitchEngine(congest::Network& net, Params params, std::uint32_t diameter);
+
+  /// The network this engine stitches on (the mux scheduler drives group
+  /// runs through it directly).
+  congest::Network& network() noexcept { return *net_; }
 
   /// Phase 1: prepares short walks sized for `k` walks of length `l`
   /// (Theorem 2.5 for k == 1, MANY-RANDOM-WALKS otherwise). Resets all
@@ -100,13 +106,102 @@ class StitchEngine {
                                  bool record_positions = true);
 
   /// Completes all deferred tails in one protocol run; returns the final
-  /// destination per deferred walk_id (in deferral order) plus the stats.
+  /// destination per deferred walk_id plus the stats. Jobs run in
+  /// ascending-walk_id order -- the canonical order is what keeps the
+  /// shared-stream tail draws independent of the mux scheduler's task
+  /// completion order (legacy callers already defer in walk_id order, so
+  /// the sort is a no-op for them).
   struct TailOutcome {
     std::vector<std::uint32_t> walk_ids;
     std::vector<NodeId> destinations;
     congest::RunStats stats;
   };
   TailOutcome run_deferred_tails();
+
+  // --- Concurrent stitching (congest::ProtocolMux scheduling) ------------
+
+  /// A resumable per-walk stitch driver: the Phase-2 loop of walk_impl
+  /// unrolled into a state machine that exposes each traversal
+  /// (BFS-to-connector, sample convergecast, GET-MORE-WALKS, commit
+  /// broadcast) as a Protocol the caller runs -- solo or as one lane of a
+  /// ProtocolMux -- and then feeds back via advance(). All randomness is
+  /// drawn from the task's own per-node lane streams (keyed by walk_id
+  /// from the network seed), so the walk's outcome is independent of which
+  /// other walks it was co-scheduled with; cross-walk coupling through the
+  /// short-walk store is confined to the per-connector token pools, which
+  /// is exactly what the scheduler's connector-conflict rule serializes.
+  /// The naive tail and regeneration are deferred into the engine's
+  /// batched runs (run_deferred_tails / run_deferred_regen).
+  class WalkTask {
+   public:
+    WalkTask(WalkTask&&) = default;
+    WalkTask& operator=(WalkTask&&) = default;
+
+    bool finished() const noexcept { return step_ == Step::kDone; }
+    /// Conflict key: the walk's current position, i.e. the connector whose
+    /// token pool (and BFS root) the next traversal touches.
+    NodeId connector() const noexcept { return current_; }
+    std::uint32_t walk_id() const noexcept { return walk_id_; }
+    /// The next traversal to run (valid while !finished()).
+    congest::Protocol& protocol() noexcept { return *protocol_; }
+    /// Per-node lane streams for this walk (hand to ProtocolMux::add_lane).
+    std::vector<Rng>& lane_rngs() noexcept { return rngs_; }
+    /// Consumes the completed traversal's per-lane stats and builds the
+    /// next one (or finishes, deferring tail + regeneration jobs).
+    void advance(const congest::RunStats& lane_stats);
+    /// Valid once finished(). The destination is the last connector until
+    /// run_deferred_tails() resolves this walk_id's tail.
+    const WalkResult& result() const noexcept { return result_; }
+
+   private:
+    friend class StitchEngine;
+    enum class Step : std::uint8_t {
+      kBfs, kSample, kGetMore, kResample, kCommit, kDone
+    };
+    struct Segment {
+      SampleConvergecast::Candidate token;
+      NodeId from = kInvalidNode;
+      std::uint64_t offset = 0;
+    };
+
+    WalkTask(StitchEngine& engine, NodeId source, std::uint64_t l,
+             std::uint32_t walk_id, bool record_positions);
+    void begin_stitch_or_finish();
+    void finish();
+
+    StitchEngine* engine_ = nullptr;
+    NodeId source_ = kInvalidNode;
+    std::uint64_t l_ = 0;
+    std::uint32_t walk_id_ = 0;
+    bool record_ = false;
+    Step step_ = Step::kDone;
+    NodeId current_ = kInvalidNode;
+    std::uint64_t completed_ = 0;
+    std::vector<Rng> rngs_;
+    std::unique_ptr<congest::Protocol> protocol_;
+    /// Heap-held so the address stays stable across WalkTask moves (the
+    /// sample/commit protocols keep a pointer into it).
+    std::unique_ptr<congest::BfsTree> tree_;
+    SampleConvergecast::Candidate candidate_;
+    std::vector<Segment> segments_;
+    WalkResult result_;
+  };
+
+  /// Starts a resumable stitch task (requires a prepared, non-naive
+  /// engine; for naive mode use walk_deferring_tail, which already defers
+  /// the whole walk as one concurrent token job). The first task created
+  /// after prepare() absorbs the pending Phase-1 cost, like walk() does.
+  WalkTask start_walk_task(NodeId source, std::uint64_t l,
+                           std::uint32_t walk_id, bool record_positions);
+
+  /// Replays every deferred regeneration job (segments of walks finished
+  /// via WalkTask with record_positions) in one protocol run, in canonical
+  /// ascending-walk_id order. No-op without record_trajectories.
+  congest::RunStats run_deferred_regen();
+
+  /// Folds an externally driven run's cost (a mux group the scheduler ran
+  /// through Network::run_multiplexed) into total_stats().
+  void absorb_stats(const congest::RunStats& stats) { total_ += stats; }
 
   /// Positions recorded so far (non-empty only when
   /// params.record_trajectories was set). positions()[v] lists (walk_id,
@@ -191,6 +286,8 @@ class StitchEngine {
   std::uint64_t pending_prepared_ = 0;
   std::vector<std::uint64_t> connector_visits_;
   std::vector<NaiveSegmentProtocol::Job> deferred_tails_;
+  std::vector<RegenerateProtocol::ForwardJob> deferred_forward_;
+  std::vector<RegenerateProtocol::ReverseJob> deferred_reverse_;
 };
 
 /// Theorem 2.5: one walk of length l from `source`. Positions are recorded

@@ -3,7 +3,50 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "congest/mux.hpp"
+
 namespace drw::service {
+
+namespace {
+
+/// True when dist(a, b) <= 2 * radius, i.e. the radius-`radius` balls
+/// around the two connectors intersect. radius 0 degenerates to equality
+/// (the exact rule: token pools are keyed by connector). The bounded BFS
+/// costs O(ball size) -- cheap for the small radii this knob is meant for.
+bool connectors_conflict(const Graph& g, NodeId a, NodeId b,
+                         std::uint32_t radius,
+                         std::vector<NodeId>& scratch) {
+  if (a == b) return true;
+  if (radius == 0) return false;
+  const std::uint32_t limit = 2 * radius;
+  // Bounded BFS from a; scratch holds the frontier/visited list.
+  scratch.clear();
+  scratch.push_back(a);
+  std::size_t begin = 0;
+  for (std::uint32_t depth = 0; depth < limit; ++depth) {
+    const std::size_t end = scratch.size();
+    for (std::size_t i = begin; i < end; ++i) {
+      for (const NodeId u : g.neighbors(scratch[i])) {
+        if (u == b) return true;
+        if (std::find(scratch.begin(), scratch.end(), u) == scratch.end()) {
+          scratch.push_back(u);
+        }
+      }
+    }
+    begin = end;
+    if (begin == scratch.size()) break;
+  }
+  return false;
+}
+
+congest::RunStats lane_run_stats(const congest::ProtocolMux::LaneStats& ls) {
+  congest::RunStats stats;
+  stats.rounds = ls.rounds;
+  stats.messages = ls.messages;
+  return stats;
+}
+
+}  // namespace
 
 std::vector<BatchScheduler::Unit> BatchScheduler::plan(
     std::span<const WalkRequest> requests, std::uint32_t first_walk_id) {
@@ -26,18 +69,8 @@ std::vector<BatchScheduler::Unit> BatchScheduler::plan(
   return units;
 }
 
-BatchScheduler::Outcome BatchScheduler::run(
-    std::span<const WalkRequest> requests, std::uint32_t first_walk_id) {
-  Outcome out;
-  out.results.resize(requests.size());
-  for (std::uint32_t r = 0; r < requests.size(); ++r) {
-    out.results[r].request = requests[r];
-    out.results[r].destinations.assign(requests[r].count, kInvalidNode);
-  }
-
-  std::vector<Unit> units = plan(requests, first_walk_id);
-  out.walks = units.size();
-
+void BatchScheduler::run_sequential(std::span<const Unit> units,
+                                    Outcome& out) {
   // Stitch every unit, deferring all naive tails (whole-walk tails for
   // units with length < 2*lambda or a naive-mode engine).
   for (const Unit& u : units) {
@@ -49,6 +82,141 @@ BatchScheduler::Outcome BatchScheduler::run(
     result.counters += walk.counters;
     out.stats += walk.stats;
     out.counters += walk.counters;
+  }
+}
+
+void BatchScheduler::run_multiplexed(std::span<const Unit> units,
+                                     const MuxOptions& mux, Outcome& out) {
+  congest::Network& net = engine_->network();
+  const Graph& g = net.graph();
+  const unsigned width =
+      std::min<unsigned>(mux.width, congest::Network::kMaxLanes);
+
+  struct OpenTask {
+    core::StitchEngine::WalkTask task;
+    const Unit* unit;
+  };
+  std::vector<OpenTask> open;  // lane priority: oldest first
+  open.reserve(width);
+  std::size_t next_unit = 0;
+  std::vector<NodeId> bfs_scratch;
+
+  // Harvest finished tasks into the outcome and top the lanes back up
+  // (tasks of walks shorter than 2*lambda finish at creation, so the two
+  // steps iterate to a fixed point).
+  const auto harvest_and_refill = [&] {
+    for (;;) {
+      bool progressed = false;
+      for (std::size_t i = 0; i < open.size();) {
+        if (!open[i].task.finished()) {
+          ++i;
+          continue;
+        }
+        const core::WalkResult& walk = open[i].task.result();
+        const Unit& u = *open[i].unit;
+        RequestResult& result = out.results[u.request_index];
+        result.destinations[u.slot] = walk.destination;
+        result.stats += walk.stats;
+        result.counters += walk.counters;
+        out.counters += walk.counters;
+        // Phase-1 cost is attributed once (the first task absorbed the
+        // engine's pending stats); the stitch traversals themselves are
+        // charged per GROUP run below, which is where the round sharing
+        // shows up at batch level.
+        out.stats += walk.counters.phase1;
+        open.erase(open.begin() + i);
+        progressed = true;
+      }
+      while (open.size() < width && next_unit < units.size()) {
+        const Unit& u = units[next_unit++];
+        open.push_back(OpenTask{
+            engine_->start_walk_task(u.source, u.length, u.walk_id, u.record),
+            &u});
+        progressed = true;
+      }
+      if (!progressed) return;
+    }
+  };
+
+  harvest_and_refill();
+  while (!open.empty()) {
+    // Build this wave's group in lane order: a task joins unless its
+    // connector conflicts with one already admitted (then it waits a wave
+    // -- the sequential fallback). The first task always enters, so the
+    // schedule cannot stall.
+    std::vector<std::size_t> group;
+    std::vector<NodeId> claimed;
+    for (std::size_t i = 0; i < open.size(); ++i) {
+      const NodeId c = open[i].task.connector();
+      bool conflict = false;
+      for (const NodeId other : claimed) {
+        if (connectors_conflict(g, other, c, mux.conflict_radius,
+                                bfs_scratch)) {
+          conflict = true;
+          break;
+        }
+      }
+      if (conflict) {
+        ++out.mux_conflicts;
+        continue;
+      }
+      claimed.push_back(c);
+      group.push_back(i);
+    }
+    ++out.mux_groups;
+    out.mux_lanes += group.size();
+
+    if (mux.mode == MuxMode::kMux) {
+      congest::ProtocolMux pmux(g.node_count());
+      for (const std::size_t idx : group) {
+        pmux.add_lane(open[idx].task.protocol(),
+                      &open[idx].task.lane_rngs());
+      }
+      const congest::RunStats stats =
+          net.run_multiplexed(pmux, static_cast<unsigned>(group.size()));
+      engine_->absorb_stats(stats);
+      out.stats += stats;
+      for (unsigned lane = 0; lane < group.size(); ++lane) {
+        open[group[lane]].task.advance(
+            lane_run_stats(pmux.lane_stats(lane)));
+      }
+    } else {
+      // kSerial: the SAME schedule, each lane in its own (mux-of-1) run --
+      // the baseline the lane-isolation tests compare kMux against.
+      for (const std::size_t idx : group) {
+        congest::ProtocolMux solo(g.node_count());
+        solo.add_lane(open[idx].task.protocol(),
+                      &open[idx].task.lane_rngs());
+        const congest::RunStats stats = net.run_multiplexed(solo, 1);
+        engine_->absorb_stats(stats);
+        out.stats += stats;
+        open[idx].task.advance(lane_run_stats(solo.lane_stats(0)));
+      }
+    }
+    harvest_and_refill();
+  }
+}
+
+BatchScheduler::Outcome BatchScheduler::run(
+    std::span<const WalkRequest> requests, std::uint32_t first_walk_id,
+    const MuxOptions& mux) {
+  Outcome out;
+  out.results.resize(requests.size());
+  for (std::uint32_t r = 0; r < requests.size(); ++r) {
+    out.results[r].request = requests[r];
+    out.results[r].destinations.assign(requests[r].count, kInvalidNode);
+  }
+
+  std::vector<Unit> units = plan(requests, first_walk_id);
+  out.walks = units.size();
+
+  // A naive-mode engine already batches whole walks into the shared tail
+  // run; there is nothing to multiplex.
+  if (mux.mode == MuxMode::kOff || engine_->naive_mode() ||
+      mux.width <= 1) {
+    run_sequential(units, out);
+  } else {
+    run_multiplexed(units, mux, out);
   }
 
   // One concurrent run finishes every deferred tail.
@@ -63,6 +231,12 @@ BatchScheduler::Outcome BatchScheduler::run(
     const Unit& u = units[index];
     out.results[u.request_index].destinations[u.slot] = tails.destinations[t];
   }
+
+  // Batched regeneration of stitched segments (mux modes defer it; the
+  // legacy path regenerates inside each walk, leaving nothing deferred).
+  out.regen_stats = engine_->run_deferred_regen();
+  out.stats += out.regen_stats;
+  out.counters.regen += out.regen_stats;
 
   // Path extraction: drain the engine's position table and invert it into
   // per-unit node sequences for the units that asked.

@@ -8,6 +8,23 @@
 // O(k + 2*lambda) rounds instead of k * 2*lambda. Units run longest-first:
 // deep walks consume (and, via GET-MORE-WALKS, replenish) the inventory
 // early, so short walks behind them never stall on an empty pool.
+//
+// Concurrent stitching (MuxOptions): the paper's round analysis permits
+// interleaving the BFS/convergecast/broadcast traversals of *different*
+// walks when their connectors do not contend. With mode kMux the scheduler
+// keeps up to `width` walks open as resumable StitchEngine::WalkTasks and,
+// each wave, groups the tasks whose next traversals are pairwise
+// non-conflicting -- the only cross-walk coupling is through the short-walk
+// token pools, which are keyed by connector, so two traversals conflict
+// exactly when their connectors' radius-`conflict_radius` neighborhoods
+// intersect (radius 0, the default, is the precise ownership rule; larger
+// radii are defensive slack). Conflicting tasks wait a wave (fall back to
+// sequential). The group executes as one congest::ProtocolMux inside a
+// single Network::run, widening rounds so the parallel executor's
+// work-stealing pool finally bites; kSerial runs the *same* schedule one
+// lane at a time (the bit-identity baseline tests/test_mux.cpp compares
+// against), and kOff is the legacy walk-at-a-time path, byte-for-byte
+// unchanged.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +35,23 @@
 #include "service/walk_request.hpp"
 
 namespace drw::service {
+
+/// How the scheduler executes the stitch traversals of a batch.
+enum class MuxMode : std::uint8_t {
+  kOff,     ///< legacy sequential stitching (walk-at-a-time)
+  kSerial,  ///< conflict-aware schedule, each lane run solo (mux-of-1)
+  kMux,     ///< conflict-aware schedule, each group as one multiplexed run
+};
+
+struct MuxOptions {
+  MuxMode mode = MuxMode::kOff;
+  /// Maximum concurrently open walks (ProtocolMux lanes per group).
+  unsigned width = 8;
+  /// Two traversals conflict when their connectors are within distance
+  /// 2 * conflict_radius (their radius-r neighborhoods intersect). 0 --
+  /// connector equality -- is exact: token pools are keyed by connector.
+  std::uint32_t conflict_radius = 0;
+};
 
 class BatchScheduler {
  public:
@@ -35,10 +69,17 @@ class BatchScheduler {
   /// Everything one batch run produced.
   struct Outcome {
     std::vector<RequestResult> results;  ///< submission order
-    congest::RunStats stats;             ///< walks + shared tail run
+    /// Batch-level cost: under kMux the stitch part counts each group's
+    /// single Network::run once (rounds shared across lanes), so summing
+    /// the per-request stats can legitimately exceed this.
+    congest::RunStats stats;
     congest::RunStats tail_stats;        ///< the shared tail run alone
+    congest::RunStats regen_stats;       ///< batched regeneration (mux modes)
     core::WalkCounters counters;         ///< summed over all units
     std::uint64_t walks = 0;
+    std::uint64_t mux_groups = 0;        ///< traversal waves executed
+    std::uint64_t mux_lanes = 0;         ///< lanes summed over waves
+    std::uint64_t mux_conflicts = 0;     ///< ready tasks made to wait a wave
   };
 
   explicit BatchScheduler(core::StitchEngine& engine) : engine_(&engine) {}
@@ -47,15 +88,21 @@ class BatchScheduler {
   static std::vector<Unit> plan(std::span<const WalkRequest> requests,
                                 std::uint32_t first_walk_id);
 
-  /// Runs the batch: per-unit stitching with deferred tails, one concurrent
-  /// tail run, per-request assembly, and -- for units with `record` on an
-  /// engine that records trajectories -- path extraction from the drained
-  /// position table. The engine must be prepared for (sum of counts,
-  /// max length).
+  /// Runs the batch: per-unit stitching (sequential or conflict-aware
+  /// multiplexed, per `mux`) with deferred tails, one concurrent tail run,
+  /// batched regeneration, per-request assembly, and -- for units with
+  /// `record` on an engine that records trajectories -- path extraction
+  /// from the drained position table. The engine must be prepared for
+  /// (sum of counts, max length). A naive-mode engine ignores `mux`: its
+  /// walks are whole-length token jobs already batched into the tail run.
   Outcome run(std::span<const WalkRequest> requests,
-              std::uint32_t first_walk_id);
+              std::uint32_t first_walk_id, const MuxOptions& mux = {});
 
  private:
+  void run_sequential(std::span<const Unit> units, Outcome& out);
+  void run_multiplexed(std::span<const Unit> units, const MuxOptions& mux,
+                       Outcome& out);
+
   core::StitchEngine* engine_;
 };
 

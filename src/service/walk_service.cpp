@@ -1,6 +1,7 @@
 #include "service/walk_service.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace drw::service {
@@ -11,6 +12,33 @@ core::Params engine_params(const ServiceConfig& config) {
   core::Params params = config.params;
   params.record_trajectories = config.enable_paths;
   return params;
+}
+
+/// Parsed DRW_MUX (0 = unset): the auto default for
+/// ServiceConfig::mux_width, mirroring DRW_THREADS for the executor.
+unsigned env_mux_width() {
+  static const unsigned value = [] {
+    if (const char* env = std::getenv("DRW_MUX")) {
+      const unsigned long parsed = std::strtoul(env, nullptr, 10);
+      if (parsed >= 1) {
+        return static_cast<unsigned>(
+            parsed < congest::Network::kMaxLanes ? parsed
+                                                 : congest::Network::kMaxLanes);
+      }
+    }
+    return 0u;
+  }();
+  return value;
+}
+
+/// The effective stitching width: explicit config, else DRW_MUX, else 1
+/// (sequential).
+unsigned resolve_mux_width(const ServiceConfig& config) {
+  if (config.mux_width != 0) {
+    return std::min(config.mux_width, congest::Network::kMaxLanes);
+  }
+  const unsigned env = env_mux_width();
+  return env != 0 ? env : 1;
 }
 
 }  // namespace
@@ -103,13 +131,22 @@ BatchReport WalkService::flush() {
   report.lambda = engine_.lambda();
   report.naive_mode = engine_.naive_mode();
 
+  MuxOptions mux;
+  mux.width = resolve_mux_width(config_);
+  mux.mode = mux.width >= 2 ? MuxMode::kMux : MuxMode::kOff;
+  mux.conflict_radius = config_.mux_conflict_radius;
+  report.mux_width = mux.width;
+
   BatchScheduler scheduler(engine_);
-  BatchScheduler::Outcome outcome = scheduler.run(batch, next_walk_id_);
+  BatchScheduler::Outcome outcome = scheduler.run(batch, next_walk_id_, mux);
   next_walk_id_ += static_cast<std::uint32_t>(units);
 
   report.results = std::move(outcome.results);
   report.stats += outcome.stats;
   report.walks = outcome.walks;
+  report.mux_groups = outcome.mux_groups;
+  report.mux_lanes = outcome.mux_lanes;
+  report.mux_conflicts = outcome.mux_conflicts;
   report.stitches = outcome.counters.stitches;
   report.engine_gmw_calls = outcome.counters.get_more_walks_calls;
   report.inventory_hits =

@@ -58,6 +58,17 @@ struct ServiceConfig {
   /// network's setting alone -- DRW_PARTITION env or edge-weighted).
   /// Results are partition-independent; only wall time changes.
   std::optional<congest::Partition> partition;
+  /// Concurrent cross-walk stitching: the number of walks the batch
+  /// scheduler may keep open as ProtocolMux lanes (see batch_scheduler.hpp).
+  /// 0 = auto (DRW_MUX env var, else 1); 1 = legacy sequential stitching;
+  /// >= 2 multiplexes non-conflicting traversals of that many walks into
+  /// shared Network rounds. Unlike threads/partition, this changes WHICH
+  /// exact walks are sampled (all widths are exact l-step samples; width is
+  /// part of the seed-reproducibility contract, like the seed itself).
+  unsigned mux_width = 0;
+  /// Conflict radius for mux grouping (0 = connector equality, the exact
+  /// token-pool ownership rule; larger = defensive slack).
+  std::uint32_t mux_conflict_radius = 0;
 };
 
 /// Per-batch serving report.
@@ -78,6 +89,11 @@ struct BatchReport {
   /// Model cost of serving the same requests one naive token walk at a
   /// time (sum of length over all walks; a naive walk is exactly l rounds).
   std::uint64_t naive_rounds_estimate = 0;
+  std::uint32_t mux_width = 0;       ///< lanes the scheduler could open (1 = off)
+  std::uint64_t mux_groups = 0;      ///< multiplexed traversal waves executed
+  std::uint64_t mux_lanes = 0;       ///< lanes summed over waves (avg width
+                                     ///< per wave = mux_lanes / mux_groups)
+  std::uint64_t mux_conflicts = 0;   ///< traversals serialized by the conflict rule
 
   double rounds_per_request() const {
     return requests == 0 ? 0.0

@@ -2,20 +2,35 @@
 # Tier-1 CI gate: configure, build, run the full test suite; optionally the
 # same under ASan/UBSan (DRW_SANITIZE=1) or TSan (DRW_SANITIZE=tsan, which
 # also forces a multi-threaded executor so races in the parallel round
-# engine are actually exercised) and the serving-layer acceptance bench
+# engine are actually exercised) and the serving-layer acceptance benches
 # (DRW_BENCH=1).
 #
 #   tools/ci.sh                    # plain build + ctest
 #   DRW_SANITIZE=1 tools/ci.sh     # ASan/UBSan build + ctest
 #   DRW_SANITIZE=tsan tools/ci.sh  # TSan build + ctest at DRW_THREADS=4
-#   DRW_BENCH=1 tools/ci.sh        # also run bench_service acceptance gate
+#   DRW_BENCH=1 tools/ci.sh        # also run the bench acceptance gates
+#   DRW_CXX=clang++ tools/ci.sh    # compiler override (the CI matrix sets
+#                                  # this per leg; build dirs get a suffix)
+#   DRW_LAUNCHER=ccache tools/ci.sh  # compiler launcher (ccache in CI)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# One build tree per sanitize mode: a shared tree would cache the previous
-# mode's DRW_SANITIZE/DRW_TSAN options and trip their mutual-exclusion check.
+# Compiler / launcher overrides for the CI {gcc, clang} x ccache matrix.
+CMAKE_TOOLCHAIN_ARGS=()
+DIR_SUFFIX=""
+if [[ -n "${DRW_CXX:-}" ]]; then
+  CMAKE_TOOLCHAIN_ARGS+=(-DCMAKE_CXX_COMPILER="${DRW_CXX}")
+  DIR_SUFFIX="-$(basename "${DRW_CXX}")"
+fi
+if [[ -n "${DRW_LAUNCHER:-}" ]]; then
+  CMAKE_TOOLCHAIN_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER="${DRW_LAUNCHER}")
+fi
+
+# One build tree per (sanitize mode, compiler): a shared tree would cache
+# the previous mode's DRW_SANITIZE/DRW_TSAN options and trip their
+# mutual-exclusion check.
 if [[ "${DRW_SANITIZE:-0}" == "tsan" ]]; then
-  BUILD_DIR=${BUILD_DIR:-build-ci-tsan}
+  BUILD_DIR=${BUILD_DIR:-build-ci-tsan${DIR_SUFFIX}}
   CMAKE_ARGS=(-B "$BUILD_DIR" -S . -DDRW_TSAN=ON -DDRW_SANITIZE=OFF)
   # Run every test on the parallel executor path, regardless of host width,
   # drop the inline-dispatch grain to 1 so even small-graph tests run
@@ -27,26 +42,32 @@ if [[ "${DRW_SANITIZE:-0}" == "tsan" ]]; then
   export DRW_PARALLEL_GRAIN=${DRW_PARALLEL_GRAIN:-1}
   export DRW_STEAL_CHUNK=${DRW_STEAL_CHUNK:-1}
 elif [[ "${DRW_SANITIZE:-0}" == "1" ]]; then
-  BUILD_DIR=${BUILD_DIR:-build-ci-asan}
+  BUILD_DIR=${BUILD_DIR:-build-ci-asan${DIR_SUFFIX}}
   # Debug (no NDEBUG) so the simulator's internal invariant asserts -- e.g.
   # the post-run empty-arena check -- actually execute in at least one leg.
   CMAKE_ARGS=(-B "$BUILD_DIR" -S . -DDRW_SANITIZE=ON -DDRW_TSAN=OFF
               -DCMAKE_BUILD_TYPE=Debug)
 else
-  BUILD_DIR=${BUILD_DIR:-build-ci}
+  BUILD_DIR=${BUILD_DIR:-build-ci${DIR_SUFFIX}}
   CMAKE_ARGS=(-B "$BUILD_DIR" -S . -DDRW_SANITIZE=OFF -DDRW_TSAN=OFF)
 fi
 
-cmake "${CMAKE_ARGS[@]}"
+cmake "${CMAKE_ARGS[@]}" "${CMAKE_TOOLCHAIN_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+# --timeout backs up the per-test TIMEOUT properties (tests/CMakeLists.txt)
+# so a hung protocol run -- e.g. a mux lane that never quiesces -- fails
+# the leg in minutes instead of eating the 6-hour job limit.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+      --timeout "${DRW_CTEST_TIMEOUT:-900}"
 
 if [[ "${DRW_SANITIZE:-0}" == "tsan" ]]; then
   # The suite above ran with the default edge-weighted partition; re-run
-  # the executor determinism tests under the legacy node-count partition so
-  # stealing races are exercised under BOTH shard geometries (the skewed
-  # families move shard boundaries substantially between the two).
+  # the executor determinism and mux lane-isolation tests under the legacy
+  # node-count partition so stealing races are exercised under BOTH shard
+  # geometries (the skewed families move shard boundaries substantially
+  # between the two).
   DRW_PARTITION=nodes "$BUILD_DIR/test_determinism"
+  DRW_PARTITION=nodes "$BUILD_DIR/test_mux"
 fi
 
 if [[ "${DRW_BENCH:-0}" == "1" ]]; then
@@ -60,5 +81,10 @@ if [[ "${DRW_BENCH:-0}" == "1" ]]; then
   # on a degree-skewed family (same self-skip ladder as above), with
   # results bit-identical under every partition/width/chunk config.
   "$BUILD_DIR/bench_skew"
+  # bench_mux gates concurrent stitching: mux-of-8 stitch batches must cut
+  # total stitch rounds >=2x (deterministic, host-independent) and beat
+  # sequential stitching >=1.5x wall-clock at 8 threads (same self-skip
+  # ladder), with mux results bit-identical to the serial schedule.
+  "$BUILD_DIR/bench_mux"
 fi
 echo "ci: OK"

@@ -63,6 +63,8 @@ using namespace drw;
                "           [--partition=nodes|edges]  (shard balance; results\n"
                "                           identical under either strategy)\n"
                "           [--steal-chunk=N]  (work-stealing grain; 0 = auto)\n"
+               "           [--mux=N]  (serve: concurrent stitching width;\n"
+               "                       0 = auto via DRW_MUX, 1 = sequential)\n"
                "           [--requests=FILE] [--batch-size=N] [--paths]\n"
                "request file: one `source length count [record]` per line,\n"
                "              '#' starts a comment\n"
@@ -92,6 +94,7 @@ struct Args {
   unsigned threads = 0;  // 0 = auto (DRW_THREADS env / hardware)
   std::optional<congest::Partition> partition;  // nullopt = network default
   std::uint32_t steal_chunk = 0;  // 0 = auto (DRW_STEAL_CHUNK env / derived)
+  unsigned mux = 0;  // serve: stitching width; 0 = auto (DRW_MUX env / 1)
 };
 
 std::optional<std::string> flag_value(const char* arg, const char* name) {
@@ -139,6 +142,9 @@ Args parse_args(int argc, char** argv) {
     } else if (auto v = flag_value(a, "--steal-chunk")) {
       args.steal_chunk =
           static_cast<std::uint32_t>(std::strtoul(v->c_str(), nullptr, 10));
+    } else if (auto v = flag_value(a, "--mux")) {
+      args.mux =
+          static_cast<unsigned>(std::strtoul(v->c_str(), nullptr, 10));
     } else if (auto v = flag_value(a, "--samples")) {
       args.samples =
           static_cast<std::uint32_t>(std::strtoul(v->c_str(), nullptr, 10));
@@ -360,6 +366,7 @@ int cmd_serve(const Args& args, const Graph& g, std::uint32_t diameter) {
   config.params = core::Params::paper();
   config.params.transition = args.model;
   config.enable_paths = args.paths;
+  config.mux_width = args.mux;
   service::WalkService service(net, diameter, config);
 
   const std::vector<service::WalkRequest> requests =
@@ -383,7 +390,8 @@ int cmd_serve(const Args& args, const Graph& g, std::uint32_t diameter) {
     const service::BatchReport report = service.flush();
     std::printf(
         "batch %zu: %llu req / %llu walks | lambda=%u %s | rounds=%llu "
-        "(%.1f/req) msgs=%llu | hit=%.3f gmw=%llu topups=%llu(+%llu)\n",
+        "(%.1f/req) msgs=%llu | hit=%.3f gmw=%llu topups=%llu(+%llu) | "
+        "mux=%u (%llu waves, %llu conflicts)\n",
         ++batch_no, static_cast<unsigned long long>(report.requests),
         static_cast<unsigned long long>(report.walks), report.lambda,
         report.naive_mode ? "naive"
@@ -394,7 +402,10 @@ int cmd_serve(const Args& args, const Graph& g, std::uint32_t diameter) {
         report.inventory_hit_rate(),
         static_cast<unsigned long long>(report.engine_gmw_calls),
         static_cast<unsigned long long>(report.replenishments),
-        static_cast<unsigned long long>(report.replenished_walks));
+        static_cast<unsigned long long>(report.replenished_walks),
+        report.mux_width,
+        static_cast<unsigned long long>(report.mux_groups),
+        static_cast<unsigned long long>(report.mux_conflicts));
   }
   const service::ServiceStats& life = service.lifetime();
   std::printf(
