@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "congest/network.hpp"
+#include "obs/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace drw::bench {
@@ -151,6 +152,28 @@ inline void add_phase_fields(JsonReport& json, const std::string& prefix,
   json.add(prefix + "transmit_ms", stats.transmit_ms);
   json.add(prefix + "merge_ms", stats.merge_ms);
   json.add(prefix + "steals", stats.steals);
+}
+
+/// Folds the armed obs::Registry into the flat bench JSON as
+/// `<prefix><metric>` fields: executor totals plus the coarse round
+/// wall-time and arena-backlog distributions the registry histograms
+/// collect. No-op when the registry is disabled, so benches that never arm
+/// it emit unchanged reports; consumers (tools/bench_diff.py) tolerate the
+/// keys appearing or disappearing across runs.
+inline void add_registry_fields(JsonReport& json, const std::string& prefix) {
+  obs::Registry& reg = obs::Registry::global();
+  if (!reg.enabled()) return;
+  json.add(prefix + "rounds", reg.counter("executor.rounds").value());
+  json.add(prefix + "messages", reg.counter("executor.messages").value());
+  json.add(prefix + "runs", reg.counter("executor.runs").value());
+  const obs::Histogram& wall = reg.histogram("executor.round_wall_us");
+  json.add(prefix + "round_wall_us_mean", wall.mean());
+  json.add(prefix + "round_wall_us_p50", wall.quantile_bound(0.5));
+  json.add(prefix + "round_wall_us_p99", wall.quantile_bound(0.99));
+  const obs::Histogram& backlog = reg.histogram("arena.backlog");
+  json.add(prefix + "backlog_p50", backlog.quantile_bound(0.5));
+  json.add(prefix + "backlog_p99", backlog.quantile_bound(0.99));
+  json.add(prefix + "backlog_samples", backlog.count());
 }
 
 /// Fits and prints the log-log slope of a measured series.

@@ -29,6 +29,7 @@
 #include "core/random_walks.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
+#include "obs/metrics.hpp"
 #include "service/walk_service.hpp"
 
 namespace {
@@ -191,8 +192,13 @@ int run_parallel_experiment(bench::JsonReport& json) {
   double speedup2 = 0.0;
   double speedup8 = 0.0;
   bool identical = true;
+  // Arm the metrics registry for the sweep; resetting per width leaves it
+  // holding the WIDEST point's distributions when the loop ends, which
+  // add_registry_fields folds into the report below.
+  obs::Registry::global().set_enabled(true);
   for (const unsigned threads : sweep) {
     if (threads != 1 && !sweep_widths) continue;
+    obs::Registry::global().reset();
     const ParallelPoint point =
         run_parallel_point(g, diameter, threads, requests);
     widest = point;
@@ -227,6 +233,12 @@ int run_parallel_experiment(bench::JsonReport& json) {
   // Per-phase breakdown of the widest measured point -- how to read these
   // fields is documented in README "Performance tuning".
   bench::add_phase_fields(json, "t_widest_", widest.stats);
+  // Registry distributions of the same point (both best-of-2 reps
+  // accumulate, so counters are ~2x the RunStats totals; the percentile
+  // fields are the interesting trajectory signal).
+  bench::add_registry_fields(json, "obs_widest_");
+  obs::Registry::global().set_enabled(false);
+  obs::Registry::global().reset();
 
   // The >=2x gate only binds where 8 workers have real cores to run on;
   // on 4..7-thread hosts (the common CI runner shape) the calibrated

@@ -70,8 +70,9 @@ struct MixingEstimate {
   std::uint32_t buckets = 0;    ///< number of stationary buckets
   std::uint32_t lengths_tested = 0;
   bool converged = false;       ///< false if max_length was hit
-  /// Spectral bounds derived from tau (Section 4.2): 1/(1-lambda_2) <= tau
-  /// <= log n/(1-lambda_2), and Cheeger: gap/2 <= Phi <= sqrt(2 gap).
+  /// Spectral bounds derived from tau (Section 4.2):
+  /// 1/(1-lambda_2) <= tau <= log n/(1-lambda_2), and Cheeger:
+  /// gap/2 <= Phi <= sqrt(2 gap).
   double gap_lower = 0.0;
   double gap_upper = 0.0;
   double conductance_lower = 0.0;

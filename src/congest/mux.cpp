@@ -1,5 +1,7 @@
 #include "congest/mux.hpp"
 
+#include "obs/trace.hpp"
+
 #include <stdexcept>
 
 namespace drw::congest {
@@ -125,6 +127,12 @@ void ProtocolMux::count_round(unsigned lane, std::uint64_t round) const {
   if (static_cast<std::int64_t>(round) > last_counted_[lane]) {
     ++stats_[lane].rounds;
     last_counted_[lane] = static_cast<std::int64_t>(round);
+    // Lane attribution for the trace: one instant per (lane, counted
+    // round) on the lane's own track. Emitted from the driver (done()
+    // runs after the compute barrier), so rings see no cross-thread
+    // interleaving here.
+    obs::event(obs::Name::kLaneRound, 'i', obs::kPidMux,
+               static_cast<std::uint16_t>(lane), round);
   }
 }
 

@@ -1,5 +1,8 @@
 #include "congest/network.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <chrono>
@@ -10,6 +13,7 @@
 #include <limits>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 namespace drw::congest {
@@ -192,6 +196,11 @@ struct Network::WorkerPool {
     }
     std::exception_ptr error;
     {
+      // The driver finished its own share; whatever remains until
+      // pending_ hits zero is pure imbalance -- the span the trace calls
+      // barrier.wait. (The cv hand-off below is also the happens-before
+      // edge that lets a post-run Tracer::flush read the workers' rings.)
+      obs::Span barrier(obs::Name::kBarrierWait, obs::kPidExecutor, 0);
       std::unique_lock<std::mutex> lock(m_);
       cv_done_.wait(lock, [this] { return pending_ == 0; });
       task_ = nullptr;
@@ -514,6 +523,8 @@ void Network::dispatch(std::size_t work,
 }
 
 void Network::compute_phase(unsigned worker) {
+  obs::Span span(obs::Name::kComputeWorker, obs::kPidExecutor,
+                 static_cast<std::uint16_t>(worker));
   WorkerLane& lane = lanes_[worker];
   Context ctx;
   ctx.net_ = this;
@@ -552,6 +563,8 @@ void Network::compute_phase(unsigned worker) {
 }
 
 void Network::transmit_phase(unsigned shard) {
+  obs::Span span(obs::Name::kTransmitShard, obs::kPidExecutor,
+                 static_cast<std::uint16_t>(shard));
   Shard& sh = shards_[shard];
   sh.transmitted = 0;
 
@@ -576,25 +589,36 @@ void Network::transmit_phase(unsigned shard) {
     // Thin rounds (nothing staged for this shard) skip the merge timer:
     // two clock reads per shard per round would dominate the near-zero
     // work they bracket.
+    obs::Span merge_span(obs::Name::kMergeShard, obs::kPidExecutor,
+                         static_cast<std::uint16_t>(shard));
     const auto merge_start = Clock::now();
     std::sort(segments.begin(), segments.end(),
               [](const Segment& a, const Segment& b) {
                 return a.chunk < b.chunk;
               });
+    std::uint32_t round_max = 0;
     for (const Segment& seg : segments) {
       const std::vector<PendingSend>& bucket = staged_[seg.worker][shard];
       for (std::uint32_t k = seg.begin; k < seg.end; ++k) {
         const PendingSend& ps = bucket[k];
         const std::uint32_t depth = arena_.push(shard, ps.eid, ps.msg);
         if (depth == 1) sh.busy.push_back(ps.eid);
-        if (depth > sh.max_backlog) sh.max_backlog = depth;
+        if (depth > round_max) round_max = depth;
       }
     }
+    if (round_max > sh.max_backlog) sh.max_backlog = round_max;
     for (unsigned w = 0; w < workers_; ++w) {
       staged_[w][shard].clear();
       seg_marks_[w][shard].clear();
     }
     lanes_[shard].merge_ns += ns_since(merge_start);
+    // Per-shard-round peak arena depth: the distribution of these is the
+    // congestion signal the paper's round bounds are about.
+    if (obs::Registry::global().enabled()) {
+      obs::Registry::global().histogram("arena.backlog").record(round_max);
+    }
+    obs::event(obs::Name::kArenaBacklog, 'C', obs::kPidExecutor,
+               static_cast<std::uint16_t>(shard), round_max);
   }
 
   // Transmit: at most one queued message per owned virtual edge (directed
@@ -712,6 +736,7 @@ RunStats Network::run_multiplexed(Protocol& protocol, unsigned lanes,
 RunStats Network::run_with_lanes(Protocol& protocol, unsigned lanes,
                                  std::uint64_t max_rounds) {
   const auto start = Clock::now();
+  obs::Span run_span(obs::Name::kNetRun, obs::kPidExecutor, 0, lanes);
   run_lanes_ = lanes;
   ensure_executor();
   RunStats stats;
@@ -753,6 +778,23 @@ RunStats Network::run_with_lanes(Protocol& protocol, unsigned lanes,
   reset_transients(/*aborted=*/false);
 
   stats.wall_ms = ms_since(start);
+
+  // Fold the run into the metrics registry (once per run, off the hot
+  // path). Steal counts are per-worker so shard-level imbalance is
+  // visible; they are scheduling-dependent by design and therefore
+  // explicitly outside the determinism contract.
+  if (obs::Registry::global().enabled()) {
+    auto& reg = obs::Registry::global();
+    reg.counter("executor.runs").add(1);
+    reg.counter("executor.rounds").add(stats.rounds);
+    reg.counter("executor.messages").add(stats.messages);
+    reg.gauge("executor.threads").set(double(workers_));
+    reg.histogram("arena.backlog_run_max").record(stats.max_backlog);
+    for (unsigned w = 0; w < workers_; ++w) {
+      reg.counter("executor.steals.w" + std::to_string(w))
+          .add(lanes_[w].steals);
+    }
+  }
   return stats;
 }
 
@@ -762,10 +804,21 @@ void Network::run_loop(Protocol& protocol, std::uint64_t max_rounds,
   // forced wake does not by itself count as a round.
   global_wake_ = true;
 
+  // Observability is resolved once per run: a mid-run toggle takes effect
+  // at the next run, which keeps the loop's disabled path at a single
+  // relaxed load per event site.
+  obs::Histogram* round_hist =
+      obs::Registry::global().enabled()
+          ? &obs::Registry::global().histogram("executor.round_wall_us")
+          : nullptr;
+
   for (round_ = 0;; ++round_) {
     if (round_ > max_rounds) {
       throw std::runtime_error("Network::run: max_rounds exceeded");
     }
+    obs::event(obs::Name::kRound, 'C', obs::kPidExecutor, 0, round_);
+    const auto round_start =
+        round_hist != nullptr ? Clock::now() : Clock::time_point{};
 
     if (global_wake_) {
       // Install the cached canonical round-0 chunking: every node active.
@@ -792,7 +845,12 @@ void Network::run_loop(Protocol& protocol, std::uint64_t max_rounds,
       lane.wakes = 0;
     }
     const auto compute_start = Clock::now();
-    dispatch(active_work, &Network::compute_phase, /*collaborative=*/true);
+    {
+      obs::Span span(obs::Name::kComputeDispatch, obs::kPidExecutor, 0,
+                     active_work);
+      dispatch(active_work, &Network::compute_phase,
+               /*collaborative=*/true);
+    }
     stats.compute_ms += ms_since(compute_start);
     global_wake_ = false;
 
@@ -811,6 +869,10 @@ void Network::run_loop(Protocol& protocol, std::uint64_t max_rounds,
 
     if (protocol.done()) {
       if (scheduled > 0 || sends > 0) ++stats.rounds;
+      if (round_hist != nullptr) {
+        round_hist->record(
+            static_cast<std::uint64_t>(ns_since(round_start) / 1000.0));
+      }
       break;
     }
 
@@ -822,8 +884,17 @@ void Network::run_loop(Protocol& protocol, std::uint64_t max_rounds,
     std::size_t busy_bound = sends;
     for (const Shard& sh : shards_) busy_bound += sh.busy.size();
     const auto transmit_start = Clock::now();
-    dispatch(busy_bound, &Network::transmit_phase, /*collaborative=*/false);
+    {
+      obs::Span span(obs::Name::kTransmitDispatch, obs::kPidExecutor, 0,
+                     busy_bound);
+      dispatch(busy_bound, &Network::transmit_phase,
+               /*collaborative=*/false);
+    }
     stats.transmit_ms += ms_since(transmit_start);
+    if (round_hist != nullptr) {
+      round_hist->record(
+          static_cast<std::uint64_t>(ns_since(round_start) / 1000.0));
+    }
 
     std::uint64_t transmitted = 0;
     for (const Shard& sh : shards_) transmitted += sh.transmitted;

@@ -5,6 +5,7 @@
 
 #include "congest/mux.hpp"
 #include "congest/primitives.hpp"
+#include "obs/trace.hpp"
 
 namespace drw::core {
 
@@ -45,6 +46,7 @@ StitchEngine::StitchEngine(congest::Network& net, Params params,
 }
 
 void StitchEngine::prepare(std::uint64_t k, std::uint64_t l) {
+  obs::Span span(obs::Name::kEnginePrepare, obs::kPidService, 0, k);
   const Graph& g = net_->graph();
   // Reset all distributed walk state; a prepare() starts a fresh epoch.
   store_ = WalkStore(g.node_count());
@@ -142,6 +144,7 @@ congest::RunStats StitchEngine::replenish(NodeId source,
         "StitchEngine::replenish: requires a prepared, non-naive engine");
   }
   if (count == 0) return {};
+  obs::Span span(obs::Name::kEngineReplenish, obs::kPidService, 0, count);
   GetMoreWalksProtocol more(
       net_->graph(), source, count, lambda_, params_.random_lengths, store_,
       params_.record_trajectories ? &trajectories_ : nullptr,
@@ -212,6 +215,8 @@ PositionTable StitchEngine::drain_positions() {
 StitchEngine::TailOutcome StitchEngine::run_deferred_tails() {
   TailOutcome outcome;
   if (deferred_tails_.empty()) return outcome;
+  obs::Span span(obs::Name::kEngineTails, obs::kPidService, 0,
+                 deferred_tails_.size());
   // Canonical ascending-walk_id order: tail tokens draw from the SHARED
   // node streams, so the job order must not depend on the mux scheduler's
   // task completion order. Legacy callers defer in walk_id order already
@@ -396,6 +401,8 @@ StitchEngine::WalkTask StitchEngine::start_walk_task(NodeId source,
 
 congest::RunStats StitchEngine::run_deferred_regen() {
   if (deferred_forward_.empty() && deferred_reverse_.empty()) return {};
+  obs::Span span(obs::Name::kEngineRegen, obs::kPidService, 0,
+                 deferred_forward_.size() + deferred_reverse_.size());
   // Canonical ascending-walk_id order (stable: preserves each walk's
   // segment order): reverse replay consumes shared anonymous fragments, so
   // the job order must not depend on task completion order.

@@ -1,0 +1,126 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace drw::obs {
+
+std::uint64_t Histogram::quantile_bound(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * double(n);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += bucket(b);
+    if (double(seen) >= target && seen > 0) return bucket_max(b);
+  }
+  return bucket_max(kBuckets - 1);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  // DRW_STATS=1 arms the registry process-wide, mirroring DRW_TRACE.
+  static const bool env_armed = [] {
+    const char* env = std::getenv("DRW_STATS");
+    return env != nullptr && *env != '\0' && *env != '0';
+  }();
+  if (env_armed) registry.enabled_.store(true, std::memory_order_relaxed);
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string Registry::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{";
+  char buf[160];
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ",";
+    first = false;
+  };
+  for (const auto& [name, c] : counters_) {
+    comma();
+    std::snprintf(buf, sizeof(buf), "\"%s\":%llu", name.c_str(),
+                  static_cast<unsigned long long>(c->value()));
+    out += buf;
+  }
+  for (const auto& [name, g] : gauges_) {
+    comma();
+    std::snprintf(buf, sizeof(buf), "\"%s\":%.6f", name.c_str(), g->value());
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    comma();
+    std::snprintf(
+        buf, sizeof(buf),
+        "\"%s\":{\"count\":%llu,\"sum\":%llu,\"mean\":%.3f,"
+        "\"p50\":%llu,\"p99\":%llu,",
+        name.c_str(), static_cast<unsigned long long>(h->count()),
+        static_cast<unsigned long long>(h->sum()), h->mean(),
+        static_cast<unsigned long long>(h->quantile_bound(0.5)),
+        static_cast<unsigned long long>(h->quantile_bound(0.99)));
+    out += buf;
+    // Highest non-empty bucket's bound doubles as an upper bound on max.
+    std::uint64_t max_bound = 0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> nonzero;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t n = h->bucket(b);
+      if (n == 0) continue;
+      max_bound = Histogram::bucket_max(b);
+      nonzero.emplace_back(max_bound, n);
+    }
+    std::snprintf(buf, sizeof(buf), "\"max\":%llu,\"buckets\":{",
+                  static_cast<unsigned long long>(max_bound));
+    out += buf;
+    bool bfirst = true;
+    for (const auto& [bound, n] : nonzero) {
+      if (!bfirst) out += ",";
+      bfirst = false;
+      std::snprintf(buf, sizeof(buf), "\"%llu\":%llu",
+                    static_cast<unsigned long long>(bound),
+                    static_cast<unsigned long long>(n));
+      out += buf;
+    }
+    out += "}}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace drw::obs

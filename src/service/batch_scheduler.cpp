@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "congest/mux.hpp"
+#include "obs/trace.hpp"
 
 namespace drw::service {
 
@@ -165,6 +166,8 @@ void BatchScheduler::run_multiplexed(std::span<const Unit> units,
     }
     ++out.mux_groups;
     out.mux_lanes += group.size();
+    obs::Span wave_span(obs::Name::kStitchWave, obs::kPidService, 0,
+                        group.size());
 
     if (mux.mode == MuxMode::kMux) {
       congest::ProtocolMux pmux(g.node_count());
@@ -172,8 +175,25 @@ void BatchScheduler::run_multiplexed(std::span<const Unit> units,
         pmux.add_lane(open[idx].task.protocol(),
                       &open[idx].task.lane_rngs());
       }
+      // Lane occupancy spans: the whole wave shares one Network run, so
+      // each admitted walk's span brackets that run on its own lane track
+      // (arg = walk id). Attribution WITHIN the run is the per-round
+      // lane.round instants emitted by ProtocolMux.
+      if (obs::trace_enabled()) {
+        for (unsigned lane = 0; lane < group.size(); ++lane) {
+          obs::event(obs::Name::kWalkLane, 'B', obs::kPidMux,
+                     static_cast<std::uint16_t>(lane),
+                     open[group[lane]].unit->walk_id);
+        }
+      }
       const congest::RunStats stats =
           net.run_multiplexed(pmux, static_cast<unsigned>(group.size()));
+      if (obs::trace_enabled()) {
+        for (unsigned lane = 0; lane < group.size(); ++lane) {
+          obs::event(obs::Name::kWalkLane, 'E', obs::kPidMux,
+                     static_cast<std::uint16_t>(lane));
+        }
+      }
       engine_->absorb_stats(stats);
       out.stats += stats;
       for (unsigned lane = 0; lane < group.size(); ++lane) {
@@ -187,7 +207,10 @@ void BatchScheduler::run_multiplexed(std::span<const Unit> units,
         congest::ProtocolMux solo(g.node_count());
         solo.add_lane(open[idx].task.protocol(),
                       &open[idx].task.lane_rngs());
+        obs::event(obs::Name::kWalkLane, 'B', obs::kPidMux, 0,
+                   open[idx].unit->walk_id);
         const congest::RunStats stats = net.run_multiplexed(solo, 1);
+        obs::event(obs::Name::kWalkLane, 'E', obs::kPidMux, 0);
         engine_->absorb_stats(stats);
         out.stats += stats;
         open[idx].task.advance(lane_run_stats(solo.lane_stats(0)));

@@ -4,6 +4,9 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace drw::service {
 
 namespace {
@@ -53,6 +56,23 @@ WalkService::WalkService(congest::Network& net, std::uint32_t diameter,
   }
   if (config_.threads != 0) net_->set_threads(config_.threads);
   if (config_.partition) net_->set_partition(*config_.partition);
+  if (!config_.trace_path.empty()) {
+    obs::Tracer::instance().enable(config_.trace_path);
+    owns_trace_ = true;
+  }
+}
+
+WalkService::~WalkService() {
+  if (!owns_trace_) return;
+  // Cross-check metadata for tools/validate_trace.py: per-shard transmit
+  // span sums are only comparable to the driver's transmit_ms when one
+  // shard ran at a time.
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.set_meta("transmit_ms", lifetime_.stats.transmit_ms);
+  tracer.set_meta("threads", double(lifetime_.stats.threads));
+  tracer.set_meta("mux_width", double(resolve_mux_width(config_)));
+  tracer.flush();
+  tracer.disable();
 }
 
 void WalkService::submit(const WalkRequest& request) {
@@ -74,6 +94,8 @@ BatchReport WalkService::serve(const std::vector<WalkRequest>& requests) {
 BatchReport WalkService::flush() {
   BatchReport report;
   if (pending_.empty()) return report;
+  obs::Span batch_span(obs::Name::kServiceBatch, obs::kPidService, 0,
+                       lifetime_.batches);
   std::vector<WalkRequest> batch = std::move(pending_);
   pending_.clear();
 
@@ -163,9 +185,31 @@ BatchReport WalkService::flush() {
   lifetime_.stats += report.stats;
   if (report.full_prepare) ++lifetime_.full_prepares;
   lifetime_.replenishments += report.replenishments;
+  lifetime_.replenished_walks += report.replenished_walks;
   lifetime_.stitches += report.stitches;
   lifetime_.inventory_hits += report.inventory_hits;
+  lifetime_.engine_gmw_calls += report.engine_gmw_calls;
   lifetime_.naive_rounds_estimate += report.naive_rounds_estimate;
+  lifetime_.mux_groups += report.mux_groups;
+  lifetime_.mux_lanes += report.mux_lanes;
+  lifetime_.mux_conflicts += report.mux_conflicts;
+
+  if (obs::Registry::global().enabled()) {
+    auto& reg = obs::Registry::global();
+    reg.counter("service.batches").add(1);
+    reg.counter("service.requests").add(report.requests);
+    reg.counter("service.walks").add(report.walks);
+    reg.counter("service.stitches").add(report.stitches);
+    reg.counter("service.inventory_hits").add(report.inventory_hits);
+    reg.counter("service.inventory_misses").add(report.engine_gmw_calls);
+    reg.counter("service.replenishments").add(report.replenishments);
+    reg.counter("service.replenished_walks").add(report.replenished_walks);
+    if (report.full_prepare) reg.counter("service.full_prepares").add(1);
+    reg.counter("mux.waves").add(report.mux_groups);
+    reg.counter("mux.lanes").add(report.mux_lanes);
+    reg.counter("mux.conflicts").add(report.mux_conflicts);
+    reg.histogram("service.batch_walks").record(report.walks);
+  }
   return report;
 }
 

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "congest/network.hpp"
@@ -61,14 +62,21 @@ struct ServiceConfig {
   /// Concurrent cross-walk stitching: the number of walks the batch
   /// scheduler may keep open as ProtocolMux lanes (see batch_scheduler.hpp).
   /// 0 = auto (DRW_MUX env var, else 1); 1 = legacy sequential stitching;
-  /// >= 2 multiplexes non-conflicting traversals of that many walks into
-  /// shared Network rounds. Unlike threads/partition, this changes WHICH
-  /// exact walks are sampled (all widths are exact l-step samples; width is
-  /// part of the seed-reproducibility contract, like the seed itself).
+  /// widths of 2 or more multiplex non-conflicting traversals of that
+  /// many walks into shared Network rounds. Unlike threads/partition,
+  /// this changes WHICH exact walks are sampled (all widths are exact
+  /// l-step samples; width is part of the seed-reproducibility contract,
+  /// like the seed itself).
   unsigned mux_width = 0;
   /// Conflict radius for mux grouping (0 = connector equality, the exact
   /// token-pool ownership rule; larger = defensive slack).
   std::uint32_t mux_conflict_radius = 0;
+  /// Non-empty: arm the process-wide obs tracer and write a Chrome
+  /// trace-event JSON (Perfetto-loadable) here when the service is
+  /// destroyed. Equivalent to DRW_TRACE=<path> / `drw --trace=<path>`.
+  /// Observation never branches execution; results are bit-identical with
+  /// tracing on or off.
+  std::string trace_path;
 };
 
 /// Per-batch serving report.
@@ -113,7 +121,9 @@ struct BatchReport {
   }
 };
 
-/// Lifetime aggregates across all served batches.
+/// Lifetime aggregates across all served batches. Mirrors BatchReport
+/// field-for-field so `drw serve --stats-json` can emit both without
+/// translation.
 struct ServiceStats {
   std::uint64_t batches = 0;
   std::uint64_t requests = 0;
@@ -121,9 +131,14 @@ struct ServiceStats {
   congest::RunStats stats;
   std::uint64_t full_prepares = 0;
   std::uint64_t replenishments = 0;
+  std::uint64_t replenished_walks = 0;
   std::uint64_t stitches = 0;
   std::uint64_t inventory_hits = 0;
+  std::uint64_t engine_gmw_calls = 0;
   std::uint64_t naive_rounds_estimate = 0;
+  std::uint64_t mux_groups = 0;
+  std::uint64_t mux_lanes = 0;
+  std::uint64_t mux_conflicts = 0;
 
   double inventory_hit_rate() const {
     return stitches == 0 ? 1.0
@@ -136,6 +151,8 @@ class WalkService {
  public:
   WalkService(congest::Network& net, std::uint32_t diameter,
               ServiceConfig config = {});
+  /// Flushes the obs tracer iff this service armed it (trace_path).
+  ~WalkService();
 
   congest::Network& network() noexcept { return *net_; }
   std::uint32_t diameter() const noexcept { return diameter_; }
@@ -167,6 +184,7 @@ class WalkService {
   std::vector<WalkRequest> pending_;
   std::uint32_t next_walk_id_ = 0;
   ServiceStats lifetime_;
+  bool owns_trace_ = false;  ///< this instance armed the tracer
 };
 
 }  // namespace drw::service

@@ -16,6 +16,8 @@
 #include "core/random_walks.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/walk_service.hpp"
 
 namespace drw {
@@ -282,6 +284,90 @@ TEST(Determinism, SkewedWalkEndpointsInvariantAcrossPartitions) {
     EXPECT_EQ(destinations, baseline_destinations) << describe(config);
     EXPECT_EQ(report.stats.messages, baseline_messages) << describe(config);
     EXPECT_EQ(report.stats.rounds, baseline_rounds) << describe(config);
+  }
+}
+
+TEST(Determinism, TracingOnDoesNotPerturbExecution) {
+  // The obs invariant: observation never branches execution. The UNTRACED
+  // 1-thread run is the baseline; every traced configuration (thread count
+  // x partition x forced chunk grain, metrics registry armed too) must
+  // reproduce it bit-for-bit.
+  Rng graph_rng(1010);
+  const Graph g = gen::random_regular(96, 4, graph_rng);
+
+  std::vector<std::vector<std::uint64_t>> baseline_trace;
+  congest::RunStats baseline;
+  {
+    congest::Network net(g, 4242);
+    net.set_threads(1);
+    TracingStorm protocol(g.node_count());
+    baseline = net.run(protocol);
+    baseline_trace = protocol.trace();
+  }
+
+  const std::string trace_path =
+      ::testing::TempDir() + "obs_determinism_trace.json";
+  for (const ExecConfig& config : skew_configs()) {
+    obs::Tracer::instance().enable(trace_path);
+    obs::Registry::global().set_enabled(true);
+    congest::Network net(g, 4242);
+    net.set_threads(config.threads);
+    net.set_partition(config.partition);
+    if (config.steal_chunk != 0) net.set_steal_chunk(config.steal_chunk);
+    TracingStorm protocol(g.node_count());
+    const congest::RunStats stats = net.run(protocol);
+    obs::Tracer::instance().disable();
+    obs::Tracer::instance().flush();
+    obs::Registry::global().set_enabled(false);
+    obs::Registry::global().reset();
+    EXPECT_EQ(protocol.trace(), baseline_trace)
+        << "traced " << describe(config);
+    EXPECT_EQ(stats.rounds, baseline.rounds) << "traced " << describe(config);
+    EXPECT_EQ(stats.messages, baseline.messages)
+        << "traced " << describe(config);
+    EXPECT_EQ(stats.max_backlog, baseline.max_backlog)
+        << "traced " << describe(config);
+  }
+}
+
+TEST(Determinism, TracedServiceBatchBitIdentical) {
+  // Same invariant through the service layer: ServiceConfig::trace_path
+  // arms the tracer for the service's lifetime (flushed by its destructor)
+  // and must not move a single walk destination.
+  Rng graph_rng(1111);
+  const Graph g = gen::random_regular(96, 4, graph_rng);
+  const std::uint32_t diameter = exact_diameter(g);
+
+  std::vector<service::WalkRequest> requests;
+  Rng workload_rng(66);
+  for (int i = 0; i < 8; ++i) {
+    requests.push_back(service::WalkRequest{
+        static_cast<NodeId>(workload_rng.next_below(g.node_count())),
+        256u << (i % 3), 1 + static_cast<std::uint32_t>(i % 2), false});
+  }
+
+  auto serve_once = [&](unsigned threads, bool traced) {
+    congest::Network net(g, 2025);
+    service::ServiceConfig config;
+    config.threads = threads;
+    if (traced) {
+      config.trace_path =
+          ::testing::TempDir() + "obs_determinism_service.json";
+    }
+    service::WalkService svc(net, diameter, config);
+    const service::BatchReport report = svc.serve(requests);
+    std::vector<std::vector<NodeId>> destinations;
+    for (const service::RequestResult& r : report.results) {
+      destinations.push_back(r.destinations);
+    }
+    return std::make_tuple(std::move(destinations), report.stats.messages,
+                           report.stats.rounds);
+  };
+
+  const auto baseline = serve_once(1, /*traced=*/false);
+  for (const unsigned threads : kThreadCounts) {
+    const auto traced = serve_once(threads, /*traced=*/true);
+    EXPECT_EQ(traced, baseline) << "traced threads=" << threads;
   }
 }
 

@@ -28,6 +28,7 @@
 #include "core/random_walks.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
+#include "obs/trace.hpp"
 #include "service/batch_scheduler.hpp"
 
 namespace drw {
@@ -176,6 +177,63 @@ TEST(Mux, LanesBitIdenticalToSoloRuns) {
             << family.name << " " << describe(threads, partition);
         EXPECT_EQ(stats.messages, lane_messages)
             << family.name << " " << describe(threads, partition);
+      }
+    }
+  }
+}
+
+TEST(Mux, TracingOnDoesNotPerturbLanes) {
+  // The obs invariant at the mux layer: per-lane digests and run totals
+  // must be bit-identical with tracing on or off, at every mux width x
+  // thread count x partition. Baseline is the UNTRACED 1-thread run.
+  constexpr std::uint64_t kSeed = 7331;
+  Rng graph_rng(77);
+  const Graph g = gen::random_regular(128, 4, graph_rng);
+  const std::size_t n = g.node_count();
+  const unsigned kWidths[] = {1, 4};
+  const std::string trace_path = ::testing::TempDir() + "obs_mux_trace.json";
+
+  for (const unsigned width : kWidths) {
+    std::vector<std::vector<Rng>> lane_rngs;
+    for (unsigned l = 0; l < width; ++l) {
+      lane_rngs.push_back(
+          congest::ProtocolMux::derive_lane_rngs(kSeed, l, n));
+    }
+
+    auto run_once = [&](unsigned threads, congest::Partition partition,
+                        bool traced) {
+      if (traced) obs::Tracer::instance().enable(trace_path);
+      congest::Network net(g, kSeed);
+      net.set_threads(threads);
+      net.set_partition(partition);
+      std::vector<std::unique_ptr<DigestStorm>> storms;
+      std::vector<std::vector<Rng>> rngs;
+      congest::ProtocolMux mux(n);
+      for (unsigned l = 0; l < width; ++l) {
+        storms.push_back(
+            std::make_unique<DigestStorm>(n, 1 + l % 3, 10 + 3 * l));
+        rngs.push_back(lane_rngs[l]);
+      }
+      for (unsigned l = 0; l < width; ++l) mux.add_lane(*storms[l], &rngs[l]);
+      const congest::RunStats stats = net.run_multiplexed(mux, width);
+      if (traced) {
+        obs::Tracer::instance().disable();
+        obs::Tracer::instance().flush();
+      }
+      std::vector<std::uint64_t> digests;
+      for (const auto& s : storms) digests.push_back(s->digest());
+      return std::make_tuple(std::move(digests), stats.rounds,
+                             stats.messages);
+    };
+
+    const auto baseline =
+        run_once(1, congest::Partition::kEdgeWeighted, /*traced=*/false);
+    for (const unsigned threads : kThreadCounts) {
+      for (const congest::Partition partition : kPartitions) {
+        const auto traced = run_once(threads, partition, /*traced=*/true);
+        EXPECT_EQ(traced, baseline)
+            << "width=" << width << " traced "
+            << describe(threads, partition);
       }
     }
   }

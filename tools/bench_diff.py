@@ -53,19 +53,7 @@ def annotate(message: str) -> None:
         print(f"::warning::{message}")
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(
-        description="Diff two BENCH_<name>.json files")
-    parser.add_argument("baseline")
-    parser.add_argument("current")
-    parser.add_argument("--threshold", type=float, default=0.10,
-                        help="relative wall-clock change that counts as a "
-                             "regression (default 0.10 = 10%%)")
-    parser.add_argument("--fail-on-regression", action="store_true",
-                        help="exit 1 on wall-clock regressions (default: "
-                             "warn only -- shared CI runners are noisy)")
-    args = parser.parse_args()
-
+def run_diff(args: argparse.Namespace) -> int:
     if not os.path.exists(args.current):
         annotate(f"bench_diff: {args.current} missing (bench did not run?)")
         return 0
@@ -149,6 +137,116 @@ def main() -> int:
     if regressions and same_host and args.fail_on_regression:
         return 1
     return 0
+
+
+def self_test() -> int:
+    """Unit-ish checks invocable from ci.sh (--self-test).
+
+    Guards the contracts other tooling relies on: unknown keys never fail
+    the diff (bench JSON grows obs_* fields across PRs), wall regressions
+    gate only with --fail-on-regression on matching hardware, and
+    non-numeric fields diff without crashing.
+    """
+    import contextlib
+    import io
+    import tempfile
+
+    def diff(base: dict, cur: dict, fail_on_regression: bool = False,
+             threshold: float = 0.10):
+        with tempfile.TemporaryDirectory() as tmp:
+            b_path = os.path.join(tmp, "base.json")
+            c_path = os.path.join(tmp, "cur.json")
+            with open(b_path, "w", encoding="utf-8") as fh:
+                json.dump(base, fh)
+            with open(c_path, "w", encoding="utf-8") as fh:
+                json.dump(cur, fh)
+            args = argparse.Namespace(
+                baseline=b_path, current=c_path, threshold=threshold,
+                fail_on_regression=fail_on_regression)
+            out = io.StringIO()
+            github = os.environ.pop("GITHUB_ACTIONS", None)
+            try:
+                with contextlib.redirect_stdout(out):
+                    code = run_diff(args)
+            finally:
+                if github is not None:
+                    os.environ["GITHUB_ACTIONS"] = github
+            return code, out.getvalue()
+
+    checks = []
+
+    def check(name: str, ok: bool, detail: str = "") -> None:
+        checks.append(ok)
+        print(f"  {'ok' if ok else 'FAIL'}  {name}"
+              f"{'' if ok else ' -- ' + detail}")
+
+    base = {"hw_threads": 4, "wall_ms_t1": 100.0, "rounds": 7}
+
+    # New (e.g. obs_*) keys on the current side must never fail the diff.
+    code, out = diff(base, {**base, "obs_round_wall_us_p99": 512,
+                            "obs_steals": 3},
+                     fail_on_regression=True)
+    check("unknown new keys pass", code == 0 and "new fields" in out,
+          f"code={code}")
+
+    # Removed keys are reported, not fatal.
+    code, out = diff(base, {"hw_threads": 4, "wall_ms_t1": 100.0},
+                     fail_on_regression=True)
+    check("removed keys pass", code == 0 and "removed fields" in out,
+          f"code={code}")
+
+    # A same-host wall regression beyond threshold fails only when asked.
+    slow = {**base, "wall_ms_t1": 150.0}
+    code, _ = diff(base, slow, fail_on_regression=True)
+    check("wall regression gates with --fail-on-regression", code == 1,
+          f"code={code}")
+    code, _ = diff(base, slow, fail_on_regression=False)
+    check("wall regression warns by default", code == 0, f"code={code}")
+
+    # Cross-host wall deltas are informational even when gating.
+    code, _ = diff(base, {**slow, "hw_threads": 8}, fail_on_regression=True)
+    check("cross-host wall deltas never gate", code == 0, f"code={code}")
+
+    # Exact counter movement is reported; non-numeric values do not crash.
+    code, out = diff(base, {**base, "rounds": 8, "mode": "mux"})
+    check("counter changes reported", code == 0 and "rounds: 7 -> 8" in out,
+          f"code={code}")
+    code, out = diff({**base, "mode": "serial"}, {**base, "mode": "mux"})
+    check("non-numeric fields diff cleanly",
+          code == 0 and "'serial' -> 'mux'" in out, f"code={code}")
+
+    # Steal counts are scheduling noise: moved, never a regression.
+    code, out = diff({**base, "t8_steals": 10}, {**base, "t8_steals": 99},
+                     fail_on_regression=True)
+    check("steal counts informational", code == 0 and "moved" in out,
+          f"code={code}")
+
+    if all(checks):
+        print(f"bench_diff --self-test: OK ({len(checks)} checks)")
+        return 0
+    print("bench_diff --self-test: FAILED")
+    return 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_<name>.json files")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("current", nargs="?")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative wall-clock change that counts as a "
+                             "regression (default 0.10 = 10%%)")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 on wall-clock regressions (default: "
+                             "warn only -- shared CI runners are noisy)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in contract checks and exit")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.current is None:
+        parser.error("baseline and current are required (or --self-test)")
+    return run_diff(args)
 
 
 if __name__ == "__main__":

@@ -68,6 +68,11 @@ if [[ "${DRW_SANITIZE:-0}" == "tsan" ]]; then
   # between the two).
   DRW_PARTITION=nodes "$BUILD_DIR/test_determinism"
   DRW_PARTITION=nodes "$BUILD_DIR/test_mux"
+  # Re-run the observability suite with tracing + stats armed process-wide:
+  # concurrent workers write their per-thread trace rings and the atomic
+  # registry histograms while TSan watches the executor underneath.
+  DRW_TRACE="$BUILD_DIR/trace_obs_tsan.json" DRW_STATS=1 \
+      "$BUILD_DIR/test_obs"
 fi
 
 if [[ "${DRW_BENCH:-0}" == "1" ]]; then
@@ -86,5 +91,16 @@ if [[ "${DRW_BENCH:-0}" == "1" ]]; then
   # sequential stitching >=1.5x wall-clock at 8 threads (same self-skip
   # ladder), with mux results bit-identical to the serial schedule.
   "$BUILD_DIR/bench_mux"
+  # The bench-diff contract the trajectory step depends on (new obs_* keys
+  # must never fail a diff, steal counts stay informational, ...).
+  python3 tools/bench_diff.py --self-test
+  # Observability gate: a traced single-threaded serve workload must export
+  # a Perfetto-loadable trace whose per-shard transmit spans reconcile with
+  # RunStats.transmit_ms (tools/validate_trace.py, 10% tolerance), plus a
+  # machine-readable stats JSON. Both files are uploaded as CI artifacts.
+  DRW_TRACE=trace_serve.json "$BUILD_DIR/drw" serve \
+      --graph=regular:2000,4 --seed=7 --k=24 --l=2048 --threads=1 --mux=4 \
+      --batch-size=8 --stats-json=stats_serve.json
+  python3 tools/validate_trace.py trace_serve.json
 fi
 echo "ci: OK"

@@ -44,6 +44,8 @@
 #include "graph/spanning.hpp"
 #include "lowerbound/gadget.hpp"
 #include "lowerbound/path_verification.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/walk_service.hpp"
 
 namespace {
@@ -66,6 +68,11 @@ using namespace drw;
                "           [--mux=N]  (serve: concurrent stitching width;\n"
                "                       0 = auto via DRW_MUX, 1 = sequential)\n"
                "           [--requests=FILE] [--batch-size=N] [--paths]\n"
+               "           [--trace=FILE]  (any command: Chrome trace-event\n"
+               "                            JSON, Perfetto-loadable;\n"
+               "                            DRW_TRACE=FILE is equivalent)\n"
+               "           [--stats-json=FILE]  (serve: full per-batch +\n"
+               "                            lifetime + metrics JSON)\n"
                "request file: one `source length count [record]` per line,\n"
                "              '#' starts a comment\n"
                "graph specs: path:N cycle:N grid:RxC torus:RxC hypercube:D\n"
@@ -95,6 +102,8 @@ struct Args {
   std::optional<congest::Partition> partition;  // nullopt = network default
   std::uint32_t steal_chunk = 0;  // 0 = auto (DRW_STEAL_CHUNK env / derived)
   unsigned mux = 0;  // serve: stitching width; 0 = auto (DRW_MUX env / 1)
+  std::string trace_file;  // non-empty: obs tracer armed for the command
+  std::string stats_json;  // serve: write the full stats JSON here
 };
 
 std::optional<std::string> flag_value(const char* arg, const char* name) {
@@ -153,6 +162,10 @@ Args parse_args(int argc, char** argv) {
     } else if (auto v = flag_value(a, "--batch-size")) {
       args.batch_size =
           static_cast<std::uint32_t>(std::strtoul(v->c_str(), nullptr, 10));
+    } else if (auto v = flag_value(a, "--trace")) {
+      args.trace_file = *v;
+    } else if (auto v = flag_value(a, "--stats-json")) {
+      args.stats_json = *v;
     } else if (std::strcmp(a, "--paths") == 0) {
       args.paths = true;
     } else if (std::strcmp(a, "--naive") == 0) {
@@ -357,6 +370,39 @@ std::vector<service::WalkRequest> synthetic_requests(
   return requests;
 }
 
+/// Appends the RunStats fields shared by batch and lifetime records.
+void append_run_stats(std::ostringstream& out, const congest::RunStats& s) {
+  out << "\"rounds\":" << s.rounds << ",\"messages\":" << s.messages
+      << ",\"max_backlog\":" << s.max_backlog << ",\"steals\":" << s.steals
+      << ",\"threads\":" << s.threads << ",\"wall_ms\":" << s.wall_ms
+      << ",\"compute_ms\":" << s.compute_ms
+      << ",\"transmit_ms\":" << s.transmit_ms
+      << ",\"merge_ms\":" << s.merge_ms;
+}
+
+/// One BatchReport as a JSON object: every scalar the report carries (the
+/// human-readable per-batch line is a subset of this).
+void append_batch_report(std::ostringstream& out,
+                         const service::BatchReport& r) {
+  out << "{";
+  append_run_stats(out, r.stats);
+  out << ",\"requests\":" << r.requests << ",\"walks\":" << r.walks
+      << ",\"lambda\":" << r.lambda
+      << ",\"naive_mode\":" << (r.naive_mode ? "true" : "false")
+      << ",\"full_prepare\":" << (r.full_prepare ? "true" : "false")
+      << ",\"stitches\":" << r.stitches
+      << ",\"inventory_hits\":" << r.inventory_hits
+      << ",\"inventory_hit_rate\":" << r.inventory_hit_rate()
+      << ",\"engine_gmw_calls\":" << r.engine_gmw_calls
+      << ",\"replenishments\":" << r.replenishments
+      << ",\"replenished_walks\":" << r.replenished_walks
+      << ",\"naive_rounds_estimate\":" << r.naive_rounds_estimate
+      << ",\"mux_width\":" << r.mux_width
+      << ",\"mux_groups\":" << r.mux_groups
+      << ",\"mux_lanes\":" << r.mux_lanes
+      << ",\"mux_conflicts\":" << r.mux_conflicts << "}";
+}
+
 int cmd_serve(const Args& args, const Graph& g, std::uint32_t diameter) {
   congest::Network net(g, args.seed);
   if (args.steal_chunk != 0) net.set_steal_chunk(args.steal_chunk);
@@ -381,6 +427,11 @@ int cmd_serve(const Args& args, const Graph& g, std::uint32_t diameter) {
   }
   const std::uint32_t batch_size = std::max(args.batch_size, 1u);
 
+  // --stats-json wants the metrics registry's view of the run as well.
+  if (!args.stats_json.empty()) obs::Registry::global().set_enabled(true);
+  std::ostringstream batches_json;
+  unsigned effective_mux = 1;  // widest lane count any batch could open
+
   std::size_t batch_no = 0;
   for (std::size_t at = 0; at < requests.size(); at += batch_size) {
     for (std::size_t i = at;
@@ -388,6 +439,11 @@ int cmd_serve(const Args& args, const Graph& g, std::uint32_t diameter) {
       service.submit(requests[i]);
     }
     const service::BatchReport report = service.flush();
+    effective_mux = std::max(effective_mux, report.mux_width);
+    if (!args.stats_json.empty()) {
+      if (batch_no != 0) batches_json << ",\n";
+      append_batch_report(batches_json, report);
+    }
     std::printf(
         "batch %zu: %llu req / %llu walks | lambda=%u %s | rounds=%llu "
         "(%.1f/req) msgs=%llu | hit=%.3f gmw=%llu topups=%llu(+%llu) | "
@@ -410,8 +466,9 @@ int cmd_serve(const Args& args, const Graph& g, std::uint32_t diameter) {
   const service::ServiceStats& life = service.lifetime();
   std::printf(
       "served %llu requests (%llu walks) in %llu batches: rounds=%llu "
-      "messages=%llu | phase1=%llu topups=%llu hit=%.3f | naive model "
-      "rounds=%llu (%.1fx)\n",
+      "messages=%llu | phase1=%llu topups=%llu(+%llu walks) hit=%.3f "
+      "gmw=%llu | mux: %llu waves / %llu lanes / %llu conflicts | "
+      "naive model rounds=%llu (%.1fx)\n",
       static_cast<unsigned long long>(life.requests),
       static_cast<unsigned long long>(life.walks),
       static_cast<unsigned long long>(life.batches),
@@ -419,7 +476,12 @@ int cmd_serve(const Args& args, const Graph& g, std::uint32_t diameter) {
       static_cast<unsigned long long>(life.stats.messages),
       static_cast<unsigned long long>(life.full_prepares),
       static_cast<unsigned long long>(life.replenishments),
+      static_cast<unsigned long long>(life.replenished_walks),
       life.inventory_hit_rate(),
+      static_cast<unsigned long long>(life.engine_gmw_calls),
+      static_cast<unsigned long long>(life.mux_groups),
+      static_cast<unsigned long long>(life.mux_lanes),
+      static_cast<unsigned long long>(life.mux_conflicts),
       static_cast<unsigned long long>(life.naive_rounds_estimate),
       life.stats.rounds == 0
           ? 0.0
@@ -434,6 +496,49 @@ int cmd_serve(const Args& args, const Graph& g, std::uint32_t diameter) {
               net.dispatch_grain(), net.steal_chunk(),
               net.partition() == congest::Partition::kEdgeWeighted
                   ? "edge-weighted" : "node-count");
+
+  if (!args.stats_json.empty()) {
+    std::ofstream out(args.stats_json);
+    if (!out) usage(("cannot write stats JSON: " + args.stats_json).c_str());
+    std::ostringstream lifetime_json;
+    lifetime_json << "{";
+    append_run_stats(lifetime_json, life.stats);
+    lifetime_json << ",\"batches\":" << life.batches
+                  << ",\"requests\":" << life.requests
+                  << ",\"walks\":" << life.walks
+                  << ",\"full_prepares\":" << life.full_prepares
+                  << ",\"replenishments\":" << life.replenishments
+                  << ",\"replenished_walks\":" << life.replenished_walks
+                  << ",\"stitches\":" << life.stitches
+                  << ",\"inventory_hits\":" << life.inventory_hits
+                  << ",\"inventory_hit_rate\":" << life.inventory_hit_rate()
+                  << ",\"engine_gmw_calls\":" << life.engine_gmw_calls
+                  << ",\"naive_rounds_estimate\":"
+                  << life.naive_rounds_estimate
+                  << ",\"mux_groups\":" << life.mux_groups
+                  << ",\"mux_lanes\":" << life.mux_lanes
+                  << ",\"mux_conflicts\":" << life.mux_conflicts << "}";
+    out << "{\"batches\":[\n" << batches_json.str() << "\n],\n"
+        << "\"lifetime\":" << lifetime_json.str() << ",\n"
+        << "\"executor\":{\"dispatch_grain\":" << net.dispatch_grain()
+        << ",\"steal_chunk\":" << net.steal_chunk() << ",\"partition\":\""
+        << (net.partition() == congest::Partition::kEdgeWeighted
+                ? "edge-weighted" : "node-count")
+        << "\"},\n"
+        << "\"registry\":" << obs::Registry::global().snapshot_json()
+        << "}\n";
+    std::printf("stats json: %s\n", args.stats_json.c_str());
+  }
+
+  // Cross-check metadata for tools/validate_trace.py (the per-shard
+  // transmit span sum is only comparable to the driver's transmit_ms when
+  // one shard transmits at a time, i.e. threads == 1).
+  if (obs::trace_enabled()) {
+    obs::Tracer& tracer = obs::Tracer::instance();
+    tracer.set_meta("transmit_ms", life.stats.transmit_ms);
+    tracer.set_meta("threads", double(life.stats.threads));
+    tracer.set_meta("mux_width", double(effective_mux));
+  }
   return 0;
 }
 
@@ -538,8 +643,9 @@ int cmd_verify(const Args& args) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const Args args = parse_args(argc, argv);
+namespace {
+
+int run_command(const Args& args) {
   if (args.command == "verify") return cmd_verify(args);
 
   const Graph g = build_graph(args.graph_spec, args.seed);
@@ -560,4 +666,24 @@ int main(int argc, char** argv) {
   if (args.command == "expander") return cmd_expander(args, g, diameter);
   if (args.command == "pagerank") return cmd_pagerank(args, g, diameter);
   usage(("unknown command: " + args.command).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  // --trace arms the process-wide tracer exactly like DRW_TRACE=FILE
+  // (which the obs static initializer has already honoured by this point).
+  if (!args.trace_file.empty()) {
+    obs::Tracer::instance().enable(args.trace_file);
+  }
+  const int rc = run_command(args);
+  if (obs::trace_enabled()) {
+    obs::Tracer::instance().flush();
+    std::printf("trace: %s (%llu events dropped)\n",
+                obs::Tracer::instance().path().c_str(),
+                static_cast<unsigned long long>(
+                    obs::Tracer::instance().dropped()));
+  }
+  return rc;
 }
