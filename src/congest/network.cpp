@@ -2,6 +2,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "resil/failpoint.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -844,6 +845,10 @@ void Network::run_loop(Protocol& protocol, std::uint64_t max_rounds,
       lane.sends = 0;
       lane.wakes = 0;
     }
+    // Phase-boundary failpoint: a throw here unwinds through
+    // run_with_lanes' abort cleanup (pool joined, arena drained), the
+    // exception-safety path tests/test_resil.cpp exercises.
+    resil::failpoint("net.round.compute");
     const auto compute_start = Clock::now();
     {
       obs::Span span(obs::Name::kComputeDispatch, obs::kPidExecutor, 0,
@@ -883,6 +888,7 @@ void Network::run_loop(Protocol& protocol, std::uint64_t max_rounds,
     // delivery happen within a single round of the model.
     std::size_t busy_bound = sends;
     for (const Shard& sh : shards_) busy_bound += sh.busy.size();
+    resil::failpoint("net.round.transmit");
     const auto transmit_start = Clock::now();
     {
       obs::Span span(obs::Name::kTransmitDispatch, obs::kPidExecutor, 0,

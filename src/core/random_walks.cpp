@@ -203,6 +203,15 @@ void StitchEngine::adopt_state(EngineState state) {
   pending_prepared_ = 0;
 }
 
+void StitchEngine::restore_connector_visits(
+    std::vector<std::uint64_t> visits) {
+  if (visits.size() != net_->graph().node_count()) {
+    throw std::invalid_argument(
+        "StitchEngine::restore_connector_visits: node count mismatch");
+  }
+  connector_visits_ = std::move(visits);
+}
+
 PositionTable StitchEngine::drain_positions() {
   PositionTable out = std::move(positions_);
   positions_ = PositionTable();

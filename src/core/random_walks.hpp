@@ -227,6 +227,16 @@ class StitchEngine {
   /// Read access to the distributed short-walk store (the inventory).
   const WalkStore& store() const noexcept { return store_; }
 
+  /// Read access to the routing records (snapshot serialization).
+  const TrajectoryStore& trajectories() const noexcept {
+    return trajectories_;
+  }
+
+  /// Restores connector-visit counters captured by a snapshot (adopt_state
+  /// zeroes them; a warm restart needs the pre-crash values because the
+  /// inventory's demand diffs against them). Size must match the network.
+  void restore_connector_visits(std::vector<std::uint64_t> visits);
+
   /// Unused short-walk tokens per source node (one scan of the store).
   std::vector<std::uint64_t> unused_counts_by_source() const;
 

@@ -7,13 +7,20 @@
 #include <utility>
 #include <vector>
 
+#include "resil/failpoint.hpp"
+
 namespace drw {
 
 Graph read_edge_list(std::istream& in) {
   std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<std::size_t> edge_lines;  // for post-loop id-range diagnostics
   std::size_t declared_nodes = 0;
+  bool has_header = false;
   NodeId max_id = 0;
   bool any = false;
+
+  // Node ids must fit a NodeId with kInvalidNode reserved as a sentinel.
+  constexpr long long kMaxId = static_cast<long long>(kInvalidNode) - 1;
 
   std::string line;
   std::size_t line_number = 0;
@@ -25,7 +32,16 @@ Graph read_edge_list(std::istream& in) {
       std::string word;
       header >> word;
       if (word == "nodes") {
-        header >> declared_nodes;
+        std::size_t n = 0;
+        header >> n;
+        if (has_header && n != declared_nodes) {
+          throw std::invalid_argument(
+              "edge list line " + std::to_string(line_number) +
+              ": duplicate '# nodes' header conflicts with earlier value " +
+              std::to_string(declared_nodes));
+        }
+        declared_nodes = n;
+        has_header = true;
       }
       continue;
     }
@@ -43,6 +59,12 @@ Graph read_edge_list(std::istream& in) {
                                   std::to_string(line_number) +
                                   ": negative node ID");
     }
+    if (u > kMaxId || v > kMaxId) {
+      throw std::invalid_argument(
+          "edge list line " + std::to_string(line_number) + ": node ID " +
+          std::to_string(std::max(u, v)) +
+          " overflows the 32-bit node id space");
+    }
     if (u == v) {
       throw std::invalid_argument("edge list line " +
                                   std::to_string(line_number) +
@@ -51,11 +73,27 @@ Graph read_edge_list(std::istream& in) {
     const auto a = static_cast<NodeId>(u);
     const auto b = static_cast<NodeId>(v);
     edges.emplace_back(a, b);
+    edge_lines.push_back(line_number);
     max_id = std::max(max_id, std::max(a, b));
     any = true;
   }
   if (!any && declared_nodes == 0) {
     throw std::invalid_argument("edge list: no edges and no node header");
+  }
+  if (has_header) {
+    // A declared node count is a contract, not a floor: an id at or above
+    // it is a malformed file (checked post-loop so a header after the edge
+    // block still validates every line, with its original line number).
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      const NodeId worst = std::max(edges[i].first, edges[i].second);
+      if (worst >= declared_nodes) {
+        throw std::invalid_argument(
+            "edge list line " + std::to_string(edge_lines[i]) +
+            ": node ID " + std::to_string(worst) +
+            " exceeds the declared '# nodes " +
+            std::to_string(declared_nodes) + "' header");
+      }
+    }
   }
   const std::size_t n =
       std::max<std::size_t>(declared_nodes, any ? max_id + 1 : 0);
@@ -67,6 +105,7 @@ Graph read_edge_list(std::istream& in) {
 Graph read_edge_list_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open graph file: " + path);
+  resil::failpoint("graph.io.read");
   return read_edge_list(in);
 }
 

@@ -1,0 +1,170 @@
+#include "resil/failpoint.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace drw::resil {
+
+namespace {
+
+enum class Action : std::uint8_t { kThrow, kAbort, kShortWrite, kDelay };
+
+struct SiteSpec {
+  std::uint64_t trigger_at = 1;  ///< 1-based hit index that fires
+  Action action = Action::kThrow;
+  std::uint32_t delay_ms = 0;
+  std::uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, SiteSpec> sites;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during shutdown
+  return *r;
+}
+
+std::atomic<std::uint64_t> g_slow_path_entries{0};
+
+/// Parses one "site@N:action" clause into (name, spec).
+std::pair<std::string, SiteSpec> parse_clause(const std::string& clause) {
+  const std::size_t colon = clause.rfind(':');
+  if (colon == std::string::npos || colon == 0) {
+    throw std::invalid_argument("failpoint spec clause '" + clause +
+                                "': expected site[@N]:action");
+  }
+  std::string site = clause.substr(0, colon);
+  const std::string action = clause.substr(colon + 1);
+  SiteSpec spec;
+  const std::size_t at = site.rfind('@');
+  if (at != std::string::npos) {
+    const std::string count = site.substr(at + 1);
+    char* end = nullptr;
+    spec.trigger_at = std::strtoull(count.c_str(), &end, 10);
+    if (count.empty() || *end != '\0' || spec.trigger_at == 0) {
+      throw std::invalid_argument("failpoint spec clause '" + clause +
+                                  "': hit index must be a positive integer");
+    }
+    site = site.substr(0, at);
+  }
+  if (site.empty()) {
+    throw std::invalid_argument("failpoint spec clause '" + clause +
+                                "': empty site name");
+  }
+  if (action == "throw") {
+    spec.action = Action::kThrow;
+  } else if (action == "abort") {
+    spec.action = Action::kAbort;
+  } else if (action == "short_write") {
+    spec.action = Action::kShortWrite;
+  } else if (action.rfind("delay_ms=", 0) == 0) {
+    const std::string ms = action.substr(9);
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(ms.c_str(), &end, 10);
+    if (ms.empty() || *end != '\0') {
+      throw std::invalid_argument("failpoint spec clause '" + clause +
+                                  "': delay_ms wants an integer");
+    }
+    spec.action = Action::kDelay;
+    spec.delay_ms = static_cast<std::uint32_t>(parsed);
+  } else {
+    throw std::invalid_argument(
+        "failpoint spec clause '" + clause +
+        "': unknown action (throw|abort|short_write|delay_ms=K)");
+  }
+  return {site, spec};
+}
+
+/// DRW_FAILPOINTS is parsed once, before main touches any site. A malformed
+/// env spec aborts loudly: silently running *without* the faults the
+/// operator asked for would invalidate whatever the run was testing.
+[[maybe_unused]] const bool g_env_armed = [] {
+  const char* env = std::getenv("DRW_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return false;
+  try {
+    arm_failpoints(env);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "resil: bad DRW_FAILPOINTS: %s\n", e.what());
+    std::abort();
+  }
+  return true;
+}();
+
+}  // namespace
+
+void arm_failpoints(const std::string& spec) {
+  std::unordered_map<std::string, SiteSpec> parsed;
+  std::size_t begin = 0;
+  while (begin < spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    if (end > begin) {
+      auto [site, site_spec] = parse_clause(spec.substr(begin, end - begin));
+      parsed[std::move(site)] = site_spec;
+    }
+    begin = end + 1;
+  }
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.sites = std::move(parsed);
+  g_failpoints_armed.store(!reg.sites.empty(), std::memory_order_relaxed);
+}
+
+void disarm_failpoints() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.sites.clear();
+  g_failpoints_armed.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t failpoint_hits(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.sites.find(name);
+  return it == reg.sites.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t failpoint_slow_path_entries() noexcept {
+  return g_slow_path_entries.load(std::memory_order_relaxed);
+}
+
+bool failpoint_hit(const char* name) {
+  g_slow_path_entries.fetch_add(1, std::memory_order_relaxed);
+  Action action;
+  std::uint32_t delay_ms;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    const auto it = reg.sites.find(name);
+    if (it == reg.sites.end()) return false;
+    SiteSpec& spec = it->second;
+    if (++spec.hits != spec.trigger_at) return false;
+    action = spec.action;
+    delay_ms = spec.delay_ms;
+  }
+  // Act outside the lock: throw unwinds arbitrary frames and delay must not
+  // serialize unrelated sites on other threads.
+  switch (action) {
+    case Action::kThrow:
+      throw InjectedFault(std::string("injected fault at failpoint '") +
+                          name + "'");
+    case Action::kAbort:
+      std::fprintf(stderr, "resil: aborting at failpoint '%s'\n", name);
+      std::abort();
+    case Action::kShortWrite:
+      return true;
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return false;
+  }
+  return false;
+}
+
+}  // namespace drw::resil

@@ -1,0 +1,78 @@
+// Deterministic fault injection for resilience testing (drw::resil).
+//
+// A failpoint is a named site planted on an interesting control path (the
+// snapshot writer, graph IO, Network::run phase boundaries, the WalkService
+// batch loop). Sites are *disarmed* by default and follow the drw::obs
+// zero-overhead discipline: the disabled path is exactly one relaxed atomic
+// load -- no string compare, no map lookup, no lock. Arming happens either
+// through the DRW_FAILPOINTS environment variable or programmatically
+// (tests), with the spec grammar
+//
+//   DRW_FAILPOINTS="site@N:action[,site@N:action...]"
+//
+// where `site` is the literal site name, `N` is the 1-based hit at which the
+// action fires (the site passes through untouched on every other hit;
+// `site:action` is shorthand for N = 1), and `action` is one of
+//
+//   throw        throw resil::InjectedFault at the site
+//   abort        std::abort() at the site (crash harness: simulated kill)
+//   short_write  return true from failpoint(): the site truncates its write
+//   delay_ms=K   sleep K milliseconds at the site, then continue
+//
+// Determinism: hit counting is per-site and process-wide, so a given spec
+// fires at the same logical point of a deterministic run every time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace drw::resil {
+
+/// The exception injected by the `throw` action. Distinct from any
+/// engine/IO exception type so tests can assert the fault's origin.
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Process-wide arming flag. `inline` so every translation unit shares one
+/// atomic and the disabled check can inline down to a single relaxed load.
+inline std::atomic<bool> g_failpoints_armed{false};
+
+inline bool failpoints_armed() noexcept {
+  return g_failpoints_armed.load(std::memory_order_relaxed);
+}
+
+/// Slow path: counts the hit and fires the configured action when the hit
+/// index matches. Returns true iff the site should simulate a short write.
+/// May throw InjectedFault or call std::abort() per the armed spec.
+bool failpoint_hit(const char* name);
+
+/// A failpoint site. Disabled cost: one relaxed atomic load.
+inline bool failpoint(const char* name) {
+  if (!failpoints_armed()) return false;
+  return failpoint_hit(name);
+}
+
+/// Parses and installs a spec (same grammar as DRW_FAILPOINTS), replacing
+/// any previous arming and resetting all hit counts. Throws
+/// std::invalid_argument on a malformed spec. An empty spec disarms.
+void arm_failpoints(const std::string& spec);
+
+/// Disarms every site and resets hit counts (the state DRW_FAILPOINTS-less
+/// processes start in).
+void disarm_failpoints();
+
+/// Hits recorded for `name` since the last (dis)arm. Armed processes only:
+/// sites never reach the counter while disarmed.
+std::uint64_t failpoint_hits(const std::string& name);
+
+/// Total slow-path entries across all sites since process start. The
+/// zero-overhead contract -- a disarmed site is one relaxed load and
+/// nothing else -- is asserted by running a workload disarmed and checking
+/// this stays flat (tests/test_resil.cpp, mirroring test_obs).
+std::uint64_t failpoint_slow_path_entries() noexcept;
+
+}  // namespace drw::resil

@@ -39,6 +39,19 @@ void WalkInventory::reset(const core::StitchEngine& engine) {
   refresh(engine);
 }
 
+void WalkInventory::restore(Image img) {
+  if (img.unused.size() != unused_.size() ||
+      img.demand.size() != unused_.size() ||
+      img.last_visits.size() != unused_.size()) {
+    throw std::invalid_argument("WalkInventory::restore: node count mismatch");
+  }
+  unused_ = std::move(img.unused);
+  demand_ = std::move(img.demand);
+  last_visits_ = std::move(img.last_visits);
+  total_unused_ = img.total_unused;
+  total_demand_ = img.total_demand;
+}
+
 std::vector<Replenishment> WalkInventory::plan_replenishment(
     const InventoryPolicy& policy) const {
   std::vector<Replenishment> plan;

@@ -69,6 +69,25 @@ class WalkInventory {
   std::vector<Replenishment> plan_replenishment(
       const InventoryPolicy& policy) const;
 
+  /// Raw copy of the bookkeeping arrays for checkpointing (drw::resil).
+  /// Demand history is part of the sampling stream -- it decides which
+  /// replenishment runs consume coins next batch -- so a warm restart must
+  /// restore it exactly, not recompute it.
+  struct Image {
+    std::vector<std::uint64_t> unused;
+    std::vector<std::uint64_t> demand;
+    std::vector<std::uint64_t> last_visits;
+    std::uint64_t total_unused = 0;
+    std::uint64_t total_demand = 0;
+  };
+  Image image() const {
+    return Image{unused_, demand_, last_visits_, total_unused_,
+                 total_demand_};
+  }
+  /// Restores a captured image. Throws std::invalid_argument if the image's
+  /// node count does not match this inventory's.
+  void restore(Image img);
+
  private:
   std::vector<std::uint64_t> unused_;
   std::vector<std::uint64_t> demand_;

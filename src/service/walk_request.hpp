@@ -26,9 +26,36 @@ struct WalkRequest {
   bool record_positions = false;
 };
 
+/// Boundary-validation outcome of one request. Invalid requests never reach
+/// the engine: they come back in their submission slot with a non-kOk
+/// status and an explanatory message instead of a deep-engine throw, and
+/// the rest of the batch is served normally (graceful degradation).
+enum class RequestStatus : std::uint8_t {
+  kOk = 0,
+  kSourceOutOfRange,   ///< source >= node count
+  kPathsDisabled,      ///< record_positions without ServiceConfig.enable_paths
+  kCountExceedsCap,    ///< count > RequestCaps.max_count
+  kLengthExceedsCap,   ///< length > RequestCaps.max_length
+  kBatchCapExceeded,   ///< would push the batch past RequestCaps.max_batch_walks
+};
+
+constexpr const char* to_string(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kSourceOutOfRange: return "source out of range";
+    case RequestStatus::kPathsDisabled:
+      return "record_positions requires enable_paths";
+    case RequestStatus::kCountExceedsCap: return "count exceeds cap";
+    case RequestStatus::kLengthExceedsCap: return "length exceeds cap";
+    case RequestStatus::kBatchCapExceeded: return "batch walk cap exceeded";
+  }
+  return "unknown";
+}
+
 struct RequestResult {
   WalkRequest request;
   /// One exact l-step destination per requested walk (size == count).
+  /// Empty when status != kOk (a rejected request samples nothing).
   std::vector<NodeId> destinations;
   /// Full walk paths (size count, each length+1 nodes) when
   /// record_positions was set; empty otherwise.
@@ -39,6 +66,12 @@ struct RequestResult {
   congest::RunStats stats;
   /// Summed instrumentation over this request's walks.
   core::WalkCounters counters;
+  /// Boundary validation outcome; destinations/paths/stats are only
+  /// meaningful when ok().
+  RequestStatus status = RequestStatus::kOk;
+
+  bool ok() const noexcept { return status == RequestStatus::kOk; }
+  const char* error() const noexcept { return to_string(status); }
 };
 
 }  // namespace drw::service

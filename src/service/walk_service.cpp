@@ -1,11 +1,15 @@
 #include "service/walk_service.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "resil/failpoint.hpp"
+#include "resil/snapshot.hpp"
 
 namespace drw::service {
 
@@ -76,13 +80,9 @@ WalkService::~WalkService() {
 }
 
 void WalkService::submit(const WalkRequest& request) {
-  if (request.source >= net_->graph().node_count()) {
-    throw std::invalid_argument("WalkService::submit: source out of range");
-  }
-  if (request.record_positions && !config_.enable_paths) {
-    throw std::invalid_argument(
-        "WalkService::submit: record_positions requires enable_paths");
-  }
+  // Validation is deferred to flush(), where violations come back as
+  // structured per-request statuses instead of throws: one bad request
+  // must never take down a batch (or the process).
   pending_.push_back(request);
 }
 
@@ -94,28 +94,77 @@ BatchReport WalkService::serve(const std::vector<WalkRequest>& requests) {
 BatchReport WalkService::flush() {
   BatchReport report;
   if (pending_.empty()) return report;
+  resil::failpoint("service.batch");
   obs::Span batch_span(obs::Name::kServiceBatch, obs::kPidService, 0,
                        lifetime_.batches);
   std::vector<WalkRequest> batch = std::move(pending_);
   pending_.clear();
+  report.requests = batch.size();
 
   const Graph& g = net_->graph();
+
+  // Boundary validation (graceful degradation): every request gets a
+  // structured status; invalid ones never reach the engine and the rest of
+  // the batch is served normally. The batch-walk cap admits in submission
+  // order.
+  std::vector<RequestStatus> status(batch.size(), RequestStatus::kOk);
+  std::uint64_t admitted_walks = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const WalkRequest& r = batch[i];
+    if (r.source >= g.node_count()) {
+      status[i] = RequestStatus::kSourceOutOfRange;
+    } else if (r.record_positions && !config_.enable_paths) {
+      status[i] = RequestStatus::kPathsDisabled;
+    } else if (config_.caps.max_count != 0 &&
+               r.count > config_.caps.max_count) {
+      status[i] = RequestStatus::kCountExceedsCap;
+    } else if (config_.caps.max_length != 0 &&
+               r.length > config_.caps.max_length) {
+      status[i] = RequestStatus::kLengthExceedsCap;
+    } else if (config_.caps.max_batch_walks != 0 &&
+               admitted_walks + r.count > config_.caps.max_batch_walks) {
+      status[i] = RequestStatus::kBatchCapExceeded;
+    } else {
+      admitted_walks += r.count;
+    }
+    if (status[i] != RequestStatus::kOk) ++report.rejected;
+  }
+
+  // Results skeleton: rejected slots carry their status, count == 0 is an
+  // empty success, and length == 0 is `count` copies of the source served
+  // inline -- a walk of zero steps never needs the engine.
+  report.results.resize(batch.size());
+  std::vector<WalkRequest> engine_batch;
+  std::vector<std::size_t> engine_slot;  // engine_batch index -> batch slot
   std::uint64_t units = 0;
   std::uint64_t l_max = 0;
-  for (const WalkRequest& r : batch) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const WalkRequest& r = batch[i];
+    RequestResult& out = report.results[i];
+    out.request = r;
+    out.status = status[i];
+    if (status[i] != RequestStatus::kOk || r.count == 0) continue;
+    if (r.length == 0) {
+      out.destinations.assign(r.count, r.source);
+      if (r.record_positions) {
+        out.paths.assign(r.count, std::vector<NodeId>{r.source});
+      }
+      report.walks += r.count;
+      continue;
+    }
+    engine_batch.push_back(r);
+    engine_slot.push_back(i);
     units += r.count;
     l_max = std::max(l_max, r.length);
     report.naive_rounds_estimate +=
         static_cast<std::uint64_t>(r.count) * r.length;
   }
-  report.requests = batch.size();
   if (units == 0) {
-    // All counts were zero: assemble empty results, no protocol runs.
-    for (const WalkRequest& r : batch) {
-      report.results.push_back(RequestResult{r, {}, {}, {}, {}});
-    }
+    // Nothing engine-bound: no protocol runs, no snapshot state change.
     ++lifetime_.batches;
     lifetime_.requests += report.requests;
+    lifetime_.walks += report.walks;
+    lifetime_.rejected += report.rejected;
     return report;
   }
 
@@ -160,12 +209,22 @@ BatchReport WalkService::flush() {
   report.mux_width = mux.width;
 
   BatchScheduler scheduler(engine_);
-  BatchScheduler::Outcome outcome = scheduler.run(batch, next_walk_id_, mux);
+  BatchScheduler::Outcome outcome =
+      scheduler.run(engine_batch, next_walk_id_, mux);
   next_walk_id_ += static_cast<std::uint32_t>(units);
 
-  report.results = std::move(outcome.results);
+  // Merge engine results back into their submission slots (rejected and
+  // inline-served slots already hold their results).
+  for (std::size_t j = 0; j < engine_slot.size(); ++j) {
+    RequestResult& out = report.results[engine_slot[j]];
+    RequestResult& served = outcome.results[j];
+    out.destinations = std::move(served.destinations);
+    out.paths = std::move(served.paths);
+    out.stats = served.stats;
+    out.counters = served.counters;
+  }
   report.stats += outcome.stats;
-  report.walks = outcome.walks;
+  report.walks += outcome.walks;
   report.mux_groups = outcome.mux_groups;
   report.mux_lanes = outcome.mux_lanes;
   report.mux_conflicts = outcome.mux_conflicts;
@@ -182,6 +241,7 @@ BatchReport WalkService::flush() {
   ++lifetime_.batches;
   lifetime_.requests += report.requests;
   lifetime_.walks += report.walks;
+  lifetime_.rejected += report.rejected;
   lifetime_.stats += report.stats;
   if (report.full_prepare) ++lifetime_.full_prepares;
   lifetime_.replenishments += report.replenishments;
@@ -210,7 +270,101 @@ BatchReport WalkService::flush() {
     reg.counter("mux.conflicts").add(report.mux_conflicts);
     reg.histogram("service.batch_walks").record(report.walks);
   }
+  maybe_snapshot();
   return report;
+}
+
+std::uint64_t WalkService::state_fingerprint() const {
+  std::uint64_t fp = resil::graph_fingerprint(net_->graph(), net_->seed());
+  if (config_.enable_paths) fp ^= 0xD1B54A32D192ED03ULL;
+  return fp;
+}
+
+void WalkService::maybe_snapshot() {
+  if (config_.snapshot_path.empty()) return;
+  if (!engine_.prepared() || engine_.naive_mode()) return;
+  try {
+    save_snapshot(config_.snapshot_path);
+  } catch (const std::exception& e) {
+    // Degradation, not death: serving results are already computed; the
+    // worst case is restarting from an older (still atomic) snapshot.
+    std::fprintf(stderr, "resil: snapshot failed (serving continues): %s\n",
+                 e.what());
+  }
+}
+
+void WalkService::save_snapshot(const std::string& path) {
+  if (!engine_.prepared() || engine_.naive_mode()) {
+    throw std::logic_error(
+        "WalkService::save_snapshot: requires a prepared, non-naive engine "
+        "(serve at least one non-naive batch first)");
+  }
+  const Graph& g = net_->graph();
+  const std::size_t n = g.node_count();
+  resil::ServiceSnapshot snap;
+  snap.graph_fingerprint = state_fingerprint();
+  snap.next_walk_id = next_walk_id_;
+  snap.engine.store = engine_.store();
+  snap.engine.trajectories = engine_.trajectories();
+  snap.engine.lambda = engine_.lambda();
+  snap.engine.prepared_l = engine_.prepared_l();
+  snap.engine.prepared_k = engine_.prepared_k();
+  snap.connector_visits = engine_.connector_visits();
+  WalkInventory::Image inv = inventory_.image();
+  snap.inventory.unused = std::move(inv.unused);
+  snap.inventory.demand = std::move(inv.demand);
+  snap.inventory.last_visits = std::move(inv.last_visits);
+  snap.inventory.total_unused = inv.total_unused;
+  snap.inventory.total_demand = inv.total_demand;
+  snap.rng_states.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    snap.rng_states.push_back(net_->node_rng(v).state());
+  }
+  resil::write_snapshot_file(path, snap);
+}
+
+bool WalkService::restore_snapshot(const std::string& path) {
+  const auto cold = [&path](const std::string& why) {
+    std::fprintf(stderr, "resil: cold start (snapshot %s: %s)\n",
+                 path.c_str(), why.c_str());
+    return false;
+  };
+  resil::ReadOutcome outcome = resil::read_snapshot_file(path);
+  if (!outcome.snapshot.has_value()) return cold(outcome.error);
+  resil::ServiceSnapshot& snap = *outcome.snapshot;
+
+  const std::size_t n = net_->graph().node_count();
+  if (snap.graph_fingerprint != state_fingerprint()) {
+    return cold("graph/seed/config fingerprint mismatch");
+  }
+  if (snap.engine.store.held.size() != n ||
+      snap.engine.trajectories.forward.size() != n ||
+      snap.engine.trajectories.fragments.size() != n ||
+      snap.connector_visits.size() != n || snap.rng_states.size() != n ||
+      snap.inventory.unused.size() != n ||
+      snap.inventory.demand.size() != n ||
+      snap.inventory.last_visits.size() != n) {
+    return cold("node count mismatch");
+  }
+  if (snap.engine.lambda == 0) return cold("lambda == 0");
+
+  const std::uint64_t total_unused = snap.inventory.total_unused;
+  engine_.adopt_state(std::move(snap.engine));
+  engine_.restore_connector_visits(std::move(snap.connector_visits));
+  inventory_.restore(WalkInventory::Image{
+      std::move(snap.inventory.unused), std::move(snap.inventory.demand),
+      std::move(snap.inventory.last_visits), snap.inventory.total_unused,
+      snap.inventory.total_demand});
+  for (NodeId v = 0; v < n; ++v) {
+    net_->node_rng(v).set_state(snap.rng_states[v]);
+  }
+  next_walk_id_ = snap.next_walk_id;
+  std::fprintf(stderr,
+               "resil: warm restart from %s (%zu nodes, lambda=%u, "
+               "%llu unused short walks, next walk id %u)\n",
+               path.c_str(), n, engine_.lambda(),
+               static_cast<unsigned long long>(total_unused), next_walk_id_);
+  return true;
 }
 
 }  // namespace drw::service

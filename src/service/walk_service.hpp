@@ -36,6 +36,20 @@
 
 namespace drw::service {
 
+/// Boundary-validation caps applied per request at flush() time. 0 means
+/// unlimited. Violations come back as structured RequestResult statuses
+/// (never engine throws); see RequestStatus in walk_request.hpp.
+struct RequestCaps {
+  /// Max walks a single request may ask for (WalkRequest::count).
+  std::uint32_t max_count = 0;
+  /// Max walk length a single request may ask for (WalkRequest::length).
+  std::uint64_t max_length = 0;
+  /// Max total walks one flush() serves; requests that would push the batch
+  /// past it are rejected with kBatchCapExceeded (admission in submission
+  /// order).
+  std::uint64_t max_batch_walks = 0;
+};
+
 struct ServiceConfig {
   /// Walk parameterization (preset, transition model, eta, scaling...).
   /// record_trajectories is overridden by enable_paths below.
@@ -77,6 +91,14 @@ struct ServiceConfig {
   /// Observation never branches execution; results are bit-identical with
   /// tracing on or off.
   std::string trace_path;
+  /// Per-request validation caps (see RequestCaps; all default unlimited).
+  RequestCaps caps;
+  /// Non-empty: after every batch whose engine is prepared and non-naive,
+  /// atomically checkpoint the full serving state here (drw::resil
+  /// snapshot). A later service on the same graph + seed can
+  /// restore_snapshot() and continue bit-identically. Snapshot IO failures
+  /// are logged and never take down serving.
+  std::string snapshot_path;
 };
 
 /// Per-batch serving report.
@@ -102,6 +124,7 @@ struct BatchReport {
   std::uint64_t mux_lanes = 0;       ///< lanes summed over waves (avg width
                                      ///< per wave = mux_lanes / mux_groups)
   std::uint64_t mux_conflicts = 0;   ///< traversals serialized by the conflict rule
+  std::uint64_t rejected = 0;        ///< requests returned with status != kOk
 
   double rounds_per_request() const {
     return requests == 0 ? 0.0
@@ -139,6 +162,7 @@ struct ServiceStats {
   std::uint64_t mux_groups = 0;
   std::uint64_t mux_lanes = 0;
   std::uint64_t mux_conflicts = 0;
+  std::uint64_t rejected = 0;
 
   double inventory_hit_rate() const {
     return stitches == 0 ? 1.0
@@ -158,13 +182,18 @@ class WalkService {
   std::uint32_t diameter() const noexcept { return diameter_; }
   const ServiceConfig& config() const noexcept { return config_; }
 
-  /// Enqueues one request for the next flush(). Throws std::invalid_argument
-  /// for an out-of-range source or record_positions without enable_paths.
+  /// Enqueues one request for the next flush(). Never throws: validation
+  /// happens at the service boundary in flush(), where invalid requests
+  /// come back in their submission slot with a structured RequestStatus
+  /// (kSourceOutOfRange, kPathsDisabled, cap violations) instead of a
+  /// deep-engine throw -- the rest of the batch is served normally.
   void submit(const WalkRequest& request);
   std::size_t pending() const noexcept { return pending_.size(); }
 
   /// Serves every pending request as one batch. Empty-queue flushes are
-  /// free no-ops.
+  /// free no-ops. Edge semantics: count == 0 is an empty success;
+  /// length == 0 returns `count` copies of `source` (path {source} when
+  /// recorded) without touching the engine.
   BatchReport flush();
 
   /// submit() + flush() in one call.
@@ -175,7 +204,30 @@ class WalkService {
   /// Escape hatch for instrumentation and tests.
   core::StitchEngine& engine() noexcept { return engine_; }
 
+  /// Atomically checkpoints the full serving state (engine inventory +
+  /// trajectories + per-node RNG streams + demand bookkeeping + walk-id
+  /// cursor, fingerprinted against this network's graph + seed) to `path`.
+  /// Requires a prepared, non-naive engine (serve at least one batch
+  /// first); throws std::logic_error otherwise and std::runtime_error on
+  /// IO failure.
+  void save_snapshot(const std::string& path);
+
+  /// Restores a snapshot written by save_snapshot on an identical network
+  /// (same graph, same seed). Returns true on a warm restart: every
+  /// subsequent batch is bit-identical to the uninterrupted run. Returns
+  /// false -- leaving the service untouched, ready for a cold start -- when
+  /// the file is missing, torn, corrupt (checksum/version mismatch) or
+  /// fingerprinted for a different network; the reason is logged to stderr.
+  bool restore_snapshot(const std::string& path);
+
  private:
+  /// Snapshot-after-batch policy: config_.snapshot_path, IO failures logged
+  /// and swallowed (a failing disk must not take down serving).
+  void maybe_snapshot();
+  /// graph_fingerprint(graph, seed), salted with enable_paths: a snapshot
+  /// without trajectories must not warm-start a path-recording service.
+  std::uint64_t state_fingerprint() const;
+
   congest::Network* net_;
   std::uint32_t diameter_;
   ServiceConfig config_;

@@ -58,6 +58,23 @@ class Rng {
   /// Uniformly samples an index by nonnegative weights; sum must be > 0.
   std::size_t pick_weighted(std::span<const double> weights) noexcept;
 
+  /// The raw four-word generator state, for checkpointing (drw::resil).
+  /// Restoring it with set_state() resumes the stream exactly where the
+  /// snapshot left it.
+  const std::array<std::uint64_t, 4>& state() const noexcept { return state_; }
+
+  /// Restores a previously captured state. The all-zero state is a fixed
+  /// point of xoshiro256** and is rejected by falling back to reseeding
+  /// (it can only come from a corrupt snapshot, which the checksum layer
+  /// should already have caught).
+  void set_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    if (state[0] == 0 && state[1] == 0 && state[2] == 0 && state[3] == 0) {
+      *this = Rng();
+      return;
+    }
+    state_ = state;
+  }
+
   /// Fisher-Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& v) noexcept {

@@ -60,6 +60,82 @@ TEST(GraphIo, RejectsMalformedInput) {
   }
 }
 
+TEST(GraphIo, RejectsIdRangeViolationsWithLineNumbers) {
+  {
+    // Id overflows the 32-bit node id space (kInvalidNode is reserved).
+    std::istringstream in("0 1\n2 4294967295\n");
+    try {
+      read_edge_list(in);
+      FAIL() << "overflowing id accepted";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("overflows"), std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    // Id at/above the declared node count, header first.
+    std::istringstream in("# nodes 4\n0 1\n2 7\n");
+    try {
+      read_edge_list(in);
+      FAIL() << "id above declared header accepted";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("declared"), std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    // Header after the edge block still validates earlier lines.
+    std::istringstream in("0 9\n# nodes 4\n");
+    EXPECT_THROW(read_edge_list(in), std::invalid_argument);
+  }
+  {
+    // Conflicting duplicate headers.
+    std::istringstream in("# nodes 4\n0 1\n# nodes 9\n");
+    try {
+      read_edge_list(in);
+      FAIL() << "conflicting duplicate header accepted";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    // A repeated header with the SAME value stays legal.
+    std::istringstream in("# nodes 4\n0 1\n# nodes 4\n");
+    EXPECT_EQ(read_edge_list(in).node_count(), 4u);
+  }
+}
+
+TEST(GraphIo, RejectsTruncatedFiles) {
+  {
+    // File cut mid-line: the final record carries one id and no newline.
+    std::istringstream in("0 1\n1 2\n2");
+    try {
+      read_edge_list(in);
+      FAIL() << "truncated final line accepted";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    // File cut to nothing (created, then the writer died before any row).
+    std::istringstream in("");
+    EXPECT_THROW(read_edge_list(in), std::invalid_argument);
+  }
+  {
+    // Cut right after the header is still a valid (edgeless) declaration.
+    std::istringstream in("# nodes 3\n");
+    EXPECT_EQ(read_edge_list(in).node_count(), 3u);
+  }
+}
+
 TEST(GraphIo, RoundTripsThroughStreams) {
   Rng rng(5);
   const Graph g = gen::random_geometric(40, 0.3, rng);

@@ -196,10 +196,21 @@ TEST(WalkService, SubmitValidationAndEmptyFlush) {
   Network net(g, 2);
   WalkService service(net, 4, ServiceConfig{});
 
-  EXPECT_THROW(service.submit(WalkRequest{99, 5, 1}),
-               std::invalid_argument);
-  EXPECT_THROW(service.submit(WalkRequest{0, 5, 1, true}),
-               std::invalid_argument);  // paths not enabled
+  // Invalid requests come back as structured per-request errors in their
+  // submission slot (never throws, never engine involvement); the valid
+  // request in the same batch is served normally.
+  const BatchReport mixed = service.serve({
+      WalkRequest{99, 5, 1},        // source out of range
+      WalkRequest{0, 5, 1, true},   // paths not enabled
+      WalkRequest{0, 5, 1},         // fine
+  });
+  EXPECT_EQ(mixed.requests, 3u);
+  EXPECT_EQ(mixed.rejected, 2u);
+  EXPECT_EQ(mixed.results[0].status, RequestStatus::kSourceOutOfRange);
+  EXPECT_TRUE(mixed.results[0].destinations.empty());
+  EXPECT_EQ(mixed.results[1].status, RequestStatus::kPathsDisabled);
+  EXPECT_TRUE(mixed.results[2].ok());
+  EXPECT_EQ(mixed.results[2].destinations.size(), 1u);
 
   const BatchReport empty = service.flush();
   EXPECT_EQ(empty.requests, 0u);
@@ -209,7 +220,16 @@ TEST(WalkService, SubmitValidationAndEmptyFlush) {
   const BatchReport zero = service.serve({WalkRequest{0, 5, 0}});
   EXPECT_EQ(zero.requests, 1u);
   EXPECT_EQ(zero.walks, 0u);
+  EXPECT_TRUE(zero.results[0].ok());
   EXPECT_TRUE(zero.results[0].destinations.empty());
+
+  // A zero-length request is `count` copies of the source, served without
+  // touching the engine (no rounds, no messages).
+  const BatchReport zlen = service.serve({WalkRequest{3, 0, 4}});
+  EXPECT_EQ(zlen.walks, 4u);
+  EXPECT_EQ(zlen.stats.rounds, 0u);
+  EXPECT_EQ(zlen.results[0].destinations,
+            std::vector<NodeId>({3, 3, 3, 3}));
 }
 
 TEST(WalkService, ThroughputCountersAreCoherent) {

@@ -75,6 +75,14 @@ if [[ "${DRW_SANITIZE:-0}" == "tsan" ]]; then
       "$BUILD_DIR/test_obs"
 fi
 
+if [[ "${DRW_SANITIZE:-0}" == "1" ]]; then
+  # Re-run the resilience suite with failpoints armed at a site the tests
+  # then re-arm themselves: the arm/disarm registry, the snapshot
+  # encode/decode round-trips and the torn-file readers all execute under
+  # ASan/UBSan with the env-arming startup path on the tested path too.
+  DRW_FAILPOINTS="ci.unused@1:throw" "$BUILD_DIR/test_resil"
+fi
+
 if [[ "${DRW_BENCH:-0}" == "1" ]]; then
   # bench_service exits non-zero if the serviced workload fails to beat
   # per-request serving, never exercises inventory replenishment, or the
@@ -102,5 +110,10 @@ if [[ "${DRW_BENCH:-0}" == "1" ]]; then
       --graph=regular:2000,4 --seed=7 --k=24 --l=2048 --threads=1 --mux=4 \
       --batch-size=8 --stats-json=stats_serve.json
   python3 tools/validate_trace.py trace_serve.json
+  # Resilience gate: kill -9 a serving subprocess inside the snapshot-commit
+  # window and demand a warm restart, plus CRC rejection of bit-flipped and
+  # torn snapshots and a smoke of every DRW_FAILPOINTS action
+  # (throw/abort/short_write/delay_ms) against the real CLI.
+  python3 tools/crash_harness.py "$BUILD_DIR/drw"
 fi
 echo "ci: OK"

@@ -73,6 +73,12 @@ using namespace drw;
                "                            DRW_TRACE=FILE is equivalent)\n"
                "           [--stats-json=FILE]  (serve: full per-batch +\n"
                "                            lifetime + metrics JSON)\n"
+               "           [--snapshot=FILE]  (serve: checkpoint the serving\n"
+               "                            state here after every batch --\n"
+               "                            atomic, checksummed)\n"
+               "           [--restore]  (serve: warm-start from --snapshot\n"
+               "                         before serving; a missing/corrupt\n"
+               "                         snapshot degrades to cold start)\n"
                "request file: one `source length count [record]` per line,\n"
                "              '#' starts a comment\n"
                "graph specs: path:N cycle:N grid:RxC torus:RxC hypercube:D\n"
@@ -104,6 +110,8 @@ struct Args {
   unsigned mux = 0;  // serve: stitching width; 0 = auto (DRW_MUX env / 1)
   std::string trace_file;  // non-empty: obs tracer armed for the command
   std::string stats_json;  // serve: write the full stats JSON here
+  std::string snapshot;    // serve: checkpoint path (snapshot-after-batch)
+  bool restore = false;    // serve: warm-start from --snapshot
 };
 
 std::optional<std::string> flag_value(const char* arg, const char* name) {
@@ -166,6 +174,10 @@ Args parse_args(int argc, char** argv) {
       args.trace_file = *v;
     } else if (auto v = flag_value(a, "--stats-json")) {
       args.stats_json = *v;
+    } else if (auto v = flag_value(a, "--snapshot")) {
+      args.snapshot = *v;
+    } else if (std::strcmp(a, "--restore") == 0) {
+      args.restore = true;
     } else if (std::strcmp(a, "--paths") == 0) {
       args.paths = true;
     } else if (std::strcmp(a, "--naive") == 0) {
@@ -400,7 +412,8 @@ void append_batch_report(std::ostringstream& out,
       << ",\"mux_width\":" << r.mux_width
       << ",\"mux_groups\":" << r.mux_groups
       << ",\"mux_lanes\":" << r.mux_lanes
-      << ",\"mux_conflicts\":" << r.mux_conflicts << "}";
+      << ",\"mux_conflicts\":" << r.mux_conflicts
+      << ",\"rejected\":" << r.rejected << "}";
 }
 
 int cmd_serve(const Args& args, const Graph& g, std::uint32_t diameter) {
@@ -413,7 +426,18 @@ int cmd_serve(const Args& args, const Graph& g, std::uint32_t diameter) {
   config.params.transition = args.model;
   config.enable_paths = args.paths;
   config.mux_width = args.mux;
+  config.snapshot_path = args.snapshot;
+  if (args.restore && args.snapshot.empty()) {
+    usage("--restore needs --snapshot=FILE");
+  }
   service::WalkService service(net, diameter, config);
+  if (args.restore) {
+    // restore_snapshot logs the detailed reason (warm vs cold) to stderr;
+    // the summary line keeps stdout machine-greppable for the harness.
+    const bool warm = service.restore_snapshot(args.snapshot);
+    std::printf("snapshot: %s\n",
+                warm ? "warm restart" : "cold start (details on stderr)");
+  }
 
   const std::vector<service::WalkRequest> requests =
       args.requests_file.empty()
@@ -517,7 +541,8 @@ int cmd_serve(const Args& args, const Graph& g, std::uint32_t diameter) {
                   << life.naive_rounds_estimate
                   << ",\"mux_groups\":" << life.mux_groups
                   << ",\"mux_lanes\":" << life.mux_lanes
-                  << ",\"mux_conflicts\":" << life.mux_conflicts << "}";
+                  << ",\"mux_conflicts\":" << life.mux_conflicts
+                  << ",\"rejected\":" << life.rejected << "}";
     out << "{\"batches\":[\n" << batches_json.str() << "\n],\n"
         << "\"lifetime\":" << lifetime_json.str() << ",\n"
         << "\"executor\":{\"dispatch_grain\":" << net.dispatch_grain()
@@ -677,7 +702,14 @@ int main(int argc, char** argv) {
   if (!args.trace_file.empty()) {
     obs::Tracer::instance().enable(args.trace_file);
   }
-  const int rc = run_command(args);
+  // Bad inputs (malformed graph files, failed snapshot writes, injected
+  // faults) surface as exceptions; report them as errors, not a terminate.
+  int rc = 1;
+  try {
+    rc = run_command(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+  }
   if (obs::trace_enabled()) {
     obs::Tracer::instance().flush();
     std::printf("trace: %s (%llu events dropped)\n",
