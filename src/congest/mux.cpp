@@ -58,18 +58,60 @@ void ProtocolMux::on_run_start(unsigned workers) {
   for (const Lane& lane : lanes_) lane.protocol->on_run_start(workers);
 }
 
+void ProtocolMux::dispatch_lane(Context& ctx, WorkerSlot& slot, unsigned l,
+                                NodeId v, std::span<const Delivery> sub) {
+  // A lane runs when it has deliveries, asked to be woken, or during the
+  // round-0 global wake -- exactly the solo activation rule, per lane.
+  std::uint8_t& wake = wake_[static_cast<std::size_t>(l) * node_count_ + v];
+  const bool has_wake = wake != 0;
+  if (ctx.round() != 0 && sub.empty() && !has_wake) return;
+  wake = 0;
+  ctx.lane_ = static_cast<std::uint16_t>(l);
+  ctx.lane_rng_ = lanes_[l].rngs != nullptr ? &(*lanes_[l].rngs)[v]
+                                            : nullptr;
+  ctx.lane_woke_ = false;
+  ctx.inbox_ = sub;
+  lanes_[l].protocol->on_round(ctx);
+  if (ctx.lane_woke_) {
+    wake = 1;
+    slot.woke_flag[l] = 1;
+  }
+  if (!sub.empty()) {
+    slot.delivered_flag[l] = 1;
+    slot.deliveries[l] += sub.size();
+  }
+}
+
 void ProtocolMux::on_round(Context& ctx) {
   const NodeId v = ctx.self();
   WorkerSlot& slot = slots_[ctx.worker_];
   const auto lanes = static_cast<unsigned>(lanes_.size());
+
+  // Zero-copy path: the network already delivered into per-(node, lane)
+  // inboxes (wants_lane_inboxes + within budget), so every lane dispatches
+  // on its own span in place -- no partition scan, no scratch copies.
+  // Frozen lanes are simply skipped (the network clears their slots after
+  // this on_round), mirroring how a solo run discards a done() protocol's
+  // untransmitted backlog.
+  if (ctx.has_lane_inboxes()) {
+    for (unsigned l = 0; l < lanes; ++l) {
+      if (frozen_[l]) continue;
+      dispatch_lane(ctx, slot, l, v,
+                    ctx.lane_inbox(static_cast<std::uint16_t>(l)));
+    }
+    ctx.lane_ = 0;
+    ctx.lane_rng_ = nullptr;
+    ctx.inbox_ = std::span<const Delivery>();
+    return;
+  }
+
   const std::span<const Delivery> inbox = ctx.inbox();
 
   // Fast path: all of this node's deliveries belong to ONE lane (the
   // common case outside overlapping flood fronts) -- that lane dispatches
   // on the original span, no copy. Mixed inboxes are partitioned by lane
   // into per-worker scratch; frozen lanes' messages are dropped either
-  // way, mirroring how a solo run discards a done() protocol's
-  // untransmitted backlog.
+  // way.
   std::uint16_t only = 0;
   bool mixed = false;
   if (!inbox.empty()) {
@@ -88,9 +130,7 @@ void ProtocolMux::on_round(Context& ctx) {
     }
   }
 
-  // Dispatch lanes in ascending id order: a lane runs when it has
-  // deliveries, asked to be woken, or during the round-0 global wake --
-  // exactly the solo activation rule, applied per lane.
+  // Dispatch lanes in ascending id order.
   for (unsigned l = 0; l < lanes; ++l) {
     if (frozen_[l]) continue;
     std::span<const Delivery> sub;
@@ -99,24 +139,7 @@ void ProtocolMux::on_round(Context& ctx) {
     } else if (!inbox.empty() && l == only) {
       sub = inbox;
     }
-    std::uint8_t& wake = wake_[static_cast<std::size_t>(l) * node_count_ + v];
-    const bool has_wake = wake != 0;
-    if (ctx.round() != 0 && sub.empty() && !has_wake) continue;
-    wake = 0;
-    ctx.lane_ = static_cast<std::uint16_t>(l);
-    ctx.lane_rng_ = lanes_[l].rngs != nullptr ? &(*lanes_[l].rngs)[v]
-                                              : nullptr;
-    ctx.lane_woke_ = false;
-    ctx.inbox_ = sub;
-    lanes_[l].protocol->on_round(ctx);
-    if (ctx.lane_woke_) {
-      wake = 1;
-      slot.woke_flag[l] = 1;
-    }
-    if (!sub.empty()) {
-      slot.delivered_flag[l] = 1;
-      slot.deliveries[l] += sub.size();
-    }
+    dispatch_lane(ctx, slot, l, v, sub);
   }
   ctx.lane_ = 0;
   ctx.lane_rng_ = nullptr;

@@ -80,6 +80,10 @@ class ProtocolMux final : public Protocol {
 
   void on_run_start(unsigned workers) override;
   void on_round(Context& ctx) override;
+  /// The mux demultiplexes by lane itself, so it opts into the network's
+  /// zero-copy per-(node, lane) inboxes; when the network declines (budget
+  /// or single lane) on_round falls back to partitioning the mixed inbox.
+  bool wants_lane_inboxes() const override { return true; }
   /// True when every lane's protocol reports done() (default-false lanes
   /// keep the run alive until global quiescence). Also the once-per-round
   /// driver hook where per-worker activity flags fold into the per-lane
@@ -103,6 +107,10 @@ class ProtocolMux final : public Protocol {
   };
 
   void count_round(unsigned lane, std::uint64_t round) const;
+  /// Shared per-lane dispatch body (activation rule, rng/lane retarget,
+  /// wake + accounting), used by both the zero-copy and the copying path.
+  void dispatch_lane(Context& ctx, WorkerSlot& slot, unsigned l, NodeId v,
+                     std::span<const Delivery> sub);
 
   std::size_t node_count_;
   std::vector<Lane> lanes_;

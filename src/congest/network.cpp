@@ -103,6 +103,24 @@ std::uint64_t cut_chunks(std::uint32_t steal_chunk, std::uint32_t count,
   return work;
 }
 
+/// Parsed DRW_LANE_INBOX_MB (default 64): memory budget in MiB for the
+/// zero-copy per-(node, lane) inbox table. Multi-lane runs above the
+/// budget fall back to the mixed-inbox copying path (identical results).
+std::uint32_t env_lane_inbox_mb() {
+  static const std::uint32_t value = [] {
+    if (const char* env = std::getenv("DRW_LANE_INBOX_MB")) {
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(env, &end, 10);
+      if (end != env) {
+        return static_cast<std::uint32_t>(
+            parsed < (1u << 20) ? parsed : (1u << 20));
+      }
+    }
+    return 64u;
+  }();
+  return value;
+}
+
 /// Parsed DRW_THREADS (0 = unset/invalid): an explicit width request, as
 /// opposed to the hardware-derived fallback.
 unsigned env_threads() {
@@ -157,6 +175,17 @@ void Context::wake_me() {
 
 Rng& Context::rng() {
   return lane_rng_ != nullptr ? *lane_rng_ : net_->node_rngs_[self_];
+}
+
+bool Context::has_lane_inboxes() const noexcept {
+  return net_->lane_inboxes_on_;
+}
+
+std::span<const Delivery> Context::lane_inbox(
+    std::uint16_t lane) const noexcept {
+  return std::span<const Delivery>(
+      net_->lane_inbox_[static_cast<std::size_t>(self_) *
+                            net_->lane_inbox_stride_ + lane]);
 }
 
 // --------------------------------------------------------------- WorkerPool
@@ -261,13 +290,17 @@ Network::Network(const Graph& g, std::uint64_t seed)
   node_rngs_.reserve(n);
   for (NodeId v = 0; v < n; ++v) node_rngs_.push_back(master.split_key(v));
 
-  edge_source_.resize(g.directed_edge_count());
+  edge_endpoints_.resize(g.directed_edge_count());
   for (NodeId v = 0; v < n; ++v) {
     for (std::uint32_t slot = 0; slot < g.degree(v); ++slot) {
-      edge_source_[g.directed_edge_index(v, slot)] = v;
+      const std::size_t eid = g.directed_edge_index(v, slot);
+      edge_endpoints_[eid] = static_cast<std::uint64_t>(
+                                 g.directed_edge_target(eid)) |
+                             (static_cast<std::uint64_t>(v) << 32);
     }
   }
   inbox_.resize(n);
+  inbox_total_.assign(n, 0);
   wake_flag_.assign(n, 0);
 }
 
@@ -443,11 +476,15 @@ void Network::ensure_executor() {
   // the contiguous block [l * E, (l + 1) * E), so narrower runs just leave
   // the upper blocks idle.
   arena_.reset(graph_->directed_edge_count() * arena_lanes_, workers_);
+  // One fused-transmit mark per virtual edge. assign(0) on rebuild is
+  // safe: the never-reset transmit stamp keeps all live tags above 0.
+  edge_mark_.assign(graph_->directed_edge_count() * arena_lanes_, 0);
   shards_.assign(workers_, Shard{});
   lanes_.assign(workers_, WorkerLane{});
   cursors_ = std::make_unique<ChunkCursor[]>(workers_);
   staged_.assign(workers_,
                  std::vector<std::vector<PendingSend>>(workers_));
+  token_staged_.assign(workers_, std::vector<TokenColumns>(workers_));
   seg_marks_.assign(workers_, std::vector<std::vector<SegMark>>(workers_));
   wake_staged_.assign(workers_, std::vector<std::vector<NodeId>>(workers_));
 
@@ -484,16 +521,29 @@ void Network::stage_send(unsigned worker, NodeId from, std::uint32_t slot,
   const std::uint32_t owner = edge_owner_[eid];
   WorkerLane& lane = lanes_[worker];
   std::vector<PendingSend>& bucket = staged_[worker][owner];
+  TokenColumns& tokens = token_staged_[worker][owner];
   std::vector<SegMark>& marks = seg_marks_[worker][owner];
   if (marks.empty() || marks.back().chunk != lane.chunk) {
     marks.push_back(
-        SegMark{lane.chunk, static_cast<std::uint32_t>(bucket.size())});
+        SegMark{lane.chunk, static_cast<std::uint32_t>(bucket.size()),
+                static_cast<std::uint32_t>(tokens.hdr.size())});
   }
-  bucket.push_back(PendingSend{
+  const std::uint32_t veid =
       eid + msg_lane * static_cast<std::uint32_t>(
-                           graph_->directed_edge_count()),
-      m});
-  bucket.back().msg.lane = msg_lane;
+                           graph_->directed_edge_count());
+  if (token_packable(m)) {
+    // Fast path: the dominant fixed-payload walk tokens stage as 24
+    // packed bytes across three columns instead of a 56-byte PendingSend.
+    const PackedToken t = pack_token(veid, m, msg_lane);
+    tokens.hdr.push_back(t.hdr);
+    tokens.lo.push_back(t.lo);
+    tokens.hi.push_back(t.hi);
+    ++lane.token_sends;
+  } else {
+    bucket.push_back(PendingSend{
+        veid, static_cast<std::uint32_t>(tokens.hdr.size()), m});
+    bucket.back().msg.lane = msg_lane;
+  }
   ++lane.sends;
 }
 
@@ -552,38 +602,136 @@ void Network::compute_phase(unsigned worker) {
       const std::uint32_t end = sh.chunk_end[c];
       for (std::uint32_t idx = begin; idx < end; ++idx) {
         const NodeId v = sh.active[idx];
-        std::vector<Delivery>& in = inbox_[v];
-        lane.deliveries += in.size();
-        ctx.self_ = v;
-        ctx.inbox_ = std::span<const Delivery>(in);
-        running_->on_round(ctx);
-        in.clear();
+        if (lane_inboxes_on_) {
+          // Per-lane inboxes: the protocol demultiplexes itself through
+          // Context::lane_inbox; the mixed inbox() stays empty.
+          lane.deliveries += inbox_total_[v];
+          ctx.self_ = v;
+          ctx.inbox_ = std::span<const Delivery>();
+          running_->on_round(ctx);
+          if (inbox_total_[v] != 0) {
+            const std::size_t base =
+                static_cast<std::size_t>(v) * lane_inbox_stride_;
+            for (unsigned l = 0; l < lane_inbox_stride_; ++l) {
+              lane_inbox_[base + l].clear();
+            }
+            inbox_total_[v] = 0;
+          }
+        } else {
+          std::vector<Delivery>& in = inbox_[v];
+          lane.deliveries += in.size();
+          ctx.self_ = v;
+          ctx.inbox_ = std::span<const Delivery>(in);
+          running_->on_round(ctx);
+          in.clear();
+        }
       }
     }
   }
 }
 
 void Network::transmit_phase(unsigned shard) {
-  obs::Span span(obs::Name::kTransmitShard, obs::kPidExecutor,
+  // One FUSED stage-merge-deliver pass per shard, observationally
+  // identical to the historical merge-sweep-then-delivery-sweep engine:
+  //   A. drain -- edges that entered the round backlogged deliver their
+  //      FIFO head (they precede this round's fresh edges in busy order,
+  //      and FIFO heads are untouched by this round's appends, so popping
+  //      before the replay commutes with the unfused push-then-pop).
+  //   B. replay -- staged sends land in ascending global chunk order;
+  //      each idle edge's FIRST message of the round is delivered
+  //      directly, bypassing the arena entirely for the dominant depth-1
+  //      traffic. Only the congested long tail is enqueued.
+  //   C. compact -- surviving old-busy edges keep their positions, fresh
+  //      edges that stayed backlogged append in canonical first-send
+  //      order: exactly the busy list the unfused engine built.
+  obs::Span span(obs::Name::kTransmitFusedShard, obs::kPidExecutor,
                  static_cast<std::uint16_t>(shard));
   Shard& sh = shards_[shard];
   sh.transmitted = 0;
 
-  // Merge staged sends for owned edges in ascending global chunk order.
-  // Chunks tile the canonical ascending-node order and each was executed
-  // contiguously by exactly one worker, so replaying their bucket segments
-  // sorted by chunk id reconstructs the global ascending-node send order
-  // -- independent of thread count, partition and who stole what.
+  const auto edges =
+      static_cast<std::uint32_t>(graph_->directed_edge_count());
+  const std::uint64_t busy_tag = transmit_stamp_ * 2;
+  const std::uint64_t fresh_tag = busy_tag + 1;
+
+  // At most one queued message per owned virtual edge (directed edge x
+  // lane) moves into its destination inbox per round (all owned
+  // destinations are this shard's nodes).
+  const auto deliver = [&](std::uint32_t base_eid, const Message& m) {
+    const std::uint64_t ep = edge_endpoints_[base_eid];
+    const auto to = static_cast<NodeId>(ep & 0xffffffffu);
+    const auto from = static_cast<NodeId>(ep >> 32);
+    if (lane_inboxes_on_) {
+      if (inbox_total_[to] == 0) sh.delivered.push_back(to);
+      ++inbox_total_[to];
+      lane_inbox_[static_cast<std::size_t>(to) * lane_inbox_stride_ +
+                  m.lane]
+          .push_back(Delivery{m, from});
+    } else {
+      std::vector<Delivery>& in = inbox_[to];
+      if (in.empty()) sh.delivered.push_back(to);
+      in.push_back(Delivery{m, from});
+    }
+    ++sh.transmitted;
+  };
+
+  // Token deliveries build the Delivery straight from the packed columns
+  // -- no intermediate Message on the stack. Field values are exactly
+  // unpack_token's, so the shortcut is invisible to protocols.
+  const auto deliver_token = [&](std::uint32_t base_eid, std::uint64_t hdr,
+                                 std::uint64_t lo, std::uint64_t hi) {
+    const std::uint64_t ep = edge_endpoints_[base_eid];
+    const auto to = static_cast<NodeId>(ep & 0xffffffffu);
+    std::vector<Delivery>* in;
+    if (lane_inboxes_on_) {
+      if (inbox_total_[to] == 0) sh.delivered.push_back(to);
+      ++inbox_total_[to];
+      in = &lane_inbox_[static_cast<std::size_t>(to) * lane_inbox_stride_ +
+                        static_cast<std::uint16_t>(hdr)];
+    } else {
+      in = &inbox_[to];
+      if (in->empty()) sh.delivered.push_back(to);
+    }
+    in->push_back(
+        Delivery{Message{static_cast<std::uint16_t>(hdr >> 16),
+                         {lo & 0xffffffffull, lo >> 32,
+                          hi & 0xffffffffull, hi >> 32},
+                         static_cast<std::uint16_t>(hdr)},
+                 static_cast<NodeId>(ep >> 32)});
+    ++sh.transmitted;
+  };
+
+  // Pass A -- drain the backlog front.
+  sh.delivered.clear();
+  for (const std::uint32_t eid : sh.busy) {
+    edge_mark_[eid] = busy_tag;
+    const Message m = arena_.pop(shard, eid);
+    deliver(eid - m.lane * edges, m);
+  }
+
+  // Pass B -- replay staged sends for owned edges in ascending global
+  // chunk order. Chunks tile the canonical ascending-node order and each
+  // was executed contiguously by exactly one worker, so replaying their
+  // bucket segments sorted by chunk id reconstructs the global
+  // ascending-node send order -- independent of thread count, partition
+  // and who stole what. Within a segment, the generic entries' stage-time
+  // token counters splice the token columns back at their exact staging
+  // positions.
   std::vector<Segment>& segments = sh.merge_scratch;
   segments.clear();
   for (unsigned w = 0; w < workers_; ++w) {
     const std::vector<SegMark>& marks = seg_marks_[w][shard];
     const auto bucket_size =
         static_cast<std::uint32_t>(staged_[w][shard].size());
+    const auto token_size =
+        static_cast<std::uint32_t>(token_staged_[w][shard].hdr.size());
     for (std::size_t k = 0; k < marks.size(); ++k) {
       const std::uint32_t end =
           k + 1 < marks.size() ? marks[k + 1].begin : bucket_size;
-      segments.push_back(Segment{marks[k].chunk, w, marks[k].begin, end});
+      const std::uint32_t token_end =
+          k + 1 < marks.size() ? marks[k + 1].token_begin : token_size;
+      segments.push_back(Segment{marks[k].chunk, w, marks[k].begin, end,
+                                 marks[k].token_begin, token_end});
     }
   }
   if (!segments.empty()) {
@@ -597,19 +745,68 @@ void Network::transmit_phase(unsigned shard) {
               [](const Segment& a, const Segment& b) {
                 return a.chunk < b.chunk;
               });
-    std::uint32_t round_max = 0;
+    // Observable per-edge depth this round, as the unfused engine counted
+    // it: >= 1 for every replayed message (fresh first messages and
+    // drained busy heads entered its queues too), so start at 1 -- a
+    // non-empty segment list implies at least one replayed send.
+    std::uint32_t round_max = 1;
+    const auto emit = [&](std::uint32_t eid, const Message& m) {
+      const std::uint64_t mark = edge_mark_[eid];
+      if (mark != busy_tag && mark != fresh_tag) {
+        // First message for an idle edge: deliver in place.
+        edge_mark_[eid] = fresh_tag;
+        sh.fresh_scratch.push_back(eid);
+        deliver(eid - m.lane * edges, m);
+      } else {
+        // Congested long tail. +1 corrects the fused ordering: a busy
+        // edge's head was already popped in pass A and a fresh edge's
+        // first message never enqueued, so the depth the unfused
+        // push-then-pop engine observed is one above the arena's.
+        const std::uint32_t depth = arena_.push(shard, eid, m) + 1;
+        if (depth > round_max) round_max = depth;
+      }
+    };
+    // Token flavor of emit: only the congested-tail arena push pays for a
+    // Message reconstruction.
+    const auto emit_token = [&](std::uint64_t hdr, std::uint64_t lo,
+                                std::uint64_t hi) {
+      const auto eid = static_cast<std::uint32_t>(hdr >> 32);
+      const std::uint64_t mark = edge_mark_[eid];
+      if (mark != busy_tag && mark != fresh_tag) {
+        edge_mark_[eid] = fresh_tag;
+        sh.fresh_scratch.push_back(eid);
+        deliver_token(
+            eid - static_cast<std::uint32_t>(hdr & 0xffffu) * edges, hdr,
+            lo, hi);
+      } else {
+        const std::uint32_t depth =
+            arena_.push(shard, eid, unpack_token(PackedToken{hdr, lo, hi})) +
+            1;
+        if (depth > round_max) round_max = depth;
+      }
+    };
     for (const Segment& seg : segments) {
       const std::vector<PendingSend>& bucket = staged_[seg.worker][shard];
+      const TokenColumns& tok = token_staged_[seg.worker][shard];
+      std::uint32_t t = seg.token_begin;
       for (std::uint32_t k = seg.begin; k < seg.end; ++k) {
         const PendingSend& ps = bucket[k];
-        const std::uint32_t depth = arena_.push(shard, ps.eid, ps.msg);
-        if (depth == 1) sh.busy.push_back(ps.eid);
-        if (depth > round_max) round_max = depth;
+        for (; t < ps.tokens_before; ++t) {
+          emit_token(tok.hdr[t], tok.lo[t], tok.hi[t]);
+        }
+        emit(ps.eid, ps.msg);
+      }
+      for (; t < seg.token_end; ++t) {
+        emit_token(tok.hdr[t], tok.lo[t], tok.hi[t]);
       }
     }
     if (round_max > sh.max_backlog) sh.max_backlog = round_max;
     for (unsigned w = 0; w < workers_; ++w) {
       staged_[w][shard].clear();
+      TokenColumns& tok = token_staged_[w][shard];
+      tok.hdr.clear();
+      tok.lo.clear();
+      tok.hi.clear();
       seg_marks_[w][shard].clear();
     }
     lanes_[shard].merge_ns += ns_since(merge_start);
@@ -622,44 +819,61 @@ void Network::transmit_phase(unsigned shard) {
                static_cast<std::uint16_t>(shard), round_max);
   }
 
-  // Transmit: at most one queued message per owned virtual edge (directed
-  // edge x lane) moves into its destination inbox (all owned destinations
-  // are this shard's nodes).
-  sh.delivered.clear();
+  // Pass C -- rebuild the busy list.
   std::size_t keep = 0;
-  const auto edges =
-      static_cast<std::uint32_t>(graph_->directed_edge_count());
   for (const std::uint32_t eid : sh.busy) {
-    const Message m = arena_.pop(shard, eid);
-    const std::uint32_t base_eid = eid - m.lane * edges;
-    const NodeId to = graph_->directed_edge_target(base_eid);
-    std::vector<Delivery>& in = inbox_[to];
-    if (in.empty()) sh.delivered.push_back(to);
-    in.push_back(Delivery{m, edge_source_[base_eid]});
-    ++sh.transmitted;
     if (arena_.size(eid) != 0) sh.busy[keep++] = eid;
   }
   sh.busy.resize(keep);
+  for (const std::uint32_t eid : sh.fresh_scratch) {
+    if (arena_.size(eid) != 0) sh.busy.push_back(eid);
+  }
+  sh.fresh_scratch.clear();
 
   // Assemble the next round's active list (delivered nodes + staged wakes,
   // deduplicated in ascending order) and chunk it for stealing, so the
-  // next compute phase starts without an extra barrier.
+  // next compute phase starts without an extra barrier. Wake flags stay
+  // set through the assembly: on dense rounds one ascending sweep of the
+  // shard's contiguous node range reads them alongside inbox occupancy
+  // (nonempty iff delivered this round -- compute cleared every inbox it
+  // visited) and yields the sorted deduplicated list with no sort at all;
+  // sparse rounds keep the sort + unique, which wins when the shard range
+  // dwarfs the touched set.
   sh.wake_scratch.clear();
   for (unsigned w = 0; w < workers_; ++w) {
     for (const NodeId v : wake_staged_[w][shard]) {
-      wake_flag_[v] = 0;
       sh.wake_scratch.push_back(v);
     }
     wake_staged_[w][shard].clear();
   }
   sh.active.clear();
-  sh.active.insert(sh.active.end(), sh.delivered.begin(),
-                   sh.delivered.end());
-  sh.active.insert(sh.active.end(), sh.wake_scratch.begin(),
-                   sh.wake_scratch.end());
-  std::sort(sh.active.begin(), sh.active.end());
-  sh.active.erase(std::unique(sh.active.begin(), sh.active.end()),
-                  sh.active.end());
+  const NodeId node_begin = shard_begin_[shard];
+  const NodeId node_end = shard_begin_[shard + 1];
+  const std::size_t touched = sh.delivered.size() + sh.wake_scratch.size();
+  if (touched * 8 >= static_cast<std::size_t>(node_end - node_begin)) {
+    if (lane_inboxes_on_) {
+      for (NodeId v = node_begin; v < node_end; ++v) {
+        if (inbox_total_[v] != 0 || wake_flag_[v] != 0) {
+          sh.active.push_back(v);
+        }
+      }
+    } else {
+      for (NodeId v = node_begin; v < node_end; ++v) {
+        if (!inbox_[v].empty() || wake_flag_[v] != 0) {
+          sh.active.push_back(v);
+        }
+      }
+    }
+  } else {
+    sh.active.insert(sh.active.end(), sh.delivered.begin(),
+                     sh.delivered.end());
+    sh.active.insert(sh.active.end(), sh.wake_scratch.begin(),
+                     sh.wake_scratch.end());
+    std::sort(sh.active.begin(), sh.active.end());
+    sh.active.erase(std::unique(sh.active.begin(), sh.active.end()),
+                    sh.active.end());
+  }
+  for (const NodeId v : sh.wake_scratch) wake_flag_[v] = 0;
   chunk_active_list(sh);
 }
 
@@ -668,22 +882,43 @@ void Network::chunk_active_list(Shard& sh) {
   // the inbox, and it is known exactly here. A hub with a flooded inbox
   // lands alone in its own chunk, so thieves can take everything else.
   sh.chunk_end.clear();
-  sh.work = cut_chunks(
-      steal_chunk_, static_cast<std::uint32_t>(sh.active.size()),
-      [&](std::uint32_t idx) {
-        return std::uint64_t{1} + inbox_[sh.active[idx]].size();
-      },
-      sh.chunk_end);
+  if (lane_inboxes_on_) {
+    sh.work = cut_chunks(
+        steal_chunk_, static_cast<std::uint32_t>(sh.active.size()),
+        [&](std::uint32_t idx) {
+          return std::uint64_t{1} + inbox_total_[sh.active[idx]];
+        },
+        sh.chunk_end);
+  } else {
+    sh.work = cut_chunks(
+        steal_chunk_, static_cast<std::uint32_t>(sh.active.size()),
+        [&](std::uint32_t idx) {
+          return std::uint64_t{1} + inbox_[sh.active[idx]].size();
+        },
+        sh.chunk_end);
+  }
 }
 
 void Network::reset_transients(bool aborted) {
   for (unsigned s = 0; s < workers_; ++s) {
     Shard& sh = shards_[s];
-    for (NodeId v : sh.delivered) inbox_[v].clear();
+    for (NodeId v : sh.delivered) {
+      if (lane_inboxes_on_) {
+        const std::size_t base =
+            static_cast<std::size_t>(v) * lane_inbox_stride_;
+        for (unsigned l = 0; l < lane_inbox_stride_; ++l) {
+          lane_inbox_[base + l].clear();
+        }
+        inbox_total_[v] = 0;
+      } else {
+        inbox_[v].clear();
+      }
+    }
     sh.delivered.clear();
     sh.active.clear();
     sh.chunk_end.clear();
     sh.work = 0;
+    sh.fresh_scratch.clear();
     for (std::uint32_t eid : sh.busy) arena_.clear_queue(s, eid);
     sh.busy.clear();
   }
@@ -692,6 +927,10 @@ void Network::reset_transients(bool aborted) {
       // Sends staged in a final done()-stopped compute were never merged;
       // staged wakes still hold their flags.
       staged_[w][o].clear();
+      TokenColumns& tok = token_staged_[w][o];
+      tok.hdr.clear();
+      tok.lo.clear();
+      tok.hi.clear();
       seg_marks_[w][o].clear();
       for (const NodeId v : wake_staged_[w][o]) wake_flag_[v] = 0;
       wake_staged_[w][o].clear();
@@ -704,6 +943,8 @@ void Network::reset_transients(bool aborted) {
     // start). Sweep everything so the aborted run cannot leak messages or
     // stuck wake flags into the next protocol.
     for (std::vector<Delivery>& in : inbox_) in.clear();
+    for (std::vector<Delivery>& in : lane_inbox_) in.clear();
+    if (lane_inboxes_on_) inbox_total_.assign(inbox_total_.size(), 0);
     wake_flag_.assign(wake_flag_.size(), 0);
   }
   // Only busy edges were cleared above; every other queue must already be
@@ -739,6 +980,27 @@ RunStats Network::run_with_lanes(Protocol& protocol, unsigned lanes,
   const auto start = Clock::now();
   obs::Span run_span(obs::Name::kNetRun, obs::kPidExecutor, 0, lanes);
   run_lanes_ = lanes;
+  // Zero-copy lane inboxes: only for multi-lane runs whose protocol
+  // demultiplexes by lane itself (wants_lane_inboxes), and only when the
+  // O(n x lanes) table of span headers fits the memory budget -- above it
+  // the run falls back to the mixed-inbox copying path, with identical
+  // results (the per-lane slices equal a by-lane partition of the mixed
+  // inbox in arrival order).
+  lane_inboxes_on_ = false;
+  if (lanes > 1 && protocol.wants_lane_inboxes()) {
+    const std::size_t slots =
+        static_cast<std::size_t>(graph_->node_count()) * lanes;
+    const std::uint64_t budget_mb = lane_inbox_budget_mb_ != 0
+                                        ? lane_inbox_budget_mb_
+                                        : env_lane_inbox_mb();
+    if (slots * sizeof(std::vector<Delivery>) <= budget_mb * (1ull << 20)) {
+      lane_inboxes_on_ = true;
+      lane_inbox_stride_ = lanes;
+      // Grow-only, and every slot is empty between runs, so a stride
+      // change cannot misplace pending messages.
+      if (lane_inbox_.size() < slots) lane_inbox_.resize(slots);
+    }
+  }
   ensure_executor();
   RunStats stats;
   stats.threads = workers_;
@@ -748,6 +1010,7 @@ RunStats Network::run_with_lanes(Protocol& protocol, unsigned lanes,
   }
   for (WorkerLane& lane : lanes_) {
     lane.steals = 0;
+    lane.token_sends = 0;
     lane.merge_ns = 0.0;
   }
   running_ = &protocol;
@@ -767,6 +1030,7 @@ RunStats Network::run_with_lanes(Protocol& protocol, unsigned lanes,
   double merge_ns = 0.0;
   for (const WorkerLane& lane : lanes_) {
     stats.steals += lane.steals;
+    stats.token_sends += lane.token_sends;
     merge_ns += lane.merge_ns;
   }
   stats.merge_ms = merge_ns / 1e6;
@@ -789,6 +1053,7 @@ RunStats Network::run_with_lanes(Protocol& protocol, unsigned lanes,
     reg.counter("executor.runs").add(1);
     reg.counter("executor.rounds").add(stats.rounds);
     reg.counter("executor.messages").add(stats.messages);
+    reg.counter("executor.token_sends").add(stats.token_sends);
     reg.gauge("executor.threads").set(double(workers_));
     reg.histogram("arena.backlog_run_max").record(stats.max_backlog);
     for (unsigned w = 0; w < workers_; ++w) {
@@ -889,6 +1154,10 @@ void Network::run_loop(Protocol& protocol, std::uint64_t max_rounds,
     std::size_t busy_bound = sends;
     for (const Shard& sh : shards_) busy_bound += sh.busy.size();
     resil::failpoint("net.round.transmit");
+    // Fresh busy/fresh tags for this round's fused pass; bumped on the
+    // driver between phases so shards read a stable stamp. Never reset --
+    // stale edge marks from any earlier round or run can't collide.
+    ++transmit_stamp_;
     const auto transmit_start = Clock::now();
     {
       obs::Span span(obs::Name::kTransmitDispatch, obs::kPidExecutor, 0,

@@ -33,13 +33,20 @@
 //                 claims remaining chunks of busier shards. Sends go to
 //                 per-worker staging buffers carrying per-chunk segment
 //                 marks; nothing shared is written.
-//     transmit -- every shard merges the staged sends for the edges it owns
-//                 in ascending CHUNK order (chunks tile the canonical order,
-//                 so the merged sequence is the global ascending-node send
-//                 order no matter which worker ran which chunk), delivers at
-//                 most one queued message per owned edge into its own nodes'
-//                 inboxes, and finally assembles + chunks its own next-round
-//                 active list (so the compute phase needs no extra barrier).
+//     transmit -- every shard runs ONE fused stage-merge-deliver pass over
+//                 the edges it owns: first it drains one queued message per
+//                 already-backlogged edge into its nodes' inboxes, then it
+//                 replays the staged sends in ascending CHUNK order (chunks
+//                 tile the canonical order, so the replayed sequence is the
+//                 global ascending-node send order no matter which worker
+//                 ran which chunk), delivering each edge's FIRST message of
+//                 the round directly -- the arena is touched only by the
+//                 congested long tail -- and finally assembles + chunks its
+//                 own next-round active list (so the compute phase needs no
+//                 extra barrier). The fusion is observationally identical
+//                 to the historical merge-then-deliver sweep: inbox append
+//                 order, busy-list order and max-backlog accounting are
+//                 reproduced exactly (see transmit_phase).
 //
 //   Shards are contiguous node ranges balanced by DIRECTED-EDGE count by
 //   default (Partition::kEdgeWeighted, a prefix-sum over degrees) so that
@@ -101,6 +108,10 @@ struct RunStats {
   /// (work-stealing balance indicator; 0 for inline rounds). NOT part of
   /// the determinism contract -- results never depend on who stole what.
   std::uint64_t steals = 0;
+  /// Sends that took the packed structure-of-arrays token fast path (see
+  /// message.hpp PackedToken) instead of the generic PendingSend staging.
+  /// Purely an attribution counter: routing is invisible to protocols.
+  std::uint64_t token_sends = 0;
   /// Widest executor width CONFIGURED among accumulated runs. Rounds whose
   /// per-phase work falls below the parallel grain still execute inline on
   /// the driver thread regardless of this width.
@@ -116,6 +127,7 @@ struct RunStats {
     transmit_ms += other.transmit_ms;
     merge_ms += other.merge_ms;
     steals += other.steals;
+    token_sends += other.token_sends;
     threads = threads > other.threads ? threads : other.threads;
     return *this;
   }
@@ -135,6 +147,8 @@ struct RunStats {
     merge_ms = merge_ms > earlier.merge_ms ? merge_ms - earlier.merge_ms
                                            : 0.0;
     steals = steals > earlier.steals ? steals - earlier.steals : 0;
+    token_sends = token_sends > earlier.token_sends
+                      ? token_sends - earlier.token_sends : 0;
     return *this;
   }
   friend RunStats operator-(RunStats later, const RunStats& earlier) noexcept {
@@ -162,6 +176,18 @@ class Context {
   NodeId self() const noexcept { return self_; }
   std::uint64_t round() const noexcept { return round_; }
   std::span<const Delivery> inbox() const noexcept { return inbox_; }
+
+  /// True when this run delivers into per-(node, lane) inboxes owned by
+  /// the Network (multi-lane runs whose protocol opted in via
+  /// Protocol::wants_lane_inboxes and whose O(n x lanes) span table fits
+  /// the memory budget). inbox() is then empty during the top-level
+  /// dispatch; read lane_inbox(l) in place instead of partitioning a
+  /// mixed inbox into scratch copies.
+  bool has_lane_inboxes() const noexcept;
+  /// This node's pending deliveries for `lane`, in arrival order --
+  /// exactly the slice a per-lane partition of the mixed inbox would
+  /// yield, without the copy. Valid only when has_lane_inboxes().
+  std::span<const Delivery> lane_inbox(std::uint16_t lane) const noexcept;
 
   std::uint32_t degree() const noexcept;
   std::span<const NodeId> neighbors() const noexcept;
@@ -223,6 +249,16 @@ class Protocol {
   /// quiescence (no queued messages, no wakes). Called between rounds on
   /// the driver thread; it may read any protocol state.
   virtual bool done() const { return false; }
+
+  /// Opt-in for zero-copy per-(node, lane) inboxes on multi-lane runs:
+  /// the network then delivers each lane's messages into its own span
+  /// (read via Context::lane_inbox) instead of one mixed inbox, and
+  /// Context::inbox() is empty during dispatch. Only meaningful for
+  /// protocols that demultiplex by lane themselves (ProtocolMux); the
+  /// network may still decline when n x lanes exceeds the lane-inbox
+  /// memory budget, so opted-in protocols must keep the mixed-inbox path
+  /// working and branch on Context::has_lane_inboxes().
+  virtual bool wants_lane_inboxes() const { return false; }
 };
 
 class Network {
@@ -276,6 +312,18 @@ class Network {
   /// run builds it.
   std::size_t dispatch_grain() const noexcept { return grain_; }
 
+  /// Memory budget (MiB) for the zero-copy per-(node, lane) inbox table
+  /// on multi-lane runs: when n x lanes span headers would exceed it, the
+  /// run falls back to the mixed-inbox copying path (same results, see
+  /// Protocol::wants_lane_inboxes). 0 = auto: DRW_LANE_INBOX_MB env var
+  /// if set, else 64 MiB. Results are bit-identical either way -- the
+  /// budget only moves the memory/speed trade-off.
+  void set_lane_inbox_budget_mb(std::uint32_t mb) noexcept {
+    lane_inbox_budget_mb_ = mb;
+  }
+  /// True while the current/last run delivered into per-lane inboxes.
+  bool lane_inboxes_active() const noexcept { return lane_inboxes_on_; }
+
   /// Runs `protocol` to completion (quiescence or protocol.done()).
   /// Throws std::runtime_error if `max_rounds` is exceeded -- a protocol bug.
   RunStats run(Protocol& protocol, std::uint64_t max_rounds = 10'000'000);
@@ -301,33 +349,53 @@ class Network {
   friend class Context;
   struct WorkerPool;
 
-  /// A staged send: resolved VIRTUAL edge id (directed edge x lane) +
-  /// payload, buffered thread-locally during the compute phase and merged
-  /// by the owner shard. Lane regions are contiguous (lane * E + eid), so
-  /// each lane's queue index block is as cache-dense as a solo run and the
-  /// base edge recovers with one multiply-subtract from the message's own
-  /// lane tag.
+  /// A staged GENERIC send: resolved VIRTUAL edge id (directed edge x
+  /// lane) + payload, buffered thread-locally during the compute phase and
+  /// replayed by the owner shard. Lane regions are contiguous
+  /// (lane * E + eid), so each lane's queue index block is as cache-dense
+  /// as a solo run and the base edge recovers with one multiply-subtract
+  /// from the message's own lane tag. The dominant packable walk tokens
+  /// bypass this 56-byte record entirely (see TokenColumns below);
+  /// `tokens_before` records how many of the bucket's tokens were staged
+  /// before this entry, so the replay can reconstruct the exact staging
+  /// interleave of the two streams.
   struct PendingSend {
     std::uint32_t eid = 0;  ///< msg.lane * directed_edge_count + base_eid
+    std::uint32_t tokens_before = 0;  ///< token-column size at stage time
     Message msg;
   };
 
+  /// Structure-of-arrays staging for packable token sends: one
+  /// (worker, owner) bucket holds three parallel u64 columns (see
+  /// message.hpp PackedToken for the lane/eid/payload packing). 24 bytes
+  /// per send vs PendingSend's 56, and the replay loop streams three
+  /// dense arrays instead of striding over embedded Message payloads.
+  struct TokenColumns {
+    std::vector<std::uint64_t> hdr;
+    std::vector<std::uint64_t> lo;
+    std::vector<std::uint64_t> hi;
+  };
+
   /// Marks where a compute chunk's sends begin inside one (worker, owner)
-  /// staging bucket. Each chunk is executed by exactly one worker, so its
-  /// sends form one contiguous bucket segment; the transmit merge replays
+  /// staging bucket -- in BOTH streams (generic entries and token
+  /// columns). Each chunk is executed by exactly one worker, so its sends
+  /// form one contiguous bucket segment; the transmit replay walks
   /// segments in ascending chunk order to reconstruct the canonical global
   /// send order regardless of which worker stole which chunk.
   struct SegMark {
-    std::uint64_t chunk = 0;  ///< global chunk id: (shard << 32) | index
-    std::uint32_t begin = 0;  ///< first PendingSend of the segment
+    std::uint64_t chunk = 0;       ///< global chunk id: (shard << 32) | index
+    std::uint32_t begin = 0;       ///< first PendingSend of the segment
+    std::uint32_t token_begin = 0; ///< first token-column entry of the segment
   };
 
-  /// A gathered segment during the transmit merge (owner-shard scratch).
+  /// A gathered segment during the transmit replay (owner-shard scratch).
   struct Segment {
     std::uint64_t chunk = 0;
     std::uint32_t worker = 0;
     std::uint32_t begin = 0;
     std::uint32_t end = 0;
+    std::uint32_t token_begin = 0;
+    std::uint32_t token_end = 0;
   };
 
   /// Per-shard executor working set. `active`/`chunk_end`/`work` are
@@ -347,6 +415,11 @@ class Network {
     std::uint64_t max_backlog = 0;
     std::vector<Segment> merge_scratch;  ///< transmit-local segment gather
     std::vector<NodeId> wake_scratch;    ///< transmit-local wake gather
+    /// Edges first touched (direct-delivered) this round, in canonical
+    /// first-send order; those still backlogged after the fused pass are
+    /// appended to `busy` -- reproducing exactly the busy order the
+    /// unfused merge-then-deliver engine built.
+    std::vector<std::uint32_t> fresh_scratch;
   };
 
   /// Per-worker hot counters, cache-line separated so concurrent chunk
@@ -358,6 +431,7 @@ class Network {
     std::uint64_t sends = 0;
     std::uint64_t wakes = 0;
     std::uint64_t steals = 0;
+    std::uint64_t token_sends = 0;  ///< per run (driver resets)
     double merge_ns = 0.0;
   };
 
@@ -406,7 +480,11 @@ class Network {
   const Graph* graph_;
   std::uint64_t seed_ = 0;
   std::vector<Rng> node_rngs_;
-  std::vector<NodeId> edge_source_;  ///< source node per directed edge
+  /// Per directed edge, target in the low word and source in the high
+  /// word: the transmit hot loop needs both per delivery, and one 8-byte
+  /// load halves its random-access cache traffic versus separate
+  /// target/source arrays.
+  std::vector<std::uint64_t> edge_endpoints_;
 
   unsigned threads_setting_ = 0;  ///< requested (0 = auto)
   Partition partition_setting_;   ///< requested (ctor: DRW_PARTITION / edges)
@@ -432,9 +510,10 @@ class Network {
   std::vector<Shard> shards_;
   std::vector<WorkerLane> lanes_;
   std::unique_ptr<ChunkCursor[]> cursors_;  ///< one per shard
-  /// staged_[worker][owner_shard]: sends buffered during compute, with
-  /// per-chunk segment marks alongside.
+  /// staged_[worker][owner_shard]: generic sends buffered during compute,
+  /// with the packed token columns and per-chunk segment marks alongside.
   std::vector<std::vector<std::vector<PendingSend>>> staged_;
+  std::vector<std::vector<TokenColumns>> token_staged_;
   std::vector<std::vector<std::vector<SegMark>>> seg_marks_;
   /// wake_staged_[worker][owner_shard]: wake_me() requests, merged into the
   /// owner's next active list during transmit.
@@ -446,6 +525,29 @@ class Network {
   std::vector<std::vector<Delivery>> inbox_;
   std::vector<std::uint8_t> wake_flag_;
   std::unique_ptr<WorkerPool> pool_;
+
+  /// Round-stamped per-virtual-edge marks driving the fused transmit pass:
+  /// busy_tag (stamp * 2) marks edges that entered the round with backlog,
+  /// fresh_tag (stamp * 2 + 1) edges whose first message this round was
+  /// delivered directly (bypassing the arena). The stamp is bumped by the
+  /// driver before every transmit dispatch and NEVER reset, so stale marks
+  /// from earlier rounds/runs can't collide; marks are written only by the
+  /// edge's owner shard (same discipline as the arena pools).
+  std::vector<std::uint64_t> edge_mark_;
+  std::uint64_t transmit_stamp_ = 0;
+
+  /// Zero-copy per-(node, lane) inboxes (multi-lane runs whose protocol
+  /// opted in and whose n x lanes table fits the budget): slot
+  /// [v * lane_inbox_stride_ + lane]. Grow-only like the arena; all slots
+  /// are empty between runs, so a stride change never misplaces messages.
+  /// inbox_total_[v] counts v's pending deliveries across lanes (chunk
+  /// weights, delivered-list bookkeeping and stats need the sum without
+  /// walking the stride). Owner-shard writes only, like inbox_.
+  std::vector<std::vector<Delivery>> lane_inbox_;
+  std::vector<std::uint32_t> inbox_total_;
+  unsigned lane_inbox_stride_ = 0;
+  bool lane_inboxes_on_ = false;
+  std::uint32_t lane_inbox_budget_mb_ = 0;  ///< 0 = env/default
 
   Protocol* running_ = nullptr;  ///< current protocol during run()
   std::uint64_t round_ = 0;

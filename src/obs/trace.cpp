@@ -29,6 +29,7 @@ constexpr const char* kNames[] = {
     "transmit.dispatch",  // kTransmitDispatch
     "compute.worker",    // kComputeWorker
     "transmit.shard",    // kTransmitShard
+    "transmit.fused.shard",  // kTransmitFusedShard
     "merge.shard",       // kMergeShard
     "barrier.wait",      // kBarrierWait
     "net.run",           // kNetRun

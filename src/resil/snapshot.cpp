@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
@@ -367,6 +368,24 @@ ReadOutcome read_snapshot_file(const std::string& path) {
     return {decode_payload(file.data() + kHeaderSize, payload_size), ""};
   } catch (const std::exception& e) {
     return {std::nullopt, std::string("payload decode failed: ") + e.what()};
+  }
+}
+
+std::string snapshot_generation_path(const std::string& path,
+                                     std::uint32_t slot) {
+  if (slot == 0) return path;
+  return path + "." + std::to_string(slot);
+}
+
+void rotate_snapshot_files(const std::string& path, std::uint32_t keep) {
+  // Oldest-first so every rename's destination slot is already vacated
+  // (or about to be overwritten -- POSIX rename replaces atomically).
+  // rename failures (typically ENOENT for not-yet-populated slots) are
+  // deliberately ignored: rotation is best-effort bookkeeping; the write
+  // that follows is the operation whose failure matters.
+  for (std::uint32_t slot = keep; slot >= 2; --slot) {
+    std::rename(snapshot_generation_path(path, slot - 1).c_str(),
+                snapshot_generation_path(path, slot).c_str());
   }
 }
 

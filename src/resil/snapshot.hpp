@@ -93,4 +93,18 @@ struct ReadOutcome {
 /// plus the detection reason, so callers can log it and cold-start.
 ReadOutcome read_snapshot_file(const std::string& path);
 
+/// Generation naming for rotated snapshots: slot 0 is `path` itself (the
+/// single-file layout), slot k >= 1 is `path.k` with 1 the newest
+/// generation and higher slots older.
+std::string snapshot_generation_path(const std::string& path,
+                                     std::uint32_t slot);
+
+/// Shifts generations one slot up (`path.k` -> `path.k+1` for
+/// k = keep-1 .. 1, the oldest falling off), making room for a fresh
+/// atomic write at `path.1`. Missing generations are skipped silently; a
+/// crash mid-rotation leaves every surviving file a complete, validly
+/// checksummed snapshot (renames never tear contents), so restore's
+/// newest-valid scan still succeeds.
+void rotate_snapshot_files(const std::string& path, std::uint32_t keep);
+
 }  // namespace drw::resil

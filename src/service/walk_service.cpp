@@ -284,7 +284,17 @@ void WalkService::maybe_snapshot() {
   if (config_.snapshot_path.empty()) return;
   if (!engine_.prepared() || engine_.naive_mode()) return;
   try {
-    save_snapshot(config_.snapshot_path);
+    if (config_.snapshot_keep > 1) {
+      // Rotate first, then write .1 atomically: if the write fails the
+      // shifted generations (.2 and up) still hold complete checkpoints
+      // for restore's newest-valid scan.
+      resil::rotate_snapshot_files(config_.snapshot_path,
+                                   config_.snapshot_keep);
+      save_snapshot(
+          resil::snapshot_generation_path(config_.snapshot_path, 1));
+    } else {
+      save_snapshot(config_.snapshot_path);
+    }
   } catch (const std::exception& e) {
     // Degradation, not death: serving results are already computed; the
     // worst case is restarting from an older (still atomic) snapshot.
@@ -324,9 +334,31 @@ void WalkService::save_snapshot(const std::string& path) {
 }
 
 bool WalkService::restore_snapshot(const std::string& path) {
-  const auto cold = [&path](const std::string& why) {
-    std::fprintf(stderr, "resil: cold start (snapshot %s: %s)\n",
-                 path.c_str(), why.c_str());
+  // Newest generation first; the plain path rides last so a checkpoint
+  // written before rotation was enabled (or with keep == 1) still
+  // warm-starts a rotated configuration.
+  std::vector<std::string> candidates;
+  if (config_.snapshot_keep > 1) {
+    for (std::uint32_t slot = 1; slot <= config_.snapshot_keep; ++slot) {
+      candidates.push_back(resil::snapshot_generation_path(path, slot));
+    }
+  }
+  candidates.push_back(path);
+  for (const std::string& file : candidates) {
+    std::string why;
+    if (restore_from_file(file, &why)) return true;
+    std::fprintf(stderr, "resil: snapshot %s unusable: %s\n", file.c_str(),
+                 why.c_str());
+  }
+  std::fprintf(stderr, "resil: cold start (no usable snapshot for %s)\n",
+               path.c_str());
+  return false;
+}
+
+bool WalkService::restore_from_file(const std::string& path,
+                                    std::string* why) {
+  const auto cold = [why](const std::string& reason) {
+    *why = reason;
     return false;
   };
   resil::ReadOutcome outcome = resil::read_snapshot_file(path);

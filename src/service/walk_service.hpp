@@ -99,6 +99,13 @@ struct ServiceConfig {
   /// restore_snapshot() and continue bit-identically. Snapshot IO failures
   /// are logged and never take down serving.
   std::string snapshot_path;
+  /// Snapshot generations to keep (>= 1; 0 is treated as 1). 1 (default)
+  /// overwrites snapshot_path in place -- the historical layout. N > 1
+  /// rotates `path.1` (newest) .. `path.N` (oldest) on every checkpoint
+  /// and restore_snapshot picks the newest generation that validates, so
+  /// a torn or corrupt latest checkpoint degrades to the previous one
+  /// instead of a cold start.
+  std::uint32_t snapshot_keep = 1;
 };
 
 /// Per-batch serving report.
@@ -216,14 +223,22 @@ class WalkService {
   /// (same graph, same seed). Returns true on a warm restart: every
   /// subsequent batch is bit-identical to the uninterrupted run. Returns
   /// false -- leaving the service untouched, ready for a cold start -- when
-  /// the file is missing, torn, corrupt (checksum/version mismatch) or
-  /// fingerprinted for a different network; the reason is logged to stderr.
+  /// no usable file exists: missing, torn, corrupt (checksum/version
+  /// mismatch) or fingerprinted for a different network; reasons are
+  /// logged to stderr. With config.snapshot_keep > 1 the generations
+  /// `path.1` .. `path.N` are tried newest-first (then plain `path`, so a
+  /// pre-rotation checkpoint still warm-starts), and the newest valid one
+  /// wins.
   bool restore_snapshot(const std::string& path);
 
  private:
   /// Snapshot-after-batch policy: config_.snapshot_path, IO failures logged
-  /// and swallowed (a failing disk must not take down serving).
+  /// and swallowed (a failing disk must not take down serving). With
+  /// snapshot_keep > 1, rotates the generation files before writing.
   void maybe_snapshot();
+  /// One restore attempt against a concrete file; on failure returns
+  /// false with the reason in `why` and leaves the service untouched.
+  bool restore_from_file(const std::string& file, std::string* why);
   /// graph_fingerprint(graph, seed), salted with enable_paths: a snapshot
   /// without trajectories must not warm-start a path-recording service.
   std::uint64_t state_fingerprint() const;

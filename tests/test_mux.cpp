@@ -182,6 +182,63 @@ TEST(Mux, LanesBitIdenticalToSoloRuns) {
   }
 }
 
+// The zero-copy lane-inbox table is memory-gated: a run over budget falls
+// back to the mixed-inbox copying demux. The two delivery paths must be
+// bit-identical. The graph is sized so the O(n x lanes) span table
+// (45000 slots) exceeds a 1 MiB budget -- the smallest non-auto setting --
+// while the default budget (64 MiB) keeps the zero-copy path on.
+TEST(Mux, LaneInboxBudgetFallbackIsBitIdentical) {
+  constexpr std::uint64_t kSeed = 6060;
+  constexpr unsigned kLanes = 5;
+  Rng graph_rng(77);
+  const Graph g = gen::random_regular(9000, 4, graph_rng);
+  const std::size_t n = g.node_count();
+  ASSERT_GT(n * kLanes * sizeof(std::vector<congest::Delivery>),
+            std::size_t{1} << 20)
+      << "graph too small to push the span table over a 1 MiB budget";
+
+  std::vector<std::vector<Rng>> lane_rngs;
+  for (unsigned l = 0; l < kLanes; ++l) {
+    lane_rngs.push_back(congest::ProtocolMux::derive_lane_rngs(kSeed, l, n));
+  }
+
+  const auto run_with_budget = [&](std::uint32_t budget_mb, unsigned threads,
+                                   std::vector<LaneOutcome>* out) {
+    congest::Network net(g, kSeed);
+    net.set_threads(threads);
+    net.set_lane_inbox_budget_mb(budget_mb);
+    std::vector<std::unique_ptr<DigestStorm>> storms;
+    std::vector<std::vector<Rng>> rngs;
+    congest::ProtocolMux mux(n);
+    for (unsigned l = 0; l < kLanes; ++l) {
+      storms.push_back(std::make_unique<DigestStorm>(n, 1 + l % 2, 10));
+      rngs.push_back(lane_rngs[l]);
+    }
+    for (unsigned l = 0; l < kLanes; ++l) mux.add_lane(*storms[l], &rngs[l]);
+    net.run_multiplexed(mux, kLanes);
+    out->clear();
+    for (unsigned l = 0; l < kLanes; ++l) {
+      out->push_back({storms[l]->digest(), mux.lane_stats(l).rounds,
+                      mux.lane_stats(l).messages});
+    }
+  };
+
+  std::vector<LaneOutcome> zero_copy;
+  run_with_budget(/*budget_mb=*/0, /*threads=*/1, &zero_copy);  // 0 = default
+  for (const unsigned threads : kThreadCounts) {
+    std::vector<LaneOutcome> fallback;
+    run_with_budget(/*budget_mb=*/1, threads, &fallback);
+    for (unsigned l = 0; l < kLanes; ++l) {
+      EXPECT_EQ(fallback[l].digest, zero_copy[l].digest)
+          << "lane " << l << " threads=" << threads;
+      EXPECT_EQ(fallback[l].rounds, zero_copy[l].rounds)
+          << "lane " << l << " threads=" << threads;
+      EXPECT_EQ(fallback[l].messages, zero_copy[l].messages)
+          << "lane " << l << " threads=" << threads;
+    }
+  }
+}
+
 TEST(Mux, TracingOnDoesNotPerturbLanes) {
   // The obs invariant at the mux layer: per-lane digests and run totals
   // must be bit-identical with tracing on or off, at every mux width x

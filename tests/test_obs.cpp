@@ -152,7 +152,8 @@ TEST_F(ObsTest, TracedRunExportsWellFormedBalancedJson) {
             count_occurrences(json, "\"ph\":\"E\""));
   EXPECT_NE(json.find("net.run"), std::string::npos);
   EXPECT_NE(json.find("compute.worker"), std::string::npos);
-  EXPECT_NE(json.find("transmit.shard"), std::string::npos);
+  // The fused stage-merge-deliver transmit pass traces under its own name.
+  EXPECT_NE(json.find("transmit.fused.shard"), std::string::npos);
 }
 
 TEST_F(ObsTest, HistogramBucketMath) {

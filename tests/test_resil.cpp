@@ -187,6 +187,130 @@ TEST(Resil, SnapshotAfterBatchPolicyRoundTripsUnderMux) {
   std::remove(path.c_str());
 }
 
+// ------------------------------------------------------ snapshot rotation
+
+// snapshot_keep > 1: every checkpoint rotates path.1 (newest) .. path.N and
+// restore walks them newest-first, falling back a generation per corrupt
+// file, so losing the latest checkpoint costs one batch of warmth instead
+// of a cold start. Generation by generation:
+//   S1 = state after batch 1, S2 = after batch 2, S3 = after batch 3.
+TEST(Resil, SnapshotRotationRestoresNewestValidGeneration) {
+  Rng graph_rng(717);
+  const Graph g = gen::random_regular(48, 4, graph_rng);
+  const std::uint32_t diameter = exact_diameter(g);
+  const std::string path = tmp_path("drw_resil_rotate.snap");
+  const auto slot_path = [&](std::uint32_t slot) {
+    return resil::snapshot_generation_path(path, slot);
+  };
+  for (std::uint32_t slot = 0; slot <= 3; ++slot) {
+    std::remove(slot_path(slot).c_str());
+  }
+  const auto exists = [](const std::string& file) {
+    return std::ifstream(file, std::ios::binary).good();
+  };
+  // Restoring services rotate-aware (snapshot_keep) but never checkpoint
+  // themselves (no snapshot_path), so restores don't disturb the files.
+  const auto restorer_config = [&]() {
+    ServiceConfig config = resil_config(2, 1);
+    config.snapshot_keep = 3;
+    return config;
+  };
+
+  ServiceConfig writer = resil_config(2, 1);
+  writer.snapshot_path = path;
+  writer.snapshot_keep = 3;
+  congest::Network net_a(g, 31);
+  WalkService a(net_a, diameter, writer);
+
+  a.serve(batch_one());  // checkpoint S1 -> .1
+  a.serve(batch_two());  // rotate (.1 -> .2), checkpoint S2 -> .1
+  EXPECT_TRUE(exists(slot_path(1)));
+  EXPECT_TRUE(exists(slot_path(2)));
+  EXPECT_FALSE(exists(slot_path(3)));
+  EXPECT_FALSE(exists(path)) << "rotation must not write the plain path";
+
+  // Newest wins: a restore now adopts S2 (.1), so serving batch 3 matches
+  // the uninterrupted run's batch 3. Restore BEFORE `a` serves it -- a's
+  // policy rotates the files again the moment that batch retires.
+  congest::Network net_b(g, 31);
+  WalkService b(net_b, diameter, restorer_config());
+  ASSERT_TRUE(b.restore_snapshot(path));
+  const BatchReport ref3 = a.serve(batch_one());  // S2 -> S3; .1=S3 .2=S2 .3=S1
+  expect_reports_identical(b.serve(batch_one()), ref3, "newest generation");
+  EXPECT_TRUE(exists(slot_path(3)));
+
+  const auto corrupt = [&](const std::string& file) {
+    std::fstream io(file,
+                    std::ios::binary | std::ios::in | std::ios::out);
+    io.seekp(48);  // mid-payload: caught by the CRC
+    char byte = 0;
+    io.seekg(48);
+    io.get(byte);
+    byte ^= 0x20;
+    io.seekp(48);
+    io.put(byte);
+  };
+
+  // Corrupt .1 (S3): restore falls back to .2 = S2, so batch 3 replays
+  // bit-identically to ref3 again.
+  corrupt(slot_path(1));
+  congest::Network net_c(g, 31);
+  WalkService c(net_c, diameter, restorer_config());
+  ASSERT_TRUE(c.restore_snapshot(path));
+  expect_reports_identical(c.serve(batch_one()), ref3,
+                           "fallback to second generation");
+
+  // Corrupt .2 (S2) as well: restore reaches .3 = S1, the state after
+  // batch 1 -- from which batch_two replays a's second batch. That report
+  // is recomputed from an independent uninterrupted run (a has moved on).
+  congest::Network net_ref(g, 31);
+  WalkService uninterrupted(net_ref, diameter, resil_config(2, 1));
+  uninterrupted.serve(batch_one());
+  const BatchReport ref2 = uninterrupted.serve(batch_two());
+  corrupt(slot_path(2));
+  congest::Network net_d(g, 31);
+  WalkService d(net_d, diameter, restorer_config());
+  ASSERT_TRUE(d.restore_snapshot(path));
+  expect_reports_identical(d.serve(batch_two()), ref2,
+                           "fallback to oldest generation");
+
+  // Every generation corrupt: detected, cold start.
+  corrupt(slot_path(3));
+  congest::Network net_e(g, 31);
+  WalkService e(net_e, diameter, restorer_config());
+  EXPECT_FALSE(e.restore_snapshot(path));
+
+  for (std::uint32_t slot = 0; slot <= 3; ++slot) {
+    std::remove(slot_path(slot).c_str());
+  }
+}
+
+// Migration: a plain single-file checkpoint (written under keep == 1, the
+// historical layout) still warm-starts a service configured with
+// snapshot_keep > 1 -- the plain path is the last restore candidate.
+TEST(Resil, SnapshotRotationFallsBackToPlainPathCheckpoint) {
+  Rng graph_rng(818);
+  const Graph g = gen::random_regular(48, 4, graph_rng);
+  const std::uint32_t diameter = exact_diameter(g);
+  const std::string path = tmp_path("drw_resil_migrate.snap");
+  std::remove((path + ".1").c_str());
+
+  congest::Network net_a(g, 13);
+  WalkService a(net_a, diameter, resil_config(2, 1));
+  a.serve(batch_one());
+  a.save_snapshot(path);  // keep == 1: plain path, no generations
+
+  ServiceConfig rotated = resil_config(2, 1);
+  rotated.snapshot_keep = 3;
+  congest::Network net_b(g, 13);
+  WalkService b(net_b, diameter, rotated);
+  ASSERT_TRUE(b.restore_snapshot(path));
+  const BatchReport ref = a.serve(batch_two());
+  expect_reports_identical(b.serve(batch_two()), ref,
+                           "plain-path migration");
+  std::remove(path.c_str());
+}
+
 // ------------------------------------------------- corruption -> cold start
 
 // Every corruption mode must be *detected* (restore_snapshot returns false,

@@ -13,13 +13,17 @@ movement:
 
 Exit status: 0 when clean or in the default warn-only mode (CI runners are
 too noisy for a hard wall-clock gate); 1 when regressions were found and
-``--fail-on-regression`` was passed. When GITHUB_ACTIONS is set,
-regressions are emitted as ``::warning::`` annotations so they surface on
-the workflow summary without failing the build.
+``--fail-on-regression`` was passed, or when a field named by
+``--gate-field`` regressed (those gate unconditionally on matching
+hardware -- the transmit-phase rearchitecture is protected by
+``--gate-field t_widest_transmit_ms`` so a delivery-path regression
+cannot hide behind an overall-wall improvement). When GITHUB_ACTIONS is
+set, regressions are emitted as ``::warning::`` annotations so they
+surface on the workflow summary without failing the build.
 
 Usage:
   tools/bench_diff.py BASELINE.json CURRENT.json [--threshold 0.10]
-                      [--fail-on-regression]
+                      [--fail-on-regression] [--gate-field FIELD ...]
 """
 
 import argparse
@@ -66,7 +70,9 @@ def run_diff(args: argparse.Namespace) -> int:
     # annotate or fail until the baseline is refreshed on matching hardware.
     same_host = base.get("hw_threads") == cur.get("hw_threads")
 
+    gate_fields = set(args.gate_field or [])
     regressions = []
+    gated_regressions = []
     improvements = []
     moved = []
     counter_changes = []
@@ -83,7 +89,10 @@ def run_diff(args: argparse.Namespace) -> int:
             rel = (c - b) / b
             line = f"{key}: {b:.6g} -> {c:.6g} ms ({rel:+.1%})"
             if rel > args.threshold:
-                regressions.append(line)
+                if key in gate_fields:
+                    gated_regressions.append(line)
+                else:
+                    regressions.append(line)
             elif rel < -args.threshold:
                 improvements.append(line)
         elif key in HOST_FIELDS:
@@ -127,6 +136,12 @@ def run_diff(args: argparse.Namespace) -> int:
             annotate(f"  REGRESSION {line}")
         else:
             print(f"  slower   {line}")
+    for line in gated_regressions:
+        if same_host:
+            annotate(f"  GATED REGRESSION {line}")
+        else:
+            print(f"  slower   {line} (gated field, cross-host: not "
+                  "enforced)")
     if only_base:
         print(f"  removed fields: {', '.join(only_base)}")
     if only_cur:
@@ -134,6 +149,8 @@ def run_diff(args: argparse.Namespace) -> int:
     if not (counter_changes or moved or improvements or regressions):
         print("  no movement beyond threshold")
 
+    if gated_regressions and same_host:
+        return 1
     if regressions and same_host and args.fail_on_regression:
         return 1
     return 0
@@ -152,7 +169,7 @@ def self_test() -> int:
     import tempfile
 
     def diff(base: dict, cur: dict, fail_on_regression: bool = False,
-             threshold: float = 0.10):
+             threshold: float = 0.10, gate_field=None):
         with tempfile.TemporaryDirectory() as tmp:
             b_path = os.path.join(tmp, "base.json")
             c_path = os.path.join(tmp, "cur.json")
@@ -162,7 +179,8 @@ def self_test() -> int:
                 json.dump(cur, fh)
             args = argparse.Namespace(
                 baseline=b_path, current=c_path, threshold=threshold,
-                fail_on_regression=fail_on_regression)
+                fail_on_regression=fail_on_regression,
+                gate_field=gate_field or [])
             out = io.StringIO()
             github = os.environ.pop("GITHUB_ACTIONS", None)
             try:
@@ -221,6 +239,31 @@ def self_test() -> int:
     check("steal counts informational", code == 0 and "moved" in out,
           f"code={code}")
 
+    # A --gate-field regression fails even without --fail-on-regression:
+    # the transmit-phase gate must not hide behind warn-only mode.
+    phase_base = {**base, "t_widest_transmit_ms": 100.0}
+    phase_slow = {**phase_base, "t_widest_transmit_ms": 150.0}
+    code, out = diff(phase_base, phase_slow,
+                     gate_field=["t_widest_transmit_ms"])
+    check("gate-field regression fails warn-only diffs",
+          code == 1 and "GATED REGRESSION" in out, f"code={code}")
+
+    # Other fields regressing do not trip a gate aimed elsewhere.
+    code, _ = diff(phase_base, {**phase_base, "wall_ms_t1": 150.0},
+                   gate_field=["t_widest_transmit_ms"])
+    check("gate-field ignores other regressions", code == 0,
+          f"code={code}")
+
+    # Gated improvements and within-threshold moves pass.
+    code, _ = diff(phase_base, {**phase_base, "t_widest_transmit_ms": 60.0},
+                   gate_field=["t_widest_transmit_ms"])
+    check("gate-field improvement passes", code == 0, f"code={code}")
+
+    # Cross-host gated deltas stay informational like everything else.
+    code, _ = diff(phase_base, {**phase_slow, "hw_threads": 8},
+                   gate_field=["t_widest_transmit_ms"])
+    check("gate-field never gates cross-host", code == 0, f"code={code}")
+
     if all(checks):
         print(f"bench_diff --self-test: OK ({len(checks)} checks)")
         return 0
@@ -239,6 +282,11 @@ def main() -> int:
     parser.add_argument("--fail-on-regression", action="store_true",
                         help="exit 1 on wall-clock regressions (default: "
                              "warn only -- shared CI runners are noisy)")
+    parser.add_argument("--gate-field", action="append", default=[],
+                        metavar="FIELD",
+                        help="wall-clock field that gates unconditionally "
+                             "on matching hardware (repeatable), e.g. "
+                             "t_widest_transmit_ms")
     parser.add_argument("--self-test", action="store_true",
                         help="run the built-in contract checks and exit")
     args = parser.parse_args()

@@ -99,8 +99,14 @@ if [[ "${DRW_BENCH:-0}" == "1" ]]; then
   # sequential stitching >=1.5x wall-clock at 8 threads (same self-skip
   # ladder), with mux results bit-identical to the serial schedule.
   "$BUILD_DIR/bench_mux"
+  # bench_arena gates the transmit fast path's packing losslessness
+  # (PackedToken round trips bit-identically, the classifier binds on the
+  # 32-bit payload boundary) and records the arena / generic / SoA
+  # per-message costs into BENCH_arena.json for the trajectory diff.
+  "$BUILD_DIR/bench_arena" --benchmark_min_time=1x
   # The bench-diff contract the trajectory step depends on (new obs_* keys
-  # must never fail a diff, steal counts stay informational, ...).
+  # must never fail a diff, steal counts stay informational, gated fields
+  # fail even warn-only diffs, ...).
   python3 tools/bench_diff.py --self-test
   # Observability gate: a traced single-threaded serve workload must export
   # a Perfetto-loadable trace whose per-shard transmit spans reconcile with

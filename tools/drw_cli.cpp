@@ -76,6 +76,10 @@ using namespace drw;
                "           [--snapshot=FILE]  (serve: checkpoint the serving\n"
                "                            state here after every batch --\n"
                "                            atomic, checksummed)\n"
+               "           [--snapshot-keep=N]  (serve: rotate N snapshot\n"
+               "                            generations FILE.1..FILE.N instead\n"
+               "                            of overwriting; restore picks the\n"
+               "                            newest valid one. Default 1)\n"
                "           [--restore]  (serve: warm-start from --snapshot\n"
                "                         before serving; a missing/corrupt\n"
                "                         snapshot degrades to cold start)\n"
@@ -111,6 +115,7 @@ struct Args {
   std::string trace_file;  // non-empty: obs tracer armed for the command
   std::string stats_json;  // serve: write the full stats JSON here
   std::string snapshot;    // serve: checkpoint path (snapshot-after-batch)
+  std::uint32_t snapshot_keep = 1;  // serve: generations kept (1 = in place)
   bool restore = false;    // serve: warm-start from --snapshot
 };
 
@@ -174,6 +179,9 @@ Args parse_args(int argc, char** argv) {
       args.trace_file = *v;
     } else if (auto v = flag_value(a, "--stats-json")) {
       args.stats_json = *v;
+    } else if (auto v = flag_value(a, "--snapshot-keep")) {
+      args.snapshot_keep =
+          static_cast<std::uint32_t>(std::strtoul(v->c_str(), nullptr, 10));
     } else if (auto v = flag_value(a, "--snapshot")) {
       args.snapshot = *v;
     } else if (std::strcmp(a, "--restore") == 0) {
@@ -427,6 +435,7 @@ int cmd_serve(const Args& args, const Graph& g, std::uint32_t diameter) {
   config.enable_paths = args.paths;
   config.mux_width = args.mux;
   config.snapshot_path = args.snapshot;
+  config.snapshot_keep = args.snapshot_keep;
   if (args.restore && args.snapshot.empty()) {
     usage("--restore needs --snapshot=FILE");
   }

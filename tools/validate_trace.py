@@ -12,8 +12,10 @@ Structural checks (always):
     name a lane the scheduler could not have opened).
 
 Cross-check (when the producer recorded the metadata):
-  * with otherData.threads == 1 and no drops, the summed transmit.shard
-    span time must land within --tolerance (default 10%) of the driver's
+  * with otherData.threads == 1 and no drops, the summed transmit-shard
+    span time (the fused ``transmit.fused.shard`` spans; legacy
+    ``transmit.shard`` spans from pre-fusion traces count too) must land
+    within --tolerance (default 10%) of the driver's
     otherData.transmit_ms -- the acceptance gate tying the trace to
     RunStats. At threads > 1 shards transmit concurrently and span-sum is
     CPU time, not wall time, so the check is skipped with a note.
@@ -95,7 +97,10 @@ def main() -> int:
             if name != ev["name"]:
                 fail(f"mismatched span on track {key}: "
                      f"B={name} closed by E={ev['name']}")
-            if ev["name"] == "transmit.shard":
+            # The fused engine traces transmit.fused.shard; legacy traces
+            # carry transmit.shard. Either way the span brackets one
+            # shard's whole transmit pass, so both feed the same sum.
+            if ev["name"] in ("transmit.shard", "transmit.fused.shard"):
                 transmit_spans_us += ts - begin
         elif ph not in ("i", "C"):
             fail(f"unknown phase {ph!r}: {ev}")
@@ -123,7 +128,7 @@ def main() -> int:
         span_ms = transmit_spans_us / 1000.0
         rel = abs(span_ms - float(transmit_ms)) / float(transmit_ms)
         if rel > args.tolerance:
-            fail(f"transmit.shard spans sum to {span_ms:.3f} ms but "
+            fail(f"transmit shard spans sum to {span_ms:.3f} ms but "
                  f"RunStats.transmit_ms is {float(transmit_ms):.3f} ms "
                  f"({rel:+.1%} off, tolerance {args.tolerance:.0%})")
         notes.append(f"transmit spans {span_ms:.1f} ms vs RunStats "
