@@ -1,0 +1,264 @@
+// Real-graph ingestion benchmark (perf trajectory for the bulk parser and
+// the binary CSR cache):
+//
+//   * legacy per-line istringstream parsing (the pre-bulk reader,
+//     reimplemented here as the reference) vs the in-place bulk tokenizer
+//     at t=1 -- the satellite speedup this PR claims (>= 3x gate);
+//   * cold convert (parse + degree relabel + CRC + atomic write) and the
+//     serving-start comparison: warm mmap reload of the .csr vs re-parsing
+//     the text edge list (>= 5x gate);
+//   * parse scaling across thread counts (informational on this host).
+//
+// Deterministic gate (binds on every host): the legacy reference, the bulk
+// parser at every thread count, and the converted + mmap'd CSR must all
+// carry the SAME graph -- identical CSR arrays after relabeling. Wall
+// numbers land in BENCH_ingest.json (diffed informationally by
+// tools/bench_diff.py against bench/baselines/BENCH_ingest.json).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/csr_file.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace drw;
+
+constexpr int kReps = 3;
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+const char* text_path() { return "/tmp/drw_bench_ingest.txt"; }
+const char* csr_path() { return "/tmp/drw_bench_ingest.txt.csr"; }
+
+/// The workload: a scale-free graph big enough that parsing dominates
+/// process startup but small enough for a 1-core CI box.
+void write_workload() {
+  Rng rng(4242);
+  const Graph g = gen::power_law(30000, 6, rng);
+  write_edge_list_file(text_path(), g);
+}
+
+/// The pre-bulk reader, verbatim in spirit: getline + istringstream
+/// extraction per line. This is the per-line cost every server start used
+/// to pay; kept here as the timing reference and identity oracle.
+Graph legacy_parse(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::size_t declared = 0;
+  NodeId max_id = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#' || line[0] == '%') {
+      std::istringstream header(line.substr(1));
+      std::string word;
+      if (header >> word && word == "nodes") {
+        std::size_t n = 0;
+        if (header >> n) declared = n;
+      }
+      continue;
+    }
+    std::istringstream iss(line);
+    long long a = 0;
+    long long b = 0;
+    if (!(iss >> a >> b)) continue;
+    const NodeId u = static_cast<NodeId>(a);
+    const NodeId v = static_cast<NodeId>(b);
+    edges.emplace_back(u, v);
+    max_id = std::max({max_id, u, v});
+  }
+  const std::size_t n = std::max(declared, edges.empty()
+                                               ? std::size_t{0}
+                                               : std::size_t{max_id} + 1);
+  GraphBuilder builder(n);
+  for (const auto& [u, v] : edges) builder.add_edge(u, v);
+  return builder.build();
+}
+
+bool graphs_equal(const Graph& a, const Graph& b) {
+  if (a.node_count() != b.node_count()) return false;
+  const auto ao = a.offsets();
+  const auto bo = b.offsets();
+  if (ao.size() != bo.size()) return false;
+  for (std::size_t i = 0; i < ao.size(); ++i) {
+    if (ao[i] != bo[i]) return false;
+  }
+  const auto aa = a.adjacency();
+  const auto ba = b.adjacency();
+  if (aa.size() != ba.size()) return false;
+  for (std::size_t i = 0; i < aa.size(); ++i) {
+    if (aa[i] != ba[i]) return false;
+  }
+  return true;
+}
+
+/// Identity across every ingestion route; exits nonzero on any divergence
+/// (this is the bench's deterministic gate).
+int run_identity_gate() {
+  bench::banner("INGEST-0 route identity",
+                "Legacy per-line parse, bulk parse at t=1/2/8, and the "
+                "converted + mmap'd CSR all carry the same graph.");
+  const Graph legacy = legacy_parse(text_path());
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    const Graph bulk = read_edge_list_file(text_path(), threads);
+    if (!graphs_equal(legacy, bulk)) {
+      std::printf("FAIL: bulk parse (t=%u) diverged from legacy\n", threads);
+      return 1;
+    }
+  }
+  const csr::LoadedGraph converted =
+      csr::convert_edge_list(text_path(), csr_path());
+  const csr::LoadedGraph mapped = csr::load_graph(csr_path());
+  if (!mapped.from_csr) {
+    std::printf("FAIL: load_graph did not mmap the converted file\n");
+    return 1;
+  }
+  if (!graphs_equal(converted.graph, mapped.graph) ||
+      converted.new_to_old != mapped.new_to_old) {
+    std::printf("FAIL: mmap'd CSR diverged from the converted graph\n");
+    return 1;
+  }
+  std::printf("legacy == bulk(t=1,2,8) == csr(mmap): OK\n");
+  return 0;
+}
+
+template <typename Fn>
+double best_of_reps(Fn&& fn) {
+  double best_ms = 1e18;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto t0 = Clock::now();
+    fn();
+    const double ms = ms_since(t0);
+    if (ms < best_ms) best_ms = ms;
+  }
+  return best_ms;
+}
+
+int run_trajectory(bench::JsonReport& json) {
+  bench::banner("INGEST-1 parse + serving-start throughput",
+                "Legacy per-line vs bulk parse, and warm mmap reload vs "
+                "text re-parse at serving start (best of 3 reps).");
+  ParseStats stats;
+  read_edge_list_file(text_path(), 1, &stats);
+
+  std::size_t sink = 0;
+  const double legacy_ms =
+      best_of_reps([&] { sink += legacy_parse(text_path()).edge_count(); });
+  const double bulk_t1_ms = best_of_reps(
+      [&] { sink += read_edge_list_file(text_path(), 1).edge_count(); });
+  const double bulk_auto_ms = best_of_reps(
+      [&] { sink += read_edge_list_file(text_path(), 0).edge_count(); });
+  const double convert_ms = best_of_reps(
+      [&] { sink += csr::convert_edge_list(text_path(), csr_path(), 1)
+                        .graph.edge_count(); });
+  const double text_start_ms = best_of_reps(
+      [&] { sink += csr::load_graph(text_path(), 1).graph.edge_count(); });
+  const double mmap_start_ms = best_of_reps(
+      [&] { sink += csr::load_graph(csr_path()).graph.edge_count(); });
+
+  const double parse_speedup = legacy_ms / bulk_t1_ms;
+  const double start_speedup = text_start_ms / mmap_start_ms;
+  const double mb = static_cast<double>(stats.bytes) / (1024.0 * 1024.0);
+
+  bench::Table table({"route", "ms", "edges/s"});
+  auto rate = [&](double ms) {
+    return bench::fmt_double(static_cast<double>(stats.edges) / (1e3 * ms),
+                             2) + "M";
+  };
+  table.add_row({"legacy per-line parse", bench::fmt_double(legacy_ms),
+                 rate(legacy_ms)});
+  table.add_row({"bulk parse t=1", bench::fmt_double(bulk_t1_ms),
+                 rate(bulk_t1_ms)});
+  table.add_row({"bulk parse t=auto", bench::fmt_double(bulk_auto_ms),
+                 rate(bulk_auto_ms)});
+  table.add_row({"convert (parse+relabel+write)",
+                 bench::fmt_double(convert_ms), rate(convert_ms)});
+  table.add_row({"serving start: text re-parse",
+                 bench::fmt_double(text_start_ms), rate(text_start_ms)});
+  table.add_row({"serving start: mmap .csr",
+                 bench::fmt_double(mmap_start_ms), rate(mmap_start_ms)});
+  table.print();
+  std::printf(
+      "%.1f MB / %llu edges | bulk vs legacy: %.2fx | mmap vs re-parse: "
+      "%.2fx (sink %zu)\n",
+      mb, static_cast<unsigned long long>(stats.edges), parse_speedup,
+      start_speedup, sink);
+
+  json.add("ingest_legacy_ms", legacy_ms);
+  json.add("ingest_bulk_t1_ms", bulk_t1_ms);
+  json.add("ingest_bulk_auto_ms", bulk_auto_ms);
+  json.add("ingest_parse_speedup", parse_speedup);
+  json.add("csr_convert_ms", convert_ms);
+  json.add("csr_text_start_ms", text_start_ms);
+  json.add("csr_mmap_start_ms", mmap_start_ms);
+  json.add("csr_start_speedup", start_speedup);
+  json.add("ingest_bytes", static_cast<std::uint64_t>(stats.bytes));
+  json.add("ingest_edges", static_cast<std::uint64_t>(stats.edges));
+  json.add("hw_threads",
+           static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+
+  // The PR's perf gates. Margins are wide (the measured ratios are ~10x and
+  // ~50x+): a failure here means the fast paths regressed structurally, not
+  // that the host is noisy.
+  int rc = 0;
+  if (parse_speedup < 3.0) {
+    std::printf("FAIL: bulk parser < 3x over per-line (%.2fx)\n",
+                parse_speedup);
+    rc = 1;
+  }
+  if (start_speedup < 5.0) {
+    std::printf("FAIL: mmap reload < 5x over text re-parse (%.2fx)\n",
+                start_speedup);
+    rc = 1;
+  }
+  return rc;
+}
+
+void BM_BulkParseT1(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(read_edge_list_file(text_path(), 1));
+  }
+}
+BENCHMARK(BM_BulkParseT1);
+
+void BM_MmapLoad(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csr::load_graph(csr_path()));
+  }
+}
+BENCHMARK(BM_MmapLoad);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  write_workload();
+  const int gate_rc = run_identity_gate();
+  if (gate_rc != 0) return gate_rc;
+  drw::bench::JsonReport json("ingest");
+  const int rc = run_trajectory(json);
+  json.write();
+  if (rc != 0) return rc;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  std::remove(text_path());
+  std::remove(csr_path());
+  return 0;
+}

@@ -5,6 +5,63 @@
 
 namespace drw {
 
+void Graph::finalize_owned() {
+  backing_.reset();
+  offsets_ = offsets_store_.data();
+  adjacency_ = adjacency_store_.data();
+  node_count_ = offsets_store_.empty() ? 0 : offsets_store_.size() - 1;
+  adjacency_count_ = adjacency_store_.size();
+}
+
+void Graph::assign(const Graph& other) {
+  offsets_store_ = other.offsets_store_;
+  adjacency_store_ = other.adjacency_store_;
+  backing_ = other.backing_;
+  node_count_ = other.node_count_;
+  adjacency_count_ = other.adjacency_count_;
+  if (other.offsets_store_.empty()) {
+    // View (or empty): share the external pointers and their backing.
+    offsets_ = other.offsets_;
+    adjacency_ = other.adjacency_;
+  } else {
+    offsets_ = offsets_store_.data();
+    adjacency_ = adjacency_store_.data();
+  }
+}
+
+Graph Graph::from_csr(std::vector<std::uint64_t> offsets,
+                      std::vector<NodeId> adjacency) {
+  if (offsets.empty()) {
+    throw std::invalid_argument("Graph::from_csr: offsets must have n+1 entries");
+  }
+  if (offsets.front() != 0 || offsets.back() != adjacency.size()) {
+    throw std::invalid_argument("Graph::from_csr: offsets do not frame adjacency");
+  }
+  Graph g;
+  g.offsets_store_ = std::move(offsets);
+  g.adjacency_store_ = std::move(adjacency);
+  g.finalize_owned();
+  return g;
+}
+
+Graph Graph::view(std::span<const std::uint64_t> offsets,
+                  std::span<const NodeId> adjacency,
+                  std::shared_ptr<const void> backing) {
+  if (offsets.empty()) {
+    throw std::invalid_argument("Graph::view: offsets must have n+1 entries");
+  }
+  if (offsets.front() != 0 || offsets.back() != adjacency.size()) {
+    throw std::invalid_argument("Graph::view: offsets do not frame adjacency");
+  }
+  Graph g;
+  g.backing_ = std::move(backing);
+  g.offsets_ = offsets.data();
+  g.adjacency_ = adjacency.data();
+  g.node_count_ = offsets.size() - 1;
+  g.adjacency_count_ = adjacency.size();
+  return g;
+}
+
 bool Graph::has_edge(NodeId u, NodeId v) const noexcept {
   const auto nbrs = neighbors(u);
   return std::binary_search(nbrs.begin(), nbrs.end(), v);
@@ -54,20 +111,22 @@ Graph GraphBuilder::build() const {
   edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
 
   Graph g;
-  g.offsets_.assign(node_count_ + 1, 0);
+  g.offsets_store_.assign(node_count_ + 1, 0);
   for (const auto& [u, v] : edges) {
-    ++g.offsets_[u + 1];
-    ++g.offsets_[v + 1];
+    ++g.offsets_store_[u + 1];
+    ++g.offsets_store_[v + 1];
   }
   for (std::size_t i = 1; i <= node_count_; ++i) {
-    g.offsets_[i] += g.offsets_[i - 1];
+    g.offsets_store_[i] += g.offsets_store_[i - 1];
   }
-  g.adjacency_.resize(edges.size() * 2);
-  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  g.adjacency_store_.resize(edges.size() * 2);
+  std::vector<std::uint64_t> cursor(g.offsets_store_.begin(),
+                                    g.offsets_store_.end() - 1);
   for (const auto& [u, v] : edges) {
-    g.adjacency_[cursor[u]++] = v;
-    g.adjacency_[cursor[v]++] = u;
+    g.adjacency_store_[cursor[u]++] = v;
+    g.adjacency_store_[cursor[v]++] = u;
   }
+  g.finalize_owned();
   // Each node's slice is already sorted because edges were globally sorted by
   // (min, max); the v-side insertions for a fixed v arrive in increasing u.
   // The u-side insertions for fixed u arrive in increasing v. Both hold, so

@@ -5,9 +5,18 @@
 // node v knows only its own ID and its neighbors' IDs. Graph is intentionally
 // simple and cache-friendly: all algorithms in this repository traverse
 // neighbor spans in tight loops.
+//
+// Storage modes. A Graph either OWNS its CSR arrays (the historical layout:
+// built by GraphBuilder or adopted via from_csr) or is a non-owning VIEW over
+// externally managed memory -- typically an mmap'ed on-disk CSR file (see
+// graph/csr_file.hpp), where `backing` keeps the mapping alive for as long
+// as any copy of the view exists. Every accessor reads through the same raw
+// pointers in both modes, so the mode is invisible to algorithms and to the
+// simulator; only construction and lifetime differ.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -22,9 +31,35 @@ inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
 class Graph {
  public:
   Graph() = default;
+  Graph(const Graph& other) { assign(other); }
+  Graph& operator=(const Graph& other) {
+    if (this != &other) assign(other);
+    return *this;
+  }
+  // Moving a vector transfers its heap buffer, so pointers into an owned
+  // store stay valid across the move; views carry their backing handle.
+  Graph(Graph&&) noexcept = default;
+  Graph& operator=(Graph&&) noexcept = default;
 
-  std::size_t node_count() const noexcept { return offsets_.empty() ? 0 : offsets_.size() - 1; }
-  std::size_t edge_count() const noexcept { return adjacency_.size() / 2; }
+  /// Adopts already-built CSR arrays (offsets.size() == n+1, adjacency
+  /// sorted within each node, each undirected edge present twice). The fast
+  /// ingestion paths use this to skip GraphBuilder's comparison sort.
+  static Graph from_csr(std::vector<std::uint64_t> offsets,
+                        std::vector<NodeId> adjacency);
+
+  /// A zero-copy view over externally owned CSR arrays. `backing` is held
+  /// for the lifetime of the view (and every copy of it) -- pass the mmap
+  /// handle so the mapping outlives all readers; pass nullptr only when the
+  /// arrays are guaranteed to outlive the view by other means (tests).
+  static Graph view(std::span<const std::uint64_t> offsets,
+                    std::span<const NodeId> adjacency,
+                    std::shared_ptr<const void> backing);
+
+  /// True when this Graph reads external memory it does not own.
+  bool is_view() const noexcept { return node_count_ != 0 && offsets_store_.empty(); }
+
+  std::size_t node_count() const noexcept { return node_count_; }
+  std::size_t edge_count() const noexcept { return adjacency_count_ / 2; }
 
   std::uint32_t degree(NodeId v) const noexcept {
     return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
@@ -32,8 +67,7 @@ class Graph {
 
   /// Neighbors of v, sorted ascending.
   std::span<const NodeId> neighbors(NodeId v) const noexcept {
-    return {adjacency_.data() + offsets_[v],
-            adjacency_.data() + offsets_[v + 1]};
+    return {adjacency_ + offsets_[v], adjacency_ + offsets_[v + 1]};
   }
 
   /// The i-th neighbor of v (0-based); used for uniform neighbor sampling.
@@ -48,7 +82,7 @@ class Graph {
   std::size_t directed_edge_index(NodeId v, std::uint32_t slot) const noexcept {
     return offsets_[v] + slot;
   }
-  std::size_t directed_edge_count() const noexcept { return adjacency_.size(); }
+  std::size_t directed_edge_count() const noexcept { return adjacency_count_; }
 
   /// Target node of a directed edge index (the adjacency entry it points
   /// at); O(1), used by the simulator's transmit phase.
@@ -63,13 +97,35 @@ class Graph {
   std::uint32_t max_degree() const noexcept;
   std::uint32_t min_degree() const noexcept;
 
+  /// Raw CSR arrays (offsets: n+1 entries; adjacency: 2m entries). Exposed
+  /// for serialization (graph/csr_file.cpp) and relabeling.
+  std::span<const std::uint64_t> offsets() const noexcept {
+    return {offsets_, node_count_ == 0 ? 0 : node_count_ + 1};
+  }
+  std::span<const NodeId> adjacency() const noexcept {
+    return {adjacency_, adjacency_count_};
+  }
+
   /// Human-readable one-line summary ("n=.. m=.. degmin=.. degmax=..").
   std::string summary() const;
 
  private:
   friend class GraphBuilder;
-  std::vector<std::size_t> offsets_;   // size n+1
-  std::vector<NodeId> adjacency_;      // size 2m, sorted within each node
+
+  /// Points the accessor pointers at the owned stores.
+  void finalize_owned();
+  void assign(const Graph& other);
+
+  // Owned mode: the arrays live here and the pointers below alias them.
+  std::vector<std::uint64_t> offsets_store_;
+  std::vector<NodeId> adjacency_store_;
+  // View mode: the pointers alias external memory kept alive by backing_.
+  std::shared_ptr<const void> backing_;
+
+  const std::uint64_t* offsets_ = nullptr;  // n+1 entries
+  const NodeId* adjacency_ = nullptr;       // 2m entries, sorted per node
+  std::size_t node_count_ = 0;
+  std::size_t adjacency_count_ = 0;
 };
 
 /// Accumulates undirected edges, deduplicates, and produces a Graph.

@@ -4,21 +4,61 @@
 // lines starting with '#' or '%' are comments; blank lines ignored. The node
 // count is max ID + 1 unless a "# nodes N" header raises it. Duplicate and
 // reversed edges are coalesced (the model's graphs are simple/undirected).
+//
+// Two ingestion paths share one in-place tokenizer (no istringstream, no
+// per-line allocation):
+//
+//   * read_edge_list / parse_edge_list -- serial, streaming-friendly, with
+//     the full per-line diagnostics (line-numbered errors for malformed
+//     rows, self-loops, id-space overflow, '# nodes' violations);
+//   * read_edge_list_file / parse_edge_list_parallel -- the bulk path for
+//     real datasets: the file is read once into memory, split on newline
+//     boundaries into per-worker chunks, tokenized in place, and assembled
+//     into CSR with a counting scatter + per-node sort/dedup instead of a
+//     global comparison sort. Results and error messages are identical to
+//     the serial path at every thread count (errors fall back to a serial
+//     re-parse where needed, so diagnostics keep their exact line numbers).
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "graph/graph.hpp"
 
 namespace drw {
 
+/// Instrumentation from a bulk parse (also mirrored into the obs registry
+/// as ingest.* counters when it is enabled).
+struct ParseStats {
+  std::uint64_t bytes = 0;  ///< text bytes consumed
+  std::uint64_t lines = 0;  ///< physical lines (data, comments, blanks)
+  std::uint64_t edges = 0;  ///< edge rows parsed (before coalescing)
+  unsigned threads = 1;     ///< workers the parse actually used
+  double read_ms = 0.0;     ///< file -> memory (0 for in-memory parses)
+  double parse_ms = 0.0;    ///< tokenize + edge extraction
+  double build_ms = 0.0;    ///< CSR assembly (scatter + sort + dedup)
+};
+
 /// Parses an edge list from a stream. Throws std::invalid_argument on
 /// malformed lines, self-loops, or an empty graph.
 Graph read_edge_list(std::istream& in);
 
-/// Reads an edge-list file. Throws std::runtime_error if unreadable.
-Graph read_edge_list_file(const std::string& path);
+/// Serial in-place tokenizer over an in-memory buffer; the semantics (and
+/// exact diagnostics) of read_edge_list.
+Graph parse_edge_list(std::string_view text);
+
+/// Bulk parallel parse of an in-memory buffer. `threads` 0 = auto
+/// (DRW_THREADS env, else hardware). Identical result and diagnostics to
+/// parse_edge_list at every thread count.
+Graph parse_edge_list_parallel(std::string_view text, unsigned threads = 0,
+                               ParseStats* stats = nullptr);
+
+/// Reads an edge-list file through the bulk parallel parser. Throws
+/// std::runtime_error if unreadable, std::invalid_argument on content
+/// errors (same messages as read_edge_list).
+Graph read_edge_list_file(const std::string& path, unsigned threads = 0,
+                          ParseStats* stats = nullptr);
 
 /// Writes g as an edge list (with a "# nodes N" header, so isolated trailing
 /// nodes round-trip).

@@ -42,6 +42,11 @@ constexpr const char* kNames[] = {
     "lane.round",        // kLaneRound
     "service.batch",     // kServiceBatch
     "arena.backlog",     // kArenaBacklog
+    "ingest.read",       // kIngestRead
+    "ingest.parse",      // kIngestParse
+    "ingest.relabel",    // kIngestRelabel
+    "ingest.write",      // kIngestWrite
+    "ingest.load",       // kIngestLoad
 };
 static_assert(sizeof(kNames) / sizeof(kNames[0]) ==
                   static_cast<std::size_t>(Name::kCount),
@@ -52,6 +57,7 @@ const char* process_name(std::uint8_t pid) {
     case kPidExecutor: return "executor";
     case kPidMux: return "mux lanes";
     case kPidService: return "service";
+    case kPidIngest: return "ingest";
     default: return "drw";
   }
 }
@@ -65,6 +71,9 @@ void append_thread_name(std::string& out, std::uint8_t pid,
       break;
     case kPidMux:
       std::snprintf(buf, sizeof(buf), "lane %u", unsigned(tid));
+      break;
+    case kPidIngest:
+      std::snprintf(buf, sizeof(buf), "ingest");
       break;
     default:
       std::snprintf(buf, sizeof(buf), "service");

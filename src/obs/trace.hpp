@@ -59,6 +59,11 @@ enum class Name : std::uint16_t {
   kLaneRound,         ///< instant: lane consumed a round (arg = round)
   kServiceBatch,      ///< span: one WalkService::flush batch
   kArenaBacklog,      ///< counter: max arena depth this shard-round
+  kIngestRead,        ///< span: edge-list file -> memory (arg = bytes)
+  kIngestParse,       ///< span: bulk tokenize + CSR assembly (arg = bytes)
+  kIngestRelabel,     ///< span: degree-ordered vertex relabeling
+  kIngestWrite,       ///< span: binary CSR serialization + atomic commit
+  kIngestLoad,        ///< span: CSR open + validate + mmap (arg = bytes)
   kCount
 };
 
@@ -67,6 +72,7 @@ enum class Name : std::uint16_t {
 inline constexpr std::uint8_t kPidExecutor = 1;
 inline constexpr std::uint8_t kPidMux = 2;
 inline constexpr std::uint8_t kPidService = 3;
+inline constexpr std::uint8_t kPidIngest = 4;
 
 /// One recorded event: 24 bytes, trivially copyable, written in place in
 /// the owning thread's ring.

@@ -227,22 +227,45 @@ ServiceSnapshot decode_payload(const std::uint8_t* data, std::size_t size) {
 }  // namespace
 
 std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
-  // IEEE 802.3 reflected polynomial, classic table-driven byte loop.
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
+  // IEEE 802.3 reflected polynomial, slicing-by-8: eight derived tables let
+  // the hot loop fold 8 input bytes per iteration instead of 1 (~5-8x on
+  // the multi-MB payloads the CSR cache checksums). Bitwise identical to
+  // the classic byte loop, which still handles the unaligned head/tail.
+  static const std::array<std::array<std::uint32_t, 256>, 8> tables = [] {
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
     for (std::uint32_t i = 0; i < 256; ++i) {
       std::uint32_t c = i;
       for (int k = 0; k < 8; ++k) {
         c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
       }
-      t[i] = c;
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (int s = 1; s < 8; ++s) {
+        c = t[0][c & 0xFFu] ^ (c >> 8);
+        t[s][i] = c;
+      }
     }
     return t;
   }();
   std::uint32_t crc = ~seed;
   const auto* p = static_cast<const std::uint8_t*>(data);
-  for (std::size_t i = 0; i < size; ++i) {
-    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  const std::uint8_t* end = p + size;
+  while (p < end && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    crc = tables[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+  }
+  for (; p + 8 <= end; p += 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    word ^= crc;  // little-endian hosts only (the endian tag enforces this)
+    crc = tables[7][word & 0xFFu] ^ tables[6][(word >> 8) & 0xFFu] ^
+          tables[5][(word >> 16) & 0xFFu] ^ tables[4][(word >> 24) & 0xFFu] ^
+          tables[3][(word >> 32) & 0xFFu] ^ tables[2][(word >> 40) & 0xFFu] ^
+          tables[1][(word >> 48) & 0xFFu] ^ tables[0][word >> 56];
+  }
+  while (p < end) {
+    crc = tables[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
   }
   return ~crc;
 }

@@ -106,6 +106,10 @@ struct ServiceConfig {
   /// a torn or corrupt latest checkpoint degrades to the previous one
   /// instead of a cold start.
   std::uint32_t snapshot_keep = 1;
+  /// Informational: where the served graph came from (e.g. "csr:PATH",
+  /// "text:PATH", "generator:torus:12x12"). Surfaced in `drw serve`'s
+  /// --stats-json output; never affects execution.
+  std::string graph_source;
 };
 
 /// Per-batch serving report.

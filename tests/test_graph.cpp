@@ -110,5 +110,51 @@ TEST(Graph, EmptyGraph) {
   EXPECT_EQ(g.max_degree(), 0u);
 }
 
+// slot_of/has_edge boundary behavior: binary-search over a sorted adjacency
+// slice must hit the first and last neighbors, miss absent ids BETWEEN
+// neighbors (the classic off-by-one spot), and handle degree-0 nodes.
+TEST(Graph, SlotOfAndHasEdgeBoundaries) {
+  // Node 0's sorted neighbors: {2, 5, 9} -- gaps on both sides and between.
+  GraphBuilder b(11);
+  b.add_edge(0, 5);
+  b.add_edge(0, 2);
+  b.add_edge(0, 9);
+  b.add_edge(5, 9);
+  const Graph g = b.build();  // node 10 has degree 0
+
+  // First and last neighbor.
+  EXPECT_EQ(g.slot_of(0, 2), 0u);
+  EXPECT_EQ(g.slot_of(0, 5), 1u);
+  EXPECT_EQ(g.slot_of(0, 9), 2u);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(0, 9));
+
+  // Absent ids below the first, between neighbors, and above the last all
+  // report "not adjacent" (slot_of returns degree(v)).
+  for (const NodeId absent : {1u, 3u, 4u, 6u, 8u, 10u}) {
+    EXPECT_EQ(g.slot_of(0, absent), g.degree(0)) << "absent=" << absent;
+    EXPECT_FALSE(g.has_edge(0, absent)) << "absent=" << absent;
+  }
+  EXPECT_FALSE(g.has_edge(0, 0));  // self is never a neighbor
+
+  // Degree-1 node: its single slot, and misses on both sides.
+  EXPECT_EQ(g.slot_of(2, 0), 0u);
+  EXPECT_EQ(g.slot_of(2, 1), g.degree(2));
+  EXPECT_EQ(g.slot_of(2, 9), g.degree(2));
+
+  // Degree-0 node: every query misses, nothing dereferenced.
+  EXPECT_EQ(g.degree(10), 0u);
+  EXPECT_EQ(g.slot_of(10, 0), 0u);  // degree(10) == 0
+  EXPECT_FALSE(g.has_edge(10, 0));
+  EXPECT_FALSE(g.has_edge(0, 10));
+
+  // slot_of round-trips through neighbor() for every present edge.
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (std::uint32_t s = 0; s < g.degree(v); ++s) {
+      EXPECT_EQ(g.slot_of(v, g.neighbor(v, s)), s);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace drw

@@ -4,6 +4,8 @@
 
 #include <cstdio>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
@@ -165,6 +167,109 @@ TEST(GraphIo, RoundTripsThroughFiles) {
 TEST(GraphIo, MissingFileThrows) {
   EXPECT_THROW(read_edge_list_file("/nonexistent/path/graph.txt"),
                std::runtime_error);
+}
+
+// ------------------------------------------------------- bulk parallel parse
+
+// The bulk parser must produce CSR arrays identical to the serial one at
+// every thread count, on every input shape that exercises the chunk
+// stitching: missing trailing newline, CRLF, comments/blanks between edges,
+// duplicate and reversed edges, and a mid-file '# nodes' header.
+TEST(GraphIo, ParallelParseMatchesSerialAtEveryThreadCount) {
+  const char* inputs[] = {
+      "0 1\n1 2\n2 0\n",
+      "0 1\n1 2\n2 3",  // no trailing newline
+      "0 1\r\n1 2\r\n2 0\r\n",
+      "# c\n% c\n\n0 1\n\n1 2\n# t\n2 0\n",
+      "0 1\n1 0\n0 1\n2 1\n",
+      "# nodes 12\n0 1\n5 9\n",
+      "3 4\n# nodes 12\n0 1\n",  // header after edges, still in range
+  };
+  for (const char* input : inputs) {
+    const Graph serial = parse_edge_list(input);
+    for (const unsigned threads : {1u, 2u, 3u, 8u}) {
+      const Graph parallel = parse_edge_list_parallel(input, threads);
+      ASSERT_EQ(parallel.node_count(), serial.node_count())
+          << "threads=" << threads << " input=" << input;
+      ASSERT_EQ(parallel.offsets().size(), serial.offsets().size());
+      for (std::size_t i = 0; i < serial.offsets().size(); ++i) {
+        ASSERT_EQ(parallel.offsets()[i], serial.offsets()[i])
+            << "threads=" << threads << " input=" << input;
+      }
+      ASSERT_EQ(parallel.adjacency().size(), serial.adjacency().size());
+      for (std::size_t i = 0; i < serial.adjacency().size(); ++i) {
+        ASSERT_EQ(parallel.adjacency()[i], serial.adjacency()[i])
+            << "threads=" << threads << " input=" << input;
+      }
+    }
+  }
+}
+
+TEST(GraphIo, ParallelParseMatchesSerialOnALargeGraph) {
+  Rng rng(17);
+  const Graph g = gen::random_geometric(300, 0.12, rng);
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const std::string text = buffer.str();
+  const Graph serial = parse_edge_list(text);
+  for (const unsigned threads : {2u, 8u}) {
+    const Graph parallel = parse_edge_list_parallel(text, threads);
+    ASSERT_EQ(parallel.node_count(), serial.node_count());
+    ASSERT_EQ(parallel.edge_count(), serial.edge_count());
+    for (NodeId v = 0; v < serial.node_count(); ++v) {
+      const auto a = serial.neighbors(v);
+      const auto b = parallel.neighbors(v);
+      ASSERT_EQ(a.size(), b.size()) << "node " << v;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i], b[i]) << "node " << v << " slot " << i;
+      }
+    }
+  }
+}
+
+// Diagnostics carry the same line numbers and messages no matter how many
+// workers parsed the file.
+TEST(GraphIo, ParallelParseKeepsSerialDiagnostics) {
+  const char* inputs[] = {
+      "0 1\n1 2\n3\n2 0\n",          // expected two node IDs (line 3)
+      "0 1\n-3 2\n",                 // negative node ID (line 2)
+      "0 1\n5000000000 2\n",         // id overflows 32 bits (line 2)
+      "0 1\n7 7\n0 2\n",             // self-loop (line 2)
+      "# nodes 3\n0 1\n1 9\n",       // exceeds declared header (line 3)
+      "0 1\n# nodes 4\n# nodes 9\n", // conflicting duplicate header (line 3)
+  };
+  for (const char* input : inputs) {
+    std::string serial_what;
+    try {
+      parse_edge_list(input);
+    } catch (const std::invalid_argument& e) {
+      serial_what = e.what();
+    }
+    ASSERT_FALSE(serial_what.empty()) << input;
+    for (const unsigned threads : {2u, 8u}) {
+      try {
+        parse_edge_list_parallel(input, threads);
+        FAIL() << "threads=" << threads << " input=" << input;
+      } catch (const std::invalid_argument& e) {
+        EXPECT_EQ(std::string(e.what()), serial_what)
+            << "threads=" << threads << " input=" << input;
+      }
+    }
+  }
+}
+
+TEST(GraphIo, ParseStatsCountBytesLinesAndEdges) {
+  const Graph g = gen::torus(4, 5);
+  const std::string path = "/tmp/drw_io_stats_graph.txt";
+  write_edge_list_file(path, g);
+  ParseStats stats;
+  const Graph back = read_edge_list_file(path, 2, &stats);
+  EXPECT_EQ(back.edge_count(), g.edge_count());
+  EXPECT_GT(stats.bytes, 0u);
+  EXPECT_EQ(stats.edges, g.edge_count());
+  EXPECT_GE(stats.lines, stats.edges);
+  EXPECT_EQ(stats.threads, 2u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

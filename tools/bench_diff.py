@@ -37,10 +37,21 @@ IGNORED = {"seed"}
 # Exact fields that describe the measuring host, not the measured code.
 HOST_FIELDS = {"hw_threads", "sweep_skipped_hw1", "dispatch_grain",
                "steal_chunk"}
+# Wall-clock families that are informational by default: ingestion timings
+# (ingest_*, csr_*) depend on page-cache and filesystem state far more than
+# on the measured code, so they never regress a diff unless explicitly
+# promoted with --gate-field. The hard ingest gates (bulk >= 3x per-line,
+# mmap >= 5x re-parse) live inside bench_ingest itself where they compare
+# routes within ONE run.
+INFORMATIONAL_PREFIXES = ("ingest_", "csr_")
 
 
 def is_wall_field(key: str) -> bool:
     return key.endswith("_ms") or "wall_ms" in key
+
+
+def is_informational_field(key: str) -> bool:
+    return key.startswith(INFORMATIONAL_PREFIXES)
 
 
 def load(path: str) -> dict:
@@ -91,6 +102,8 @@ def run_diff(args: argparse.Namespace) -> int:
             if rel > args.threshold:
                 if key in gate_fields:
                     gated_regressions.append(line)
+                elif is_informational_field(key):
+                    moved.append(f"{line} (io-noisy family, informational)")
                 else:
                     regressions.append(line)
             elif rel < -args.threshold:
@@ -263,6 +276,21 @@ def self_test() -> int:
     code, _ = diff(phase_base, {**phase_slow, "hw_threads": 8},
                    gate_field=["t_widest_transmit_ms"])
     check("gate-field never gates cross-host", code == 0, f"code={code}")
+
+    # Ingestion wall fields (ingest_*/csr_*) are IO-noisy: informational
+    # even under --fail-on-regression...
+    ingest_base = {**base, "ingest_bulk_t1_ms": 10.0, "csr_mmap_start_ms": 1.0}
+    ingest_slow = {**ingest_base, "ingest_bulk_t1_ms": 20.0,
+                   "csr_mmap_start_ms": 3.0}
+    code, out = diff(ingest_base, ingest_slow, fail_on_regression=True)
+    check("ingest/csr wall fields informational by default",
+          code == 0 and "io-noisy" in out, f"code={code}")
+
+    # ...but still promotable to a hard gate with --gate-field.
+    code, out = diff(ingest_base, ingest_slow,
+                     gate_field=["csr_mmap_start_ms"])
+    check("ingest/csr fields gate when promoted",
+          code == 1 and "GATED REGRESSION" in out, f"code={code}")
 
     if all(checks):
         print(f"bench_diff --self-test: OK ({len(checks)} checks)")

@@ -118,8 +118,57 @@ if [[ "${DRW_BENCH:-0}" == "1" ]]; then
   python3 tools/validate_trace.py trace_serve.json
   # Resilience gate: kill -9 a serving subprocess inside the snapshot-commit
   # window and demand a warm restart, plus CRC rejection of bit-flipped and
-  # torn snapshots and a smoke of every DRW_FAILPOINTS action
-  # (throw/abort/short_write/delay_ms) against the real CLI.
+  # torn snapshots, a smoke of every DRW_FAILPOINTS action
+  # (throw/abort/short_write/delay_ms) against the real CLI, and a kill -9
+  # inside the csr.commit window of `drw convert` (partial caches are
+  # rejected and serving degrades to the text sibling).
   python3 tools/crash_harness.py "$BUILD_DIR/drw"
+  # Ingestion gate: every route (legacy per-line, bulk at t=1/2/8, converted
+  # + mmap'd CSR) must carry the same graph, the bulk parser must beat the
+  # per-line reference >=3x at t=1, and a warm mmap reload must beat the
+  # text re-parse >=5x at serving start. Wall numbers land in
+  # BENCH_ingest.json for the trajectory diff.
+  "$BUILD_DIR/bench_ingest" --benchmark_min_time=1x
+  # Real-graph round trip: convert a SNAP-class edge list and demand
+  # bit-identical serving from the text file and the mmap'd CSR. ci.yml
+  # caches the download under data/ (actions/cache); offline hosts fall
+  # back to a deterministic synthetic edge list so the gate always runs.
+  SNAP_TXT="data/facebook_combined.txt"
+  if [[ ! -f "$SNAP_TXT" ]]; then
+    mkdir -p data
+    if ! curl -fsSL --max-time 120 -o "$SNAP_TXT.gz" \
+         https://snap.stanford.edu/data/facebook_combined.txt.gz \
+         2>/dev/null || ! gunzip -f "$SNAP_TXT.gz" 2>/dev/null; then
+      rm -f "$SNAP_TXT.gz"
+      echo "ci: SNAP download unavailable; generating a synthetic edge list"
+      python3 - "$SNAP_TXT" <<'PYEOF'
+import random, sys
+random.seed(4242)
+n = 4000
+edges = {(i, (i + 1) % n) for i in range(n)}
+while len(edges) < 40000:
+    a, b = random.randrange(n), random.randrange(n)
+    if a != b:
+        edges.add((min(a, b), max(a, b)))
+with open(sys.argv[1], "w") as f:
+    f.write(f"# nodes {n}\n")
+    for a, b in sorted(edges):
+        f.write(f"{a} {b}\n")
+PYEOF
+    fi
+  fi
+  "$BUILD_DIR/drw" convert "$SNAP_TXT" "$SNAP_TXT.csr"
+  "$BUILD_DIR/drw" serve --graph="file:$SNAP_TXT" --seed=7 --k=8 --l=512 \
+      --batch-size=4 > serve_text.out
+  "$BUILD_DIR/drw" serve --graph="$SNAP_TXT.csr" --seed=7 --k=8 --l=512 \
+      --batch-size=4 > serve_csr.out
+  grep -q '^graph: csr' serve_csr.out
+  grep -q '^graph: text' serve_text.out
+  # Identical serving modulo provenance: drop the source-describing lines
+  # (graph spec banner, provenance, parse stats) and wall-clock executor
+  # lines, then demand byte equality of every result and counter.
+  filter() { grep -v -e '^graph' -e '^ingest:' -e '^executor:' "$1"; }
+  diff <(filter serve_text.out) <(filter serve_csr.out)
+  echo "ci: text vs csr serving round trip identical"
 fi
 echo "ci: OK"

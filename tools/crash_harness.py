@@ -16,6 +16,12 @@ Scenarios (each against a scratch directory):
   4. failpoint action smoke: throw kills the run with the injected fault on
      stderr, abort dies by signal, delay_ms completes normally, and a
      malformed DRW_FAILPOINTS spec refuses to start.
+  5. kill -9 mid-convert: a `drw convert` killed inside the csr.commit
+     window leaves only the stray .tmp (no half-renamed cache); serving
+     --graph=X.csr then degrades to the text sibling (the `graph: text`
+     provenance line). A csr.write short_write tears the payload instead --
+     the renamed file must fail the CRC and degrade identically, and a
+     subsequent clean convert must serve from the CSR (`graph: csr`).
 
 Exit status 0 when every scenario passes, 1 otherwise.
 
@@ -166,6 +172,86 @@ def scenario_action_smoke(drw: str, work: str) -> None:
           "malformed spec diagnosed on stderr")
 
 
+def graph_provenance(stdout: str) -> str:
+    """The machine-greppable `graph: csr|text|generator` line drw prints."""
+    for line in stdout.splitlines():
+        if line.startswith("graph: "):
+            return line[len("graph: "):].split(" ", 1)[0]
+    return ""
+
+
+def scenario_kill_mid_convert(drw: str, work: str) -> None:
+    print("scenario 5: kill -9 mid-convert leaves a text-serving fallback")
+    text = os.path.join(work, "ingest.txt")
+    csr = text + ".csr"
+    # A deterministic graph with >= 64 nodes so the serve REQUESTS above are
+    # all in range: a 64-cycle plus chords (every node degree >= 2).
+    with open(text, "w") as f:
+        f.write("# nodes 64\n")
+        for i in range(64):
+            f.write(f"{i} {(i + 1) % 64}\n")
+            f.write(f"{i} {(i + 7) % 64}\n")
+
+    env = dict(os.environ)
+    env["DRW_FAILPOINTS"] = "csr.commit@1:delay_ms=30000"
+    proc = subprocess.Popen([drw, "convert", text, csr], env=env,
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    try:
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            if os.path.exists(csr + ".tmp") or proc.poll() is not None:
+                break
+            time.sleep(0.02)
+        check(proc.poll() is None, "convert stalled inside the commit window")
+        check(os.path.exists(csr + ".tmp"), "pending .tmp fsynced in place")
+        check(not os.path.exists(csr), "no half-renamed .csr ever visible")
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    check(not os.path.exists(csr), "kill leaves only the stray .tmp")
+    served = subprocess.run(
+        [drw] + serve_args(work) + [f"--graph={csr}"],
+        env={k: v for k, v in os.environ.items() if k != "DRW_FAILPOINTS"},
+        capture_output=True, text=True, timeout=120)
+    check(served.returncode == 0, "serve --graph=X.csr exits 0 after the kill")
+    check(graph_provenance(served.stdout) == "text",
+          "missing cache degrades to the text sibling (graph: text)")
+
+    # Torn write: the renamed file exists but half the payload is missing;
+    # validation must reject it and fall back identically.
+    env["DRW_FAILPOINTS"] = "csr.write@1:short_write"
+    torn = subprocess.run([drw, "convert", text, csr], env=env,
+                          capture_output=True, text=True, timeout=120)
+    check(torn.returncode == 0, "convert survives the torn write")
+    check(os.path.exists(csr), "torn .csr renamed into place")
+    served = subprocess.run(
+        [drw] + serve_args(work) + [f"--graph={csr}"],
+        env={k: v for k, v in os.environ.items() if k != "DRW_FAILPOINTS"},
+        capture_output=True, text=True, timeout=120)
+    check(served.returncode == 0, "serve exits 0 on the torn cache")
+    check(graph_provenance(served.stdout) == "text",
+          "torn cache degrades to the text sibling (graph: text)")
+
+    # And a clean convert heals it: the next serve runs from the mmap.
+    clean = subprocess.run([drw, "convert", text, csr],
+                           env={k: v for k, v in os.environ.items()
+                                if k != "DRW_FAILPOINTS"},
+                           capture_output=True, text=True, timeout=120)
+    check(clean.returncode == 0, "clean re-convert exits 0")
+    served = subprocess.run(
+        [drw] + serve_args(work) + [f"--graph={csr}"],
+        env={k: v for k, v in os.environ.items() if k != "DRW_FAILPOINTS"},
+        capture_output=True, text=True, timeout=120)
+    check(served.returncode == 0, "serve exits 0 on the healed cache")
+    check(graph_provenance(served.stdout) == "csr",
+          "healed cache serves from the mmap (graph: csr)")
+
+
 def main() -> int:
     if len(sys.argv) != 2:
         print(__doc__)
@@ -179,6 +265,7 @@ def main() -> int:
         scenario_bit_flip(drw, work)    # corrupts scenario 1's snapshot
         scenario_short_write(drw, work)
         scenario_action_smoke(drw, work)
+        scenario_kill_mid_convert(drw, work)
     if failures:
         print(f"crash_harness: FAIL ({len(failures)} check(s))")
         return 1

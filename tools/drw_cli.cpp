@@ -13,15 +13,27 @@
 //   expander   expander check                    (--samples)
 //   pagerank   PageRank via terminating walks    (--alpha, --tokens)
 //   verify     PATH-VERIFICATION on the gadget   (--l)
+//   convert    edge list -> binary CSR cache     (IN.txt OUT.csr,
+//                                                 --no-relabel)
 //
 // Graph specs (default torus:12x12):
 //   path:N cycle:N grid:RxC torus:RxC hypercube:D complete:N star:N
 //   lollipop:C,P barbell:C,P er:N,P regular:N,D rgg:N,R chain:S,N,D
+//   file:PATH (edge list or .csr; a bare existing path works too)
+//
+// File graphs go through the ingestion pipeline (graph/csr_file.hpp):
+// bulk-parsed, degree-relabeled (node 0 = highest degree), and -- for
+// .csr files -- mmap'd zero-copy. --source/--root and every printed node
+// id stay in the user's id space; translation is internal. A rejected
+// .csr (torn, corrupt, wrong version) degrades to re-parsing PATH minus
+// ".csr" with identical results; stdout carries a machine-greppable
+// "graph: csr|text" line.
 //
 // Examples:
 //   drw walk --graph=regular:128,4 --l=8192
 //   drw rst --graph=grid:8x8 --seed=7
 //   drw pagerank --graph=rgg:96,0.2 --alpha=0.15 --tokens=200
+//   drw convert soc.txt soc.txt.csr && drw serve --graph=soc.txt.csr
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -39,6 +51,7 @@
 #include "congest/network.hpp"
 #include "core/random_walks.hpp"
 #include "graph/algorithms.hpp"
+#include "graph/csr_file.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/spanning.hpp"
@@ -57,6 +70,12 @@ using namespace drw;
   std::fprintf(stderr,
                "usage: drw "
                "<walk|many|serve|rst|mixing|expander|pagerank|verify>\n"
+               "       drw convert IN.txt OUT.csr [--threads=N]"
+               " [--no-relabel]\n"
+               "           (bulk-parse IN.txt, degree-relabel, write an\n"
+               "            atomic CRC-checksummed binary CSR cache that\n"
+               "            --graph=OUT.csr mmaps zero-copy; --no-relabel\n"
+               "            keeps user ids as internal ids)\n"
                "           [--graph=SPEC] [--seed=N] [--l=N] [--k=N]\n"
                "           [--source=N] [--root=N] [--alpha=F] [--tokens=N]\n"
                "           [--samples=N] [--naive] [--lazy] [--mh]\n"
@@ -88,7 +107,8 @@ using namespace drw;
                "graph specs: path:N cycle:N grid:RxC torus:RxC hypercube:D\n"
                "             complete:N star:N lollipop:C,P barbell:C,P\n"
                "             er:N,P regular:N,D powerlaw:N,M rgg:N,R\n"
-               "             chain:S,N,D file:PATH\n");
+               "             chain:S,N,D file:PATH (edge list or .csr;\n"
+               "             a bare existing path also works)\n");
   std::exit(2);
 }
 
@@ -117,6 +137,8 @@ struct Args {
   std::string snapshot;    // serve: checkpoint path (snapshot-after-batch)
   std::uint32_t snapshot_keep = 1;  // serve: generations kept (1 = in place)
   bool restore = false;    // serve: warm-start from --snapshot
+  bool no_relabel = false;  // convert: keep user ids as internal ids
+  std::vector<std::string> positional;  // convert: IN.txt OUT.csr
 };
 
 std::optional<std::string> flag_value(const char* arg, const char* name) {
@@ -186,6 +208,10 @@ Args parse_args(int argc, char** argv) {
       args.snapshot = *v;
     } else if (std::strcmp(a, "--restore") == 0) {
       args.restore = true;
+    } else if (std::strcmp(a, "--no-relabel") == 0) {
+      args.no_relabel = true;
+    } else if (a[0] != '-') {
+      args.positional.push_back(a);
     } else if (std::strcmp(a, "--paths") == 0) {
       args.paths = true;
     } else if (std::strcmp(a, "--naive") == 0) {
@@ -224,9 +250,6 @@ Graph build_graph(const std::string& spec, std::uint64_t seed) {
     return i < params.size() ? params[i] : fallback;
   };
   Rng rng(seed ^ 0xabcdef);
-  if (name == "file") {
-    return read_edge_list_file(spec.substr(colon + 1));
-  }
   if (name == "path") return gen::path(static_cast<std::size_t>(p(0, 64)));
   if (name == "cycle") return gen::cycle(static_cast<std::size_t>(p(0, 64)));
   if (name == "grid") {
@@ -276,6 +299,48 @@ Graph build_graph(const std::string& spec, std::uint64_t seed) {
   usage(("unknown graph spec: " + spec).c_str());
 }
 
+/// A graph ready for a command: the topology (in the internal id space),
+/// the user<->internal id maps, and provenance for the "graph:" line.
+/// Generator graphs are never relabeled (identity maps), so their results
+/// are unchanged; file graphs go through csr::load_graph -- text parse +
+/// degree relabel, or zero-copy mmap of a converted .csr.
+struct CliGraph {
+  csr::LoadedGraph lg;
+  bool from_file = false;
+  std::string source_desc;  // "csr:PATH" / "text:PATH" / "generator:SPEC"
+};
+
+bool path_exists(const std::string& path) {
+  std::ifstream probe(path);
+  return probe.good();
+}
+
+CliGraph load_cli_graph(const Args& args) {
+  const std::string& spec = args.graph_spec;
+  const auto colon = spec.find(':');
+  std::string file_path;
+  if (colon != std::string::npos && spec.substr(0, colon) == "file") {
+    file_path = spec.substr(colon + 1);
+  } else if (colon == std::string::npos &&
+             (path_exists(spec) ||
+              (spec.size() > 4 &&
+               spec.compare(spec.size() - 4, 4, ".csr") == 0))) {
+    // Bare path convenience: --graph=soc.txt.csr. A missing .csr still
+    // routes through load_graph so it can degrade to the text sibling.
+    file_path = spec;
+  }
+  CliGraph cg;
+  if (!file_path.empty()) {
+    cg.lg = csr::load_graph(file_path, args.threads);
+    cg.from_file = true;
+    cg.source_desc = (cg.lg.from_csr ? "csr:" : "text:") + file_path;
+  } else {
+    cg.lg.graph = build_graph(spec, args.seed);
+    cg.source_desc = "generator:" + spec;
+  }
+  return cg;
+}
+
 /// Applies the executor overrides (--threads / --partition / --steal-chunk;
 /// results are bit-identical at every setting).
 void configure_threads(congest::Network& net, const Args& args) {
@@ -284,14 +349,15 @@ void configure_threads(congest::Network& net, const Args& args) {
   if (args.steal_chunk != 0) net.set_steal_chunk(args.steal_chunk);
 }
 
-int cmd_walk(const Args& args, const Graph& g, std::uint32_t diameter) {
+int cmd_walk(const Args& args, const CliGraph& cg, std::uint32_t diameter) {
+  const Graph& g = cg.lg.graph;
   congest::Network net(g, args.seed);
   configure_threads(net, args);
   if (args.naive) {
     const auto result =
         core::naive_random_walk(net, args.source, args.l, args.model);
     std::printf("naive walk: destination=%u rounds=%llu messages=%llu\n",
-                result.destination,
+                cg.lg.to_user(result.destination),
                 static_cast<unsigned long long>(result.stats.rounds),
                 static_cast<unsigned long long>(result.stats.messages));
     return 0;
@@ -302,7 +368,7 @@ int cmd_walk(const Args& args, const Graph& g, std::uint32_t diameter) {
       core::single_random_walk(net, args.source, args.l, params, diameter);
   std::printf("stitched walk: destination=%u rounds=%llu (naive: %llu) "
               "lambda=%u stitches=%llu gmw=%llu\n",
-              out.result.destination,
+              cg.lg.to_user(out.result.destination),
               static_cast<unsigned long long>(out.result.stats.rounds),
               static_cast<unsigned long long>(args.l),
               out.result.counters.lambda,
@@ -312,7 +378,8 @@ int cmd_walk(const Args& args, const Graph& g, std::uint32_t diameter) {
   return 0;
 }
 
-int cmd_many(const Args& args, const Graph& g, std::uint32_t diameter) {
+int cmd_many(const Args& args, const CliGraph& cg, std::uint32_t diameter) {
+  const Graph& g = cg.lg.graph;
   congest::Network net(g, args.seed);
   configure_threads(net, args);
   core::Params params = core::Params::paper();
@@ -326,15 +393,19 @@ int cmd_many(const Args& args, const Graph& g, std::uint32_t diameter) {
               static_cast<unsigned long long>(out.stats.rounds),
               out.used_naive_fallback ? "naive-fallback" : "stitched");
   std::printf("destinations:");
-  for (NodeId dest : out.destinations) std::printf(" %u", dest);
+  for (NodeId dest : out.destinations) {
+    std::printf(" %u", cg.lg.to_user(dest));
+  }
   std::printf("\n");
   return 0;
 }
 
 /// Parses a request file: one `source length count [record]` per line;
-/// blank lines and '#' comments skipped.
+/// blank lines and '#' comments skipped. Sources are user-space ids and
+/// are translated to the internal (possibly relabeled) id space here.
 std::vector<service::WalkRequest> read_request_file(const std::string& path,
-                                                    std::size_t node_count) {
+                                                    const CliGraph& cg) {
+  const std::size_t node_count = cg.lg.graph.node_count();
   std::ifstream in(path);
   if (!in) usage(("cannot open request file: " + path).c_str());
   std::vector<service::WalkRequest> requests;
@@ -366,7 +437,7 @@ std::vector<service::WalkRequest> read_request_file(const std::string& path,
              ": source out of range").c_str());
     }
     requests.push_back(service::WalkRequest{
-        static_cast<NodeId>(source), length,
+        cg.lg.to_internal(static_cast<NodeId>(source)), length,
         static_cast<std::uint32_t>(count), record != 0});
   }
   return requests;
@@ -424,7 +495,8 @@ void append_batch_report(std::ostringstream& out,
       << ",\"rejected\":" << r.rejected << "}";
 }
 
-int cmd_serve(const Args& args, const Graph& g, std::uint32_t diameter) {
+int cmd_serve(const Args& args, const CliGraph& cg, std::uint32_t diameter) {
+  const Graph& g = cg.lg.graph;
   congest::Network net(g, args.seed);
   if (args.steal_chunk != 0) net.set_steal_chunk(args.steal_chunk);
   service::ServiceConfig config;
@@ -436,6 +508,7 @@ int cmd_serve(const Args& args, const Graph& g, std::uint32_t diameter) {
   config.mux_width = args.mux;
   config.snapshot_path = args.snapshot;
   config.snapshot_keep = args.snapshot_keep;
+  config.graph_source = cg.source_desc;
   if (args.restore && args.snapshot.empty()) {
     usage("--restore needs --snapshot=FILE");
   }
@@ -451,7 +524,7 @@ int cmd_serve(const Args& args, const Graph& g, std::uint32_t diameter) {
   const std::vector<service::WalkRequest> requests =
       args.requests_file.empty()
           ? synthetic_requests(args, g, diameter)
-          : read_request_file(args.requests_file, g.node_count());
+          : read_request_file(args.requests_file, cg);
   if (requests.empty()) usage("no requests to serve");
   for (const service::WalkRequest& r : requests) {
     if (r.record_positions && !args.paths) {
@@ -558,7 +631,7 @@ int cmd_serve(const Args& args, const Graph& g, std::uint32_t diameter) {
         << ",\"steal_chunk\":" << net.steal_chunk() << ",\"partition\":\""
         << (net.partition() == congest::Partition::kEdgeWeighted
                 ? "edge-weighted" : "node-count")
-        << "\"},\n"
+        << "\",\"graph_source\":\"" << config.graph_source << "\"},\n"
         << "\"registry\":" << obs::Registry::global().snapshot_json()
         << "}\n";
     std::printf("stats json: %s\n", args.stats_json.c_str());
@@ -576,7 +649,8 @@ int cmd_serve(const Args& args, const Graph& g, std::uint32_t diameter) {
   return 0;
 }
 
-int cmd_rst(const Args& args, const Graph& g, std::uint32_t diameter) {
+int cmd_rst(const Args& args, const CliGraph& cg, std::uint32_t diameter) {
+  const Graph& g = cg.lg.graph;
   congest::Network net(g, args.seed);
   configure_threads(net, args);
   const auto result =
@@ -590,13 +664,14 @@ int cmd_rst(const Args& args, const Graph& g, std::uint32_t diameter) {
               result.phases,
               is_spanning_tree(g, result.tree) ? "yes" : "NO");
   for (const auto& [u, v] : result.tree.edges) {
-    std::printf("%u-%u ", u, v);
+    std::printf("%u-%u ", cg.lg.to_user(u), cg.lg.to_user(v));
   }
   std::printf("\n");
   return 0;
 }
 
-int cmd_mixing(const Args& args, const Graph& g, std::uint32_t diameter) {
+int cmd_mixing(const Args& args, const CliGraph& cg, std::uint32_t diameter) {
+  const Graph& g = cg.lg.graph;
   congest::Network net(g, args.seed);
   configure_threads(net, args);
   core::Params params = core::Params::paper();
@@ -616,7 +691,9 @@ int cmd_mixing(const Args& args, const Graph& g, std::uint32_t diameter) {
   return 0;
 }
 
-int cmd_expander(const Args& args, const Graph& g, std::uint32_t diameter) {
+int cmd_expander(const Args& args, const CliGraph& cg,
+                 std::uint32_t diameter) {
+  const Graph& g = cg.lg.graph;
   congest::Network net(g, args.seed);
   configure_threads(net, args);
   apps::MixingOptions options;
@@ -632,7 +709,8 @@ int cmd_expander(const Args& args, const Graph& g, std::uint32_t diameter) {
   return 0;
 }
 
-int cmd_pagerank(const Args& args, const Graph& g, std::uint32_t) {
+int cmd_pagerank(const Args& args, const CliGraph& cg, std::uint32_t) {
+  const Graph& g = cg.lg.graph;
   congest::Network net(g, args.seed);
   configure_threads(net, args);
   apps::PageRankOptions options;
@@ -649,8 +727,49 @@ int cmd_pagerank(const Args& args, const Graph& g, std::uint32_t) {
     return result.scores[a] > result.scores[b];
   });
   for (std::size_t i = 0; i < order.size() && i < 10; ++i) {
-    std::printf("  node %-6u deg %-4u score %.5f\n", order[i],
-                g.degree(order[i]), result.scores[order[i]]);
+    std::printf("  node %-6u deg %-4u score %.5f\n",
+                cg.lg.to_user(order[i]), g.degree(order[i]),
+                result.scores[order[i]]);
+  }
+  return 0;
+}
+
+void print_ingest_stats(const ParseStats& s) {
+  if (s.bytes == 0) return;
+  const double total_ms = s.read_ms + s.parse_ms + s.build_ms;
+  std::printf("ingest: %llu bytes / %llu lines / %llu edge rows | "
+              "read %.1f ms, parse %.1f ms (%u threads), build %.1f ms | "
+              "%.2f M edges/s\n",
+              static_cast<unsigned long long>(s.bytes),
+              static_cast<unsigned long long>(s.lines),
+              static_cast<unsigned long long>(s.edges), s.read_ms,
+              s.parse_ms, s.threads, s.build_ms,
+              total_ms <= 0.0
+                  ? 0.0
+                  : static_cast<double>(s.edges) / (1e3 * total_ms));
+}
+
+int cmd_convert(const Args& args) {
+  if (args.positional.size() != 2) {
+    usage("convert needs two paths: drw convert IN.txt OUT.csr");
+  }
+  const std::string& in = args.positional[0];
+  const std::string& out = args.positional[1];
+  if (args.no_relabel) {
+    ParseStats stats;
+    const Graph g = read_edge_list_file(in, args.threads, &stats);
+    csr::write_csr_file(out, g, {});
+    std::printf("converted %s -> %s (no relabel): %s\n", in.c_str(),
+                out.c_str(), g.summary().c_str());
+    print_ingest_stats(stats);
+  } else {
+    const csr::LoadedGraph loaded = csr::convert_edge_list(in, out,
+                                                           args.threads);
+    std::printf("converted %s -> %s: %s\n", in.c_str(), out.c_str(),
+                loaded.graph.summary().c_str());
+    std::printf("relabel: degree-ordered (internal id 0 = highest degree); "
+                "old<->new map stored in the file\n");
+    print_ingest_stats(loaded.stats);
   }
   return 0;
 }
@@ -681,24 +800,45 @@ namespace {
 
 int run_command(const Args& args) {
   if (args.command == "verify") return cmd_verify(args);
+  if (args.command == "convert") return cmd_convert(args);
 
-  const Graph g = build_graph(args.graph_spec, args.seed);
-  const std::uint32_t diameter = exact_diameter(g);
-  std::printf("graph %s: %s, D=%u\n", args.graph_spec.c_str(),
-              g.summary().c_str(), diameter);
-  if (args.source >= g.node_count() || args.root >= g.node_count()) {
+  const CliGraph cg = load_cli_graph(args);
+  const Graph& g = cg.lg.graph;
+  // Exact diameter is O(n(n+m)) -- fine for the small generator suite,
+  // prohibitive for real datasets. File graphs use the O(n+m) double-sweep
+  // estimate; it is a pure function of the (relabeled) topology, so text
+  // and CSR loads of the same file agree and bit-identity is unaffected.
+  const std::uint32_t diameter =
+      cg.from_file ? double_sweep_diameter_estimate(g, 0) : exact_diameter(g);
+  std::printf("graph %s: %s, D=%u%s\n", args.graph_spec.c_str(),
+              g.summary().c_str(), diameter,
+              cg.from_file ? " (double-sweep estimate)" : "");
+  // Machine-greppable provenance line (tools/crash_harness.py keys on
+  // "graph: csr" vs "graph: text" to assert fallback behavior).
+  std::printf("graph: %s%s%s%s\n",
+              cg.from_file ? (cg.lg.from_csr ? "csr" : "text") : "generator",
+              cg.lg.note.empty() ? "" : " (", cg.lg.note.c_str(),
+              cg.lg.note.empty() ? "" : ")");
+  if (cg.from_file) print_ingest_stats(cg.lg.stats);
+
+  // Commands run in the internal id space; --source/--root arrive in the
+  // user's id space and are translated here (identity for generators).
+  Args run = args;
+  run.source = cg.lg.to_internal(args.source);
+  run.root = cg.lg.to_internal(args.root);
+  if (run.source == kInvalidNode || run.root == kInvalidNode) {
     usage("--source/--root out of range");
   }
 
-  if (args.command == "walk") return cmd_walk(args, g, diameter);
-  if (args.command == "many") return cmd_many(args, g, diameter);
+  if (args.command == "walk") return cmd_walk(run, cg, diameter);
+  if (args.command == "many") return cmd_many(run, cg, diameter);
   if (args.command == "serve" || args.command == "batch") {
-    return cmd_serve(args, g, diameter);
+    return cmd_serve(run, cg, diameter);
   }
-  if (args.command == "rst") return cmd_rst(args, g, diameter);
-  if (args.command == "mixing") return cmd_mixing(args, g, diameter);
-  if (args.command == "expander") return cmd_expander(args, g, diameter);
-  if (args.command == "pagerank") return cmd_pagerank(args, g, diameter);
+  if (args.command == "rst") return cmd_rst(run, cg, diameter);
+  if (args.command == "mixing") return cmd_mixing(run, cg, diameter);
+  if (args.command == "expander") return cmd_expander(run, cg, diameter);
+  if (args.command == "pagerank") return cmd_pagerank(run, cg, diameter);
   usage(("unknown command: " + args.command).c_str());
 }
 
