@@ -1,0 +1,271 @@
+// Serving-latency experiment (acceptance gate for the admission front end):
+//
+//   Open-loop arrivals -- a 48-request hot-key flood at t=0 plus 16 light
+//   requests trickling in just after -- are pushed through the REAL
+//   AdmissionQueue and served batch by batch on a WalkService; a simulated
+//   clock advances by the measured wall time of each served batch, so every
+//   request's latency = (clock at batch completion) - (scheduled arrival).
+//   Under deficit round robin the light class's p99 must stay within 2x of
+//   its no-flood baseline; the FIFO baseline policy must measurably violate
+//   that bound (the light burst waits behind the whole flood backlog).
+//
+// Both gates are RATIOS of latencies measured in the same process, so they
+// are machine-speed invariant: a slow runner scales numerator and
+// denominator alike. Percentiles are exact (sorted samples, no histogram
+// buckets). Results land in BENCH_serve_latency.json; ci.yml diffs the
+// lat_*_p99_ms trajectory fields against the committed baseline with a
+// fnmatch --gate-field glob.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "congest/network.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "service/admission.hpp"
+#include "service/walk_service.hpp"
+
+namespace {
+
+using namespace drw;
+
+// Exact percentile of a sample set (nearest-rank).
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t rank = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(samples.size()))));
+  return samples[std::min(rank, samples.size()) - 1];
+}
+
+struct Arrival {
+  service::PendingRequest pending;
+};
+
+struct ClassLatencies {
+  std::vector<double> light;
+  std::vector<double> flood;
+  std::uint64_t batches = 0;
+  double serve_ms = 0.0;  ///< total measured serving wall time
+};
+
+// The open-loop schedule. Flood: 48 requests of length 2048 from one hot
+// flow, all scheduled at t=0 (12 full batches of backlog at the default
+// max_batch_cost of 8192). Light: 16 requests of length 1024 from a second
+// flow, arriving at t = 0.1 + 0.02*i ms -- effectively simultaneous
+// relative to any batch's serve time, i.e. two full batches of light
+// work. The light flow id sorts FIRST so the DRR cycle credits it before
+// the flood each drain.
+std::vector<Arrival> schedule(const Graph& g, std::uint32_t light_class,
+                              std::uint32_t flood_class, bool with_flood) {
+  std::vector<Arrival> out;
+  const NodeId n = static_cast<NodeId>(g.node_count());
+  if (with_flood) {
+    for (int i = 0; i < 48; ++i) {
+      service::PendingRequest p;
+      p.request = service::WalkRequest{static_cast<NodeId>(7 % n), 2048, 1,
+                                       false};
+      p.user_source = p.request.source;
+      p.flow = 2;
+      p.class_id = flood_class;
+      p.arrival_ms = 0.0;
+      out.push_back(Arrival{p});
+    }
+  }
+  for (int i = 0; i < 16; ++i) {
+    service::PendingRequest p;
+    p.request = service::WalkRequest{static_cast<NodeId>((i * 11) % n), 1024,
+                                     1, false};
+    p.user_source = p.request.source;
+    p.flow = 1;
+    p.class_id = light_class;
+    p.arrival_ms = 0.1 + 0.02 * i;
+    out.push_back(Arrival{p});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Arrival& a, const Arrival& b) {
+                     return a.pending.arrival_ms < b.pending.arrival_ms;
+                   });
+  return out;
+}
+
+ClassLatencies run_scenario(const Graph& g, std::uint32_t diameter,
+                            service::AdmissionPolicy policy,
+                            bool with_flood) {
+  service::AdmissionConfig config;
+  config.policy = policy;
+  service::AdmissionQueue queue(config);
+  const std::uint32_t light_class = queue.intern_class("light");
+  const std::uint32_t flood_class = queue.intern_class("flood");
+  // The light class gets a full batch's quantum per DRR cycle: a queued
+  // light burst drains into the very next batch instead of dribbling out.
+  queue.set_class_quantum(light_class, config.max_batch_cost);
+  queue.set_class_quantum(flood_class, config.quantum);
+
+  const std::vector<Arrival> arrivals =
+      schedule(g, light_class, flood_class, with_flood);
+
+  congest::Network net(g, 4242);
+  service::WalkService svc(net, diameter);
+
+  ClassLatencies lat;
+  double clock = 0.0;
+  std::size_t next = 0;
+  std::size_t completed = 0;
+  while (completed < arrivals.size()) {
+    // Open loop: arrivals land at their scheduled instant regardless of
+    // service progress. An idle queue fast-forwards to the next arrival.
+    if (queue.depth() == 0 && next < arrivals.size() &&
+        arrivals[next].pending.arrival_ms > clock) {
+      clock = arrivals[next].pending.arrival_ms;
+    }
+    while (next < arrivals.size() &&
+           arrivals[next].pending.arrival_ms <= clock) {
+      if (queue.enqueue(arrivals[next].pending) !=
+          service::RequestStatus::kOk) {
+        std::fprintf(stderr, "serve_latency: unexpected admission reject\n");
+        std::exit(1);
+      }
+      ++next;
+    }
+    const std::vector<service::PendingRequest> batch =
+        queue.drain(clock, nullptr);
+    if (batch.empty()) continue;  // nothing admitted yet (cannot stall: the
+                                  // fast-forward above injects work)
+    std::vector<service::WalkRequest> requests;
+    requests.reserve(batch.size());
+    for (const service::PendingRequest& p : batch) {
+      requests.push_back(p.request);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const service::BatchReport report = svc.serve(requests);
+    const double dt =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    if (report.results.size() != batch.size()) {
+      std::fprintf(stderr, "serve_latency: short batch report\n");
+      std::exit(1);
+    }
+    clock += dt;
+    lat.serve_ms += dt;
+    lat.batches += 1;
+    for (const service::PendingRequest& p : batch) {
+      auto& samples = p.class_id == light_class ? lat.light : lat.flood;
+      samples.push_back(clock - p.arrival_ms);
+      ++completed;
+    }
+  }
+  return lat;
+}
+
+int run_experiment() {
+  Rng rng(606);
+  const Graph g = gen::random_regular(256, 4, rng);
+  const std::uint32_t diameter = exact_diameter(g);
+
+  bench::banner(
+      "SERVE-LATENCY / DRR admission vs FIFO under a hot-key flood",
+      "open-loop arrivals: 48-request flood (l=2048) at t=0 + 16 light "
+      "requests (l=1024) just after, drained through the real "
+      "AdmissionQueue; light-class p99 under DRR must stay within 2x of "
+      "its no-flood baseline, FIFO must violate that bound");
+
+  const ClassLatencies noflood = run_scenario(
+      g, diameter, service::AdmissionPolicy::kDrr, /*with_flood=*/false);
+  const ClassLatencies drr = run_scenario(
+      g, diameter, service::AdmissionPolicy::kDrr, /*with_flood=*/true);
+  const ClassLatencies fifo = run_scenario(
+      g, diameter, service::AdmissionPolicy::kFifo, /*with_flood=*/true);
+
+  const double base_p50 = percentile(noflood.light, 0.5);
+  const double base_p99 = percentile(noflood.light, 0.99);
+  const double drr_light_p50 = percentile(drr.light, 0.5);
+  const double drr_light_p99 = percentile(drr.light, 0.99);
+  const double drr_flood_p99 = percentile(drr.flood, 0.99);
+  const double fifo_light_p99 = percentile(fifo.light, 0.99);
+  const double fairness_drr = base_p99 > 0 ? drr_light_p99 / base_p99 : 0;
+  const double fairness_fifo = base_p99 > 0 ? fifo_light_p99 / base_p99 : 0;
+
+  bench::Table table({"scenario", "light p50 ms", "light p99 ms",
+                      "flood p99 ms", "batches", "serve ms"});
+  table.add_row({"no flood (drr)", bench::fmt_double(base_p50, 2),
+                 bench::fmt_double(base_p99, 2), "-",
+                 bench::fmt_u64(noflood.batches),
+                 bench::fmt_double(noflood.serve_ms, 1)});
+  table.add_row({"flood + drr", bench::fmt_double(drr_light_p50, 2),
+                 bench::fmt_double(drr_light_p99, 2),
+                 bench::fmt_double(drr_flood_p99, 2),
+                 bench::fmt_u64(drr.batches),
+                 bench::fmt_double(drr.serve_ms, 1)});
+  table.add_row({"flood + fifo", bench::fmt_double(percentile(fifo.light, 0.5), 2),
+                 bench::fmt_double(fifo_light_p99, 2),
+                 bench::fmt_double(percentile(fifo.flood, 0.99), 2),
+                 bench::fmt_u64(fifo.batches),
+                 bench::fmt_double(fifo.serve_ms, 1)});
+  table.print();
+
+  bench::JsonReport json("serve_latency");
+  json.add_string("workload",
+                  "expander(256,4): 48-req flood l=2048 + 16 light l=1024, "
+                  "open loop, max_batch_cost=8192");
+  json.add("hw_threads",
+           static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  json.add("lat_light_noflood_p50_ms", base_p50);
+  json.add("lat_light_noflood_p99_ms", base_p99);
+  json.add("lat_light_p50_ms", drr_light_p50);
+  json.add("lat_light_p99_ms", drr_light_p99);
+  json.add("lat_flood_p99_ms", drr_flood_p99);
+  json.add("lat_fifo_light_p99_ms", fifo_light_p99);
+  json.add("fairness_ratio_drr", fairness_drr);
+  json.add("fairness_ratio_fifo", fairness_fifo);
+  json.add("batches_noflood", noflood.batches);
+  json.add("batches_drr", drr.batches);
+  json.add("batches_fifo", fifo.batches);
+  json.write();
+
+  const bool drr_ok = fairness_drr > 0 && fairness_drr <= 2.0;
+  const bool fifo_violates = fairness_fifo > 2.0;
+  std::printf(
+      "acceptance: DRR light p99 within 2x of no-flood: %.2fx (%s); "
+      "FIFO baseline violates the bound: %.2fx (%s)\n",
+      fairness_drr, drr_ok ? "PASS" : "FAIL", fairness_fifo,
+      fifo_violates ? "PASS" : "FAIL");
+  return drr_ok && fifo_violates ? 0 : 1;
+}
+
+// Micro: pure admission overhead -- enqueue+drain 1024 requests across 8
+// flows, no serving. Keeps the DRR bookkeeping itself off the latency path.
+void BM_AdmissionDrain(benchmark::State& state) {
+  for (auto _ : state) {
+    service::AdmissionQueue queue;
+    for (int i = 0; i < 1024; ++i) {
+      service::PendingRequest p;
+      p.request = service::WalkRequest{0, 64, 1, false};
+      p.flow = static_cast<std::uint64_t>(i % 8);
+      if (queue.enqueue(p) != service::RequestStatus::kOk) std::abort();
+    }
+    std::size_t drained = 0;
+    while (drained < 1024) {
+      const auto batch = queue.drain(0.0, nullptr);
+      drained += batch.size();
+      benchmark::DoNotOptimize(batch.data());
+    }
+  }
+}
+BENCHMARK(BM_AdmissionDrain);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc = run_experiment();
+  if (rc != 0) return rc;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

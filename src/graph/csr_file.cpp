@@ -76,9 +76,9 @@ void write_capped(int fd, const std::string& tmp, const void* data,
 }
 
 LoadedGraph load_text(const std::string& path, unsigned threads,
-                      std::string note) {
+                      std::string note, EdgeListOptions options = {}) {
   ParseStats stats;
-  Graph raw = read_edge_list_file(path, threads, &stats);
+  Graph raw = read_edge_list_file(path, threads, &stats, options);
   obs::Span span(obs::Name::kIngestRelabel, obs::kPidIngest, 0);
   Relabeling rel = degree_relabel(raw);
   LoadedGraph out;
@@ -352,9 +352,10 @@ ReadOutcome read_csr_file(const std::string& path) {
   return {std::move(out), ""};
 }
 
-LoadedGraph load_graph(const std::string& path, unsigned threads) {
+LoadedGraph load_graph(const std::string& path, unsigned threads,
+                       EdgeListOptions options) {
   const bool looks_csr = ends_with_csr(path) || file_has_csr_magic(path);
-  if (!looks_csr) return load_text(path, threads, "");
+  if (!looks_csr) return load_text(path, threads, "", options);
   ReadOutcome out = read_csr_file(path);
   if (out.loaded.has_value()) return std::move(*out.loaded);
   if (ends_with_csr(path)) {
@@ -365,7 +366,8 @@ LoadedGraph load_graph(const std::string& path, unsigned threads) {
     if (file_exists(sibling)) {
       return load_text(sibling, threads,
                        "csr rejected (" + out.error + "); re-parsed " +
-                           sibling);
+                           sibling,
+                       options);
     }
   }
   throw std::runtime_error("cannot load graph " + path + ": " + out.error +
@@ -373,8 +375,9 @@ LoadedGraph load_graph(const std::string& path, unsigned threads) {
 }
 
 LoadedGraph convert_edge_list(const std::string& text_path,
-                              const std::string& csr_path, unsigned threads) {
-  LoadedGraph loaded = load_graph(text_path, threads);
+                              const std::string& csr_path, unsigned threads,
+                              EdgeListOptions options) {
+  LoadedGraph loaded = load_graph(text_path, threads, options);
   write_csr_file(csr_path, loaded.graph, loaded.new_to_old);
   return loaded;
 }

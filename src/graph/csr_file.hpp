@@ -110,12 +110,16 @@ ReadOutcome read_csr_file(const std::string& path);
 ///   * anything else -> bulk text parse (graph/io.hpp) + degree_relabel.
 /// Throws std::runtime_error when nothing loadable exists,
 /// std::invalid_argument on malformed text content.
-LoadedGraph load_graph(const std::string& path, unsigned threads = 0);
+/// `options` applies to the text-parse paths only (a binary CSR has no
+/// headers to ignore).
+LoadedGraph load_graph(const std::string& path, unsigned threads = 0,
+                       EdgeListOptions options = {});
 
 /// `drw convert`: text parse + relabel + write_csr_file. Returns the
 /// converted graph (handy for summaries/tests).
 LoadedGraph convert_edge_list(const std::string& text_path,
                               const std::string& csr_path,
-                              unsigned threads = 0);
+                              unsigned threads = 0,
+                              EdgeListOptions options = {});
 
 }  // namespace drw::csr

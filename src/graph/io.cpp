@@ -186,6 +186,18 @@ LineOut parse_line(const char* p, const char* end) {
   return out;
 }
 
+/// EdgeListOptions::no_header post-filter: headers (and the overflow
+/// errors only a header can produce) become plain comments.
+LineOut apply_options(LineOut out, const EdgeListOptions& options) {
+  if (options.no_header &&
+      (out.kind == LineOut::kHeader ||
+       (out.kind == LineOut::kError &&
+        out.code == ErrCode::kHeaderOverflow))) {
+    return LineOut{};
+  }
+  return out;
+}
+
 /// Calls fn(line_begin, line_end) for every physical line of [begin, end);
 /// a trailing line without '\n' still counts (getline compatibility).
 template <typename Fn>
@@ -313,7 +325,7 @@ Graph assemble_csr(std::size_t n,
 
 /// Serial tokenizing parse with full diagnostics; keeps per-edge line
 /// numbers so the post-loop '# nodes' range check reports original lines.
-Graph parse_serial(std::string_view text) {
+Graph parse_serial(std::string_view text, EdgeListOptions options = {}) {
   std::vector<std::vector<std::pair<NodeId, NodeId>>> parts(1);
   auto& edges = parts[0];
   std::vector<std::size_t> edge_lines;
@@ -325,7 +337,7 @@ Graph parse_serial(std::string_view text) {
   for_each_line(text.data(), text.data() + text.size(),
                 [&](const char* p, const char* le) {
                   ++line_number;
-                  const LineOut out = parse_line(p, le);
+                  const LineOut out = apply_options(parse_line(p, le), options);
                   switch (out.kind) {
                     case LineOut::kSkip:
                       break;
@@ -380,10 +392,11 @@ struct ChunkResult {
   std::uint64_t error_value = 0;
 };
 
-void parse_chunk(const char* begin, const char* end, ChunkResult& out) {
+void parse_chunk(const char* begin, const char* end,
+                 const EdgeListOptions& options, ChunkResult& out) {
   for_each_line(begin, end, [&](const char* p, const char* le) {
     ++out.lines;
-    const LineOut lo = parse_line(p, le);
+    const LineOut lo = apply_options(parse_line(p, le), options);
     switch (lo.kind) {
       case LineOut::kSkip:
         break;
@@ -406,7 +419,9 @@ void parse_chunk(const char* begin, const char* end, ChunkResult& out) {
 
 }  // namespace
 
-Graph parse_edge_list(std::string_view text) { return parse_serial(text); }
+Graph parse_edge_list(std::string_view text, EdgeListOptions options) {
+  return parse_serial(text, options);
+}
 
 Graph read_edge_list(std::istream& in) {
   std::string buffer((std::istreambuf_iterator<char>(in)),
@@ -415,7 +430,7 @@ Graph read_edge_list(std::istream& in) {
 }
 
 Graph parse_edge_list_parallel(std::string_view text, unsigned threads,
-                               ParseStats* stats) {
+                               ParseStats* stats, EdgeListOptions options) {
   const auto t_parse = std::chrono::steady_clock::now();
   threads = resolve_threads(threads);
   const char* begin = text.data();
@@ -440,7 +455,7 @@ Graph parse_edge_list_parallel(std::string_view text, unsigned threads,
 
   std::vector<ChunkResult> chunks(spans.size());
   run_workers(threads, spans.size(), [&](std::size_t i) {
-    parse_chunk(spans[i].first, spans[i].second, chunks[i]);
+    parse_chunk(spans[i].first, spans[i].second, options, chunks[i]);
   });
 
   // Stitch diagnostics back together in file order: the first error by
@@ -475,7 +490,7 @@ Graph parse_edge_list_parallel(std::string_view text, unsigned threads,
     // An id violates the declared bound. The serial parse tracks per-edge
     // line numbers and produces the exact historical diagnostic; errors
     // are allowed to be slow.
-    return parse_serial(text);
+    return parse_serial(text, options);
   }
   const double parse_ms = ms_since(t_parse);
 
@@ -500,7 +515,7 @@ Graph parse_edge_list_parallel(std::string_view text, unsigned threads,
 }
 
 Graph read_edge_list_file(const std::string& path, unsigned threads,
-                          ParseStats* stats) {
+                          ParseStats* stats, EdgeListOptions options) {
   const auto t_read = std::chrono::steady_clock::now();
   std::string buffer;
   {
@@ -524,7 +539,7 @@ Graph read_edge_list_file(const std::string& path, unsigned threads,
   {
     obs::Span span(obs::Name::kIngestParse, obs::kPidIngest, 0,
                    buffer.size());
-    g = parse_edge_list_parallel(buffer, threads, &local);
+    g = parse_edge_list_parallel(buffer, threads, &local, options);
   }
   local.read_ms = read_ms;
 

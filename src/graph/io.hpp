@@ -40,25 +40,37 @@ struct ParseStats {
   double build_ms = 0.0;    ///< CSR assembly (scatter + sort + dedup)
 };
 
+/// Knobs for the edge-list parsers (CLI: --no-header).
+struct EdgeListOptions {
+  /// Treat `# nodes N` header lines as plain comments: no declared-count
+  /// contract (ids beyond N stop being errors), no isolated trailing
+  /// nodes, no duplicate-header conflicts -- the node count is purely
+  /// max id + 1. For datasets whose headers are wrong or use a foreign
+  /// convention.
+  bool no_header = false;
+};
+
 /// Parses an edge list from a stream. Throws std::invalid_argument on
 /// malformed lines, self-loops, or an empty graph.
 Graph read_edge_list(std::istream& in);
 
 /// Serial in-place tokenizer over an in-memory buffer; the semantics (and
 /// exact diagnostics) of read_edge_list.
-Graph parse_edge_list(std::string_view text);
+Graph parse_edge_list(std::string_view text, EdgeListOptions options = {});
 
 /// Bulk parallel parse of an in-memory buffer. `threads` 0 = auto
 /// (DRW_THREADS env, else hardware). Identical result and diagnostics to
 /// parse_edge_list at every thread count.
 Graph parse_edge_list_parallel(std::string_view text, unsigned threads = 0,
-                               ParseStats* stats = nullptr);
+                               ParseStats* stats = nullptr,
+                               EdgeListOptions options = {});
 
 /// Reads an edge-list file through the bulk parallel parser. Throws
 /// std::runtime_error if unreadable, std::invalid_argument on content
 /// errors (same messages as read_edge_list).
 Graph read_edge_list_file(const std::string& path, unsigned threads = 0,
-                          ParseStats* stats = nullptr);
+                          ParseStats* stats = nullptr,
+                          EdgeListOptions options = {});
 
 /// Writes g as an edge list (with a "# nodes N" header, so isolated trailing
 /// nodes round-trip).

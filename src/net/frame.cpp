@@ -1,0 +1,194 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+namespace drw::net {
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+/// Bounds-checked little-endian reader over [p, p + n).
+struct Reader {
+  const std::uint8_t* p;
+  std::size_t left;
+  bool ok = true;
+
+  std::uint8_t u8() {
+    if (left < 1) {
+      ok = false;
+      return 0;
+    }
+    const std::uint8_t v = *p;
+    ++p;
+    --left;
+    return v;
+  }
+  std::uint32_t u32() {
+    if (left < 4) {
+      ok = false;
+      return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t(p[i]) << (8 * i);
+    p += 4;
+    left -= 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (left < 8) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t(p[i]) << (8 * i);
+    p += 8;
+    left -= 8;
+    return v;
+  }
+  bool done() const { return ok && left == 0; }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_hello(const HelloFrame& f) {
+  std::vector<std::uint8_t> out;
+  out.reserve(13 + f.klass.size() + 8);
+  put_u32(out, f.version);
+  put_u8(out, static_cast<std::uint8_t>(
+                  f.klass.size() > 255 ? 255 : f.klass.size()));
+  for (std::size_t i = 0; i < f.klass.size() && i < 255; ++i) {
+    out.push_back(static_cast<std::uint8_t>(f.klass[i]));
+  }
+  put_u64(out, f.node_count);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_request(const RequestFrame& f) {
+  std::vector<std::uint8_t> out;
+  out.reserve(33);
+  put_u64(out, f.tag);
+  put_u64(out, f.source);
+  put_u64(out, f.length);
+  put_u32(out, f.count);
+  put_u32(out, f.deadline_ms);
+  put_u8(out, f.record ? 1 : 0);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_response(const ResponseFrame& f) {
+  std::vector<std::uint8_t> out;
+  std::size_t path_nodes = 0;
+  for (const auto& path : f.paths) path_nodes += path.size();
+  out.reserve(26 + 4 * f.destinations.size() + 4 * f.paths.size() +
+              4 * path_nodes);
+  put_u64(out, f.tag);
+  put_u64(out, f.admission_index);
+  put_u8(out, f.status);
+  put_u8(out, f.record ? 1 : 0);
+  put_u32(out, static_cast<std::uint32_t>(f.destinations.size()));
+  for (std::uint32_t d : f.destinations) put_u32(out, d);
+  put_u32(out, static_cast<std::uint32_t>(f.paths.size()));
+  for (const auto& path : f.paths) {
+    put_u32(out, static_cast<std::uint32_t>(path.size()));
+    for (std::uint32_t node : path) put_u32(out, node);
+  }
+  return out;
+}
+
+std::optional<HelloFrame> decode_hello(const std::uint8_t* p, std::size_t n) {
+  Reader r{p, n};
+  HelloFrame f;
+  f.version = r.u32();
+  const std::uint8_t len = r.u8();
+  if (r.left < len) return std::nullopt;
+  f.klass.assign(reinterpret_cast<const char*>(r.p), len);
+  r.p += len;
+  r.left -= len;
+  f.node_count = r.u64();
+  if (!r.done()) return std::nullopt;
+  return f;
+}
+
+std::optional<RequestFrame> decode_request(const std::uint8_t* p,
+                                           std::size_t n) {
+  Reader r{p, n};
+  RequestFrame f;
+  f.tag = r.u64();
+  f.source = r.u64();
+  f.length = r.u64();
+  f.count = r.u32();
+  f.deadline_ms = r.u32();
+  f.record = r.u8() != 0;
+  if (!r.done()) return std::nullopt;
+  return f;
+}
+
+std::optional<ResponseFrame> decode_response(const std::uint8_t* p,
+                                             std::size_t n) {
+  Reader r{p, n};
+  ResponseFrame f;
+  f.tag = r.u64();
+  f.admission_index = r.u64();
+  f.status = r.u8();
+  f.record = r.u8() != 0;
+  const std::uint32_t n_dest = r.u32();
+  if (!r.ok || r.left < std::size_t{n_dest} * 4) return std::nullopt;
+  f.destinations.resize(n_dest);
+  for (std::uint32_t i = 0; i < n_dest; ++i) f.destinations[i] = r.u32();
+  const std::uint32_t n_paths = r.u32();
+  if (!r.ok || n_paths > kMaxFramePayload / 4) return std::nullopt;
+  f.paths.resize(n_paths);
+  for (std::uint32_t i = 0; i < n_paths; ++i) {
+    const std::uint32_t len = r.u32();
+    if (!r.ok || r.left < std::size_t{len} * 4) return std::nullopt;
+    f.paths[i].resize(len);
+    for (std::uint32_t j = 0; j < len; ++j) f.paths[i][j] = r.u32();
+  }
+  if (!r.done()) return std::nullopt;
+  return f;
+}
+
+bool write_frame(Socket& s, FrameType type,
+                 const std::vector<std::uint8_t>& payload, int timeout_ms) {
+  if (payload.size() > kMaxFramePayload) return false;
+  std::vector<std::uint8_t> header;
+  header.reserve(5);
+  put_u32(header, static_cast<std::uint32_t>(payload.size()));
+  put_u8(header, static_cast<std::uint8_t>(type));
+  if (!send_all(s, header.data(), header.size(), timeout_ms)) return false;
+  if (payload.empty()) return true;
+  return send_all(s, payload.data(), payload.size(), timeout_ms);
+}
+
+bool read_frame(Socket& s, FrameType* type,
+                std::vector<std::uint8_t>* payload, int timeout_ms) {
+  std::uint8_t header[5];
+  if (!recv_all(s, header, sizeof(header), timeout_ms)) return false;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= std::uint32_t(header[i]) << (8 * i);
+  const std::uint8_t raw_type = header[4];
+  if (len > kMaxFramePayload) return false;
+  if (raw_type < 1 || raw_type > 3) return false;
+  payload->resize(len);
+  if (len != 0 && !recv_all(s, payload->data(), len, timeout_ms)) {
+    return false;
+  }
+  *type = static_cast<FrameType>(raw_type);
+  return true;
+}
+
+}  // namespace drw::net

@@ -1,0 +1,224 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "resil/failpoint.hpp"
+
+namespace drw::net {
+namespace {
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("net: not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+/// poll() one fd for `events`, retrying EINTR against the original
+/// deadline. Returns false on timeout.
+bool wait_fd(int fd, short events, int timeout_ms) {
+  pollfd pfd{fd, events, 0};
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+}  // namespace
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_read() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Socket tcp_listen(const std::string& host, std::uint16_t port, int backlog) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) {
+    throw std::runtime_error(std::string("net: socket: ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw std::runtime_error("net: bind " + host + ":" +
+                             std::to_string(port) + ": " +
+                             std::strerror(errno));
+  }
+  if (::listen(s.fd(), backlog) != 0) {
+    throw std::runtime_error(std::string("net: listen: ") +
+                             std::strerror(errno));
+  }
+  return s;
+}
+
+std::uint16_t local_port(const Socket& s) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port,
+                   int timeout_ms) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) {
+    throw std::runtime_error(std::string("net: socket: ") +
+                             std::strerror(errno));
+  }
+  sockaddr_in addr = make_addr(host.empty() ? "127.0.0.1" : host, port);
+  // Non-blocking connect so the timeout actually binds.
+  const int flags = ::fcntl(s.fd(), F_GETFL, 0);
+  ::fcntl(s.fd(), F_SETFL, flags | O_NONBLOCK);
+  const int rc =
+      ::connect(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    throw std::runtime_error("net: connect " + host + ":" +
+                             std::to_string(port) + ": " +
+                             std::strerror(errno));
+  }
+  if (rc != 0) {
+    if (!wait_fd(s.fd(), POLLOUT, timeout_ms)) {
+      throw std::runtime_error("net: connect " + host + ":" +
+                               std::to_string(port) + ": timeout");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(s.fd(), SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      throw std::runtime_error("net: connect " + host + ":" +
+                               std::to_string(port) + ": " +
+                               std::strerror(err));
+    }
+  }
+  ::fcntl(s.fd(), F_SETFL, flags);
+  const int one = 1;
+  ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return s;
+}
+
+Socket accept_one(Socket& listener, int wake_fd, int timeout_ms) {
+  pollfd pfds[2];
+  pfds[0] = {listener.fd(), POLLIN, 0};
+  nfds_t n = 1;
+  if (wake_fd >= 0) {
+    pfds[1] = {wake_fd, POLLIN, 0};
+    n = 2;
+  }
+  const int rc = ::poll(pfds, n, timeout_ms);
+  if (rc <= 0) return Socket();                       // timeout / EINTR
+  if (n == 2 && (pfds[1].revents & POLLIN)) return Socket();  // woken
+  if (!(pfds[0].revents & POLLIN)) return Socket();
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) return Socket();  // transient (peer gone, fd pressure)
+  Socket s(fd);
+  if (resil::failpoint("net.accept")) return Socket();  // injected drop
+  const int one = 1;
+  ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return s;
+}
+
+bool send_all(Socket& s, const void* data, std::size_t n, int timeout_ms) {
+  const char* p = static_cast<const char*>(data);
+  if (resil::failpoint("net.write")) {
+    // Torn write: push out half the bytes, then report the send failed.
+    // The peer sees a truncated frame; its read_frame fails cleanly.
+    n /= 2;
+    std::size_t sent = 0;
+    while (sent < n) {
+      const ssize_t w = ::send(s.fd(), p + sent, n - sent, MSG_NOSIGNAL);
+      if (w <= 0) break;
+      sent += static_cast<std::size_t>(w);
+    }
+    return false;
+  }
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(s.fd(), p + sent, n - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait_fd(s.fd(), POLLOUT, timeout_ms)) return false;
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool recv_all(Socket& s, void* data, std::size_t n, int timeout_ms) {
+  if (resil::failpoint("net.read")) return false;
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    if (!wait_fd(s.fd(), POLLIN, timeout_ms)) return false;
+    const ssize_t r = ::recv(s.fd(), p + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+    return false;  // EOF or hard error
+  }
+  return true;
+}
+
+WakePipe::WakePipe() {
+  if (::pipe(fds_) != 0) {
+    fds_[0] = fds_[1] = -1;
+    return;
+  }
+  for (int fd : fds_) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
+WakePipe::~WakePipe() {
+  for (int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void WakePipe::wake() noexcept {
+  if (fds_[1] >= 0) {
+    const char byte = 1;
+    // write() is async-signal-safe; a full pipe means a wake is already
+    // pending, which is all we need.
+    [[maybe_unused]] const ssize_t rc = ::write(fds_[1], &byte, 1);
+  }
+}
+
+}  // namespace drw::net

@@ -47,6 +47,8 @@ constexpr const char* kNames[] = {
     "ingest.relabel",    // kIngestRelabel
     "ingest.write",      // kIngestWrite
     "ingest.load",       // kIngestLoad
+    "server.drain",      // kServerDrain
+    "server.respond",    // kServerRespond
 };
 static_assert(sizeof(kNames) / sizeof(kNames[0]) ==
                   static_cast<std::size_t>(Name::kCount),
@@ -58,6 +60,7 @@ const char* process_name(std::uint8_t pid) {
     case kPidMux: return "mux lanes";
     case kPidService: return "service";
     case kPidIngest: return "ingest";
+    case kPidServer: return "server";
     default: return "drw";
   }
 }
@@ -74,6 +77,9 @@ void append_thread_name(std::string& out, std::uint8_t pid,
       break;
     case kPidIngest:
       std::snprintf(buf, sizeof(buf), "ingest");
+      break;
+    case kPidServer:
+      std::snprintf(buf, sizeof(buf), "server");
       break;
     default:
       std::snprintf(buf, sizeof(buf), "service");

@@ -64,6 +64,8 @@ enum class Name : std::uint16_t {
   kIngestRelabel,     ///< span: degree-ordered vertex relabeling
   kIngestWrite,       ///< span: binary CSR serialization + atomic commit
   kIngestLoad,        ///< span: CSR open + validate + mmap (arg = bytes)
+  kServerDrain,       ///< span: one admission drain + serve (arg = admitted)
+  kServerRespond,     ///< span: response encode + write (arg = admitted idx)
   kCount
 };
 
@@ -73,6 +75,7 @@ inline constexpr std::uint8_t kPidExecutor = 1;
 inline constexpr std::uint8_t kPidMux = 2;
 inline constexpr std::uint8_t kPidService = 3;
 inline constexpr std::uint8_t kPidIngest = 4;
+inline constexpr std::uint8_t kPidServer = 5;
 
 /// One recorded event: 24 bytes, trivially copyable, written in place in
 /// the owning thread's ring.

@@ -1,0 +1,158 @@
+// WalkServer: the always-on TCP front end over WalkService.
+//
+// Wiring (one process):
+//
+//   accept thread ──► per-connection reader threads ──► AdmissionQueue
+//                                                            │ drain
+//                                                   serving thread
+//                                                            │ submit+flush
+//                                                       WalkService
+//
+// Reader threads do protocol work only: HELLO handshake (names the
+// connection's admission class), REQUEST decode, user-id validation and
+// enqueue. Structurally invalid requests (unknown source, record without
+// enable_paths) are rejected BEFORE admission -- they get admission_index
+// kNotAdmitted and never enter the log, so the admission log replays
+// cleanly. The single serving thread is the only code that touches
+// WalkService: it drains one DRR batch at a time (min_batch_requests
+// raised to the mux width so every wave can open full lanes across batch
+// boundaries), submits in admitted order, flushes, and writes responses.
+// Results are therefore deterministic per (seed, admitted order): replay
+// the admission log through the same service and every destination/path
+// matches byte for byte (the server-smoke CI step asserts exactly this).
+//
+// Shutdown (SIGTERM/SIGINT -> request_stop, async-signal-safe): stop
+// accepting, wake and join readers, close the queue, let the serving
+// thread drain what was already admitted-or-queued, checkpoint the
+// service (snapshot-on-SIGTERM), exit. In-flight requests are answered;
+// late arrivals bounce with kQueueFull.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "graph/csr_file.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "service/admission.hpp"
+#include "service/walk_service.hpp"
+
+namespace drw::service {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
+  AdmissionConfig admission;
+  /// Per-operation socket timeout (poll granularity for reads/writes).
+  int io_timeout_ms = 30000;
+  /// Non-empty: append one line per ADMITTED request (user id space, in
+  /// admitted order) plus `# batch` boundary markers -- a file that
+  /// `drw serve --requests=FILE --print-results` replays bit-identically.
+  std::string admission_log;
+  /// Class-name -> DRR quantum overrides, applied at start().
+  std::vector<std::pair<std::string, std::uint64_t>> class_quanta;
+};
+
+struct ServerStats {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;   ///< REQUEST frames decoded
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_deadline = 0;
+  std::uint64_t rejected_invalid = 0;  ///< pre-admission (source/paths)
+  std::uint64_t batches = 0;    ///< non-empty drained batches served
+};
+
+class WalkServer {
+ public:
+  /// `graph` provides the user<->internal id translation of the service's
+  /// network; both must outlive the server.
+  WalkServer(WalkService& service, const csr::LoadedGraph& graph,
+             ServerConfig config);
+  ~WalkServer();
+  WalkServer(const WalkServer&) = delete;
+  WalkServer& operator=(const WalkServer&) = delete;
+
+  /// Binds, applies class quanta, opens the admission log, spawns the
+  /// accept + serving threads. Throws std::runtime_error on bind/log
+  /// failure. port() is valid afterwards.
+  void start();
+  /// Blocks until request_stop() has been honored and every thread has
+  /// exited; then checkpoints the service (ServiceConfig.snapshot_path).
+  void join();
+  void run() {
+    start();
+    join();
+  }
+
+  /// Async-signal-safe: sets the stop flag and wakes the accept loop.
+  void request_stop() noexcept {
+    stop_.store(true, std::memory_order_relaxed);
+    wake_.wake();
+  }
+  bool stopping() const noexcept {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+  std::uint16_t port() const noexcept { return port_; }
+  const AdmissionQueue& queue() const noexcept { return queue_; }
+  ServerStats stats() const;
+
+ private:
+  struct Conn {
+    net::Socket socket;
+    std::uint64_t id = 0;
+    std::uint32_t class_id = 0;
+    std::mutex write_mu;
+    std::atomic<bool> dead{false};
+    std::thread reader;
+  };
+
+  double now_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  void accept_loop();
+  void reader_loop(Conn* conn);
+  void serve_loop();
+  /// Serializes and writes one response on the request's connection
+  /// (drops it silently if the connection died). Thread-safe per conn.
+  void respond(std::uint64_t conn_id, const net::ResponseFrame& frame);
+  net::ResponseFrame reject_frame(std::uint64_t tag, RequestStatus status,
+                                  bool record) const;
+
+  WalkService& service_;
+  const csr::LoadedGraph& graph_;
+  ServerConfig config_;
+  std::uint64_t user_node_count_ = 0;
+
+  net::Socket listener_;
+  net::WakePipe wake_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  AdmissionQueue queue_;
+
+  std::thread accept_thread_;
+  std::thread serve_thread_;
+  mutable std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Conn>> conns_;  ///< keyed linearly by Conn::id
+  std::uint64_t next_conn_id_ = 0;
+
+  std::FILE* log_ = nullptr;  ///< admission log (serving thread only)
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace drw::service

@@ -37,6 +37,8 @@ enum class RequestStatus : std::uint8_t {
   kCountExceedsCap,    ///< count > RequestCaps.max_count
   kLengthExceedsCap,   ///< length > RequestCaps.max_length
   kBatchCapExceeded,   ///< would push the batch past RequestCaps.max_batch_walks
+  kQueueFull,          ///< admission queue at capacity (server front end)
+  kDeadlineExceeded,   ///< deadline passed while queued for admission
 };
 
 constexpr const char* to_string(RequestStatus status) {
@@ -48,6 +50,8 @@ constexpr const char* to_string(RequestStatus status) {
     case RequestStatus::kCountExceedsCap: return "count exceeds cap";
     case RequestStatus::kLengthExceedsCap: return "length exceeds cap";
     case RequestStatus::kBatchCapExceeded: return "batch walk cap exceeded";
+    case RequestStatus::kQueueFull: return "admission queue full";
+    case RequestStatus::kDeadlineExceeded: return "deadline exceeded";
   }
   return "unknown";
 }

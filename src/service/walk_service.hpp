@@ -235,6 +235,13 @@ class WalkService {
   /// wins.
   bool restore_snapshot(const std::string& path);
 
+  /// Best-effort checkpoint to config.snapshot_path right now (same policy
+  /// as the automatic after-batch snapshot: no-op without a path or a
+  /// prepared non-naive engine, IO failures logged and swallowed). The
+  /// server's SIGTERM path calls this so a clean shutdown persists state
+  /// accumulated since the last batch boundary.
+  void checkpoint() { maybe_snapshot(); }
+
  private:
   /// Snapshot-after-batch policy: config_.snapshot_path, IO failures logged
   /// and swallowed (a failing disk must not take down serving). With

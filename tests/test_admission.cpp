@@ -1,0 +1,218 @@
+// AdmissionQueue: DRR fairness, queue-cap and deadline rejection, and the
+// determinism contract -- the admitted order is a pure function of the
+// queue contents, and replaying it through a fresh WalkService reproduces
+// the served results bit for bit.
+#include "service/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "congest/network.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "service/walk_service.hpp"
+
+namespace drw::service {
+namespace {
+
+PendingRequest make(std::uint64_t flow, NodeId source, std::uint64_t length,
+                    std::uint32_t count = 1, std::uint32_t class_id = 0,
+                    double arrival_ms = 0.0, std::uint32_t deadline_ms = 0) {
+  PendingRequest p;
+  p.request = WalkRequest{source, length, count, false};
+  p.user_source = source;
+  p.flow = flow;
+  p.class_id = class_id;
+  p.arrival_ms = arrival_ms;
+  p.deadline_ms = deadline_ms;
+  return p;
+}
+
+TEST(AdmissionQueue, QueueCapRejectsOverflowInArrivalOrder) {
+  AdmissionConfig config;
+  config.queue_cap = 3;
+  AdmissionQueue queue(config);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(queue.enqueue(make(0, 0, 4)), RequestStatus::kOk);
+  }
+  EXPECT_EQ(queue.enqueue(make(0, 0, 4)), RequestStatus::kQueueFull);
+  EXPECT_EQ(queue.enqueue(make(1, 1, 4)), RequestStatus::kQueueFull);
+  EXPECT_EQ(queue.depth(), 3u);
+  // Rejected arrivals left no residue: the next drain admits exactly the
+  // three queued requests with consecutive indices.
+  const auto batch = queue.drain(0.0, nullptr);
+  ASSERT_EQ(batch.size(), 3u);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i].admission_index, i);
+  }
+}
+
+TEST(AdmissionQueue, DrrKeepsLightFlowLiveUnderFlood) {
+  // A flood flow (20 big requests, enqueued FIRST) must not starve a light
+  // flow's 5 tiny requests: under DRR every drain cycle credits the light
+  // flow its quantum, so all light work admits in the very first batch.
+  AdmissionConfig config;
+  config.quantum = 8;
+  config.max_batch_cost = 64;
+  AdmissionQueue queue(config);
+  const std::uint32_t flood = queue.intern_class("flood");
+  const std::uint32_t light = queue.intern_class("light");
+  queue.set_class_quantum(flood, 32);
+  queue.set_class_quantum(light, 8);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_EQ(queue.enqueue(make(1, 0, 32, 1, flood)), RequestStatus::kOk);
+  }
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(queue.enqueue(make(2, 1, 1, 1, light)), RequestStatus::kOk);
+  }
+  const auto batch = queue.drain(0.0, nullptr);
+  std::size_t light_admitted = 0;
+  for (const PendingRequest& p : batch) {
+    if (p.class_id == light) ++light_admitted;
+  }
+  EXPECT_EQ(light_admitted, 5u)
+      << "light flow starved behind the flood backlog";
+  // The flood still progresses -- DRR is fair, not priority preemption.
+  EXPECT_GT(batch.size(), light_admitted);
+}
+
+TEST(AdmissionQueue, FifoBaselineStarvesTheLightFlow) {
+  // The control experiment for the test above: strict arrival order makes
+  // the light request wait behind the whole flood backlog.
+  AdmissionConfig config;
+  config.policy = AdmissionPolicy::kFifo;
+  config.max_batch_cost = 64;
+  AdmissionQueue queue(config);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_EQ(queue.enqueue(make(1, 0, 32)), RequestStatus::kOk);
+  }
+  ASSERT_EQ(queue.enqueue(make(2, 1, 1)), RequestStatus::kOk);
+  const auto batch = queue.drain(0.0, nullptr);
+  for (const PendingRequest& p : batch) {
+    EXPECT_EQ(p.flow, 1u) << "FIFO admitted the late light request early";
+  }
+  // And FIFO order is the global arrival order.
+  for (std::size_t i = 1; i < batch.size(); ++i) {
+    EXPECT_LT(batch[i - 1].seq, batch[i].seq);
+  }
+}
+
+TEST(AdmissionQueue, DeadlineExpiresAtDrainWithoutConsumingIndices) {
+  AdmissionQueue queue;
+  ASSERT_EQ(queue.enqueue(make(0, 0, 4, 1, 0, /*arrival_ms=*/0.0,
+                               /*deadline_ms=*/10)),
+            RequestStatus::kOk);
+  ASSERT_EQ(queue.enqueue(make(0, 1, 4)), RequestStatus::kOk);
+  std::vector<AdmissionReject> rejects;
+  const auto batch = queue.drain(/*now_ms=*/50.0, &rejects);
+  ASSERT_EQ(rejects.size(), 1u);
+  EXPECT_EQ(rejects[0].status, RequestStatus::kDeadlineExceeded);
+  EXPECT_EQ(rejects[0].request.user_source, 0u);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].user_source, 1u);
+  // The expired request never held an admission index.
+  EXPECT_EQ(batch[0].admission_index, 0u);
+}
+
+TEST(AdmissionQueue, MinBatchRequestsActsAsLaneFloor) {
+  AdmissionConfig config;
+  config.max_batch_cost = 1;  // cost-full after the first request...
+  config.min_batch_requests = 4;  // ...but the lane floor keeps draining
+  AdmissionQueue queue(config);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(queue.enqueue(make(0, 0, 8)), RequestStatus::kOk);
+  }
+  EXPECT_EQ(queue.drain(0.0, nullptr).size(), 4u);
+  // The remainder (below the floor) still drains -- shutdown must not hang.
+  EXPECT_EQ(queue.drain(0.0, nullptr).size(), 2u);
+  EXPECT_EQ(queue.depth(), 0u);
+}
+
+TEST(AdmissionQueue, AdmittedOrderIsAPureFunctionOfQueueContents) {
+  auto fill = [](AdmissionQueue& queue) {
+    const std::uint32_t heavy = queue.intern_class("heavy");
+    queue.set_class_quantum(heavy, 4);
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_EQ(queue.enqueue(make(3, static_cast<NodeId>(i), 16, 1, heavy)),
+                RequestStatus::kOk);
+      ASSERT_EQ(queue.enqueue(make(1, static_cast<NodeId>(10 + i), 2)),
+                RequestStatus::kOk);
+    }
+  };
+  AdmissionConfig config;
+  config.max_batch_cost = 24;
+  AdmissionQueue a(config);
+  AdmissionQueue b(config);
+  fill(a);
+  fill(b);
+  for (;;) {
+    const auto batch_a = a.drain(0.0, nullptr);
+    const auto batch_b = b.drain(0.0, nullptr);
+    ASSERT_EQ(batch_a.size(), batch_b.size());
+    if (batch_a.empty()) break;
+    for (std::size_t i = 0; i < batch_a.size(); ++i) {
+      EXPECT_EQ(batch_a[i].seq, batch_b[i].seq);
+      EXPECT_EQ(batch_a[i].admission_index, batch_b[i].admission_index);
+    }
+  }
+}
+
+TEST(AdmissionQueue, ReplayingTheAdmittedOrderReproducesServedResults) {
+  // The server's determinism contract end to end (minus the sockets):
+  // drain an admitted order + batch boundaries out of one queue, serve it
+  // through two independent WalkServices on identical networks, and the
+  // destinations must match walk for walk.
+  AdmissionConfig config;
+  config.max_batch_cost = 48;
+  AdmissionQueue queue(config);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(queue.enqueue(make(1, static_cast<NodeId>(i), 24, 2)),
+              RequestStatus::kOk);
+    ASSERT_EQ(queue.enqueue(make(2, static_cast<NodeId>(8 + i), 8, 1)),
+              RequestStatus::kOk);
+  }
+  std::vector<std::vector<WalkRequest>> batches;
+  for (;;) {
+    const auto batch = queue.drain(0.0, nullptr);
+    if (batch.empty()) break;
+    std::vector<WalkRequest> requests;
+    for (const PendingRequest& p : batch) requests.push_back(p.request);
+    batches.push_back(std::move(requests));
+  }
+  ASSERT_GT(batches.size(), 1u);
+
+  const Graph g = gen::torus(6, 6);
+  auto serve_all = [&](std::vector<std::vector<NodeId>>& out) {
+    congest::Network net(g, 1234);
+    WalkService service(net, exact_diameter(g));
+    for (const auto& requests : batches) {
+      const BatchReport report = service.serve(requests);
+      for (const RequestResult& r : report.results) {
+        ASSERT_TRUE(r.ok());
+        out.push_back(r.destinations);
+      }
+    }
+  };
+  std::vector<std::vector<NodeId>> first;
+  std::vector<std::vector<NodeId>> second;
+  serve_all(first);
+  serve_all(second);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << "request " << i;
+  }
+}
+
+TEST(AdmissionQueue, CloseStopsEnqueuesButDrainsRemainder) {
+  AdmissionQueue queue;
+  ASSERT_EQ(queue.enqueue(make(0, 0, 4)), RequestStatus::kOk);
+  queue.close();
+  EXPECT_EQ(queue.enqueue(make(0, 1, 4)), RequestStatus::kQueueFull);
+  EXPECT_TRUE(queue.wait_for_work());  // still drainable
+  EXPECT_EQ(queue.drain(0.0, nullptr).size(), 1u);
+  EXPECT_FALSE(queue.wait_for_work());  // closed and empty: serving exits
+}
+
+}  // namespace
+}  // namespace drw::service

@@ -272,5 +272,75 @@ TEST(GraphIo, ParseStatsCountBytesLinesAndEdges) {
   std::remove(path.c_str());
 }
 
+// ------------------------------------------------------------- --no-header
+
+TEST(GraphIo, NoHeaderIgnoresDeclaredCount) {
+  EdgeListOptions options;
+  options.no_header = true;
+  const Graph g = parse_edge_list("# nodes 10\n0 1\n", options);
+  EXPECT_EQ(g.node_count(), 2u);  // max id + 1, the header is a comment
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(GraphIo, NoHeaderLiftsTheDeclaredCountContract) {
+  const char* input = "# nodes 4\n0 1\n2 7\n";
+  EXPECT_THROW(parse_edge_list(input), std::invalid_argument);
+  EdgeListOptions options;
+  options.no_header = true;
+  const Graph g = parse_edge_list(input, options);
+  EXPECT_EQ(g.node_count(), 8u);
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(GraphIo, NoHeaderIgnoresConflictingAndOverflowingHeaders) {
+  EdgeListOptions options;
+  options.no_header = true;
+  // Conflicting duplicate headers: an error normally, comments here.
+  const Graph g = parse_edge_list("# nodes 4\n0 1\n# nodes 9\n", options);
+  EXPECT_EQ(g.node_count(), 2u);
+  // A header whose count overflows the id space: same.
+  const Graph h =
+      parse_edge_list("# nodes 99999999999\n0 1\n", options);
+  EXPECT_EQ(h.node_count(), 2u);
+}
+
+TEST(GraphIo, NoHeaderParallelMatchesSerialAtEveryThreadCount) {
+  EdgeListOptions options;
+  options.no_header = true;
+  const char* inputs[] = {
+      "# nodes 10\n0 1\n1 2\n",
+      "# nodes 2\n0 1\n5 9\n",   // ids beyond the (ignored) header
+      "0 1\n# nodes 4\n# nodes 9\n2 3\n",
+  };
+  for (const char* input : inputs) {
+    const Graph serial = parse_edge_list(input, options);
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      const Graph parallel =
+          parse_edge_list_parallel(input, threads, nullptr, options);
+      ASSERT_EQ(parallel.node_count(), serial.node_count())
+          << "threads=" << threads << " input=" << input;
+      ASSERT_EQ(parallel.edge_count(), serial.edge_count())
+          << "threads=" << threads << " input=" << input;
+      for (NodeId v = 0; v < serial.node_count(); ++v) {
+        const auto a = serial.neighbors(v);
+        const auto b = parallel.neighbors(v);
+        ASSERT_EQ(a.size(), b.size()) << "node " << v;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          ASSERT_EQ(a[i], b[i]) << "node " << v << " slot " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(GraphIo, NoHeaderStillRejectsRealLineErrors) {
+  EdgeListOptions options;
+  options.no_header = true;
+  EXPECT_THROW(parse_edge_list("0 1\n7 7\n", options),
+               std::invalid_argument);  // self-loops stay errors
+  EXPECT_THROW(parse_edge_list("# nodes 3\n", options),
+               std::invalid_argument);  // header-only file is now empty
+}
+
 }  // namespace
 }  // namespace drw

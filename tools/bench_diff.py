@@ -27,6 +27,7 @@ Usage:
 """
 
 import argparse
+import fnmatch
 import json
 import math
 import os
@@ -52,6 +53,13 @@ def is_wall_field(key: str) -> bool:
 
 def is_informational_field(key: str) -> bool:
     return key.startswith(INFORMATIONAL_PREFIXES)
+
+
+def is_gated_field(key: str, gate_fields) -> bool:
+    """--gate-field values are fnmatch globs, so one flag can cover a
+    field family (``lat_*_p99_ms`` gates every per-class serving tail
+    latency the serve bench emits). A plain name matches itself."""
+    return any(fnmatch.fnmatchcase(key, pat) for pat in gate_fields)
 
 
 def load(path: str) -> dict:
@@ -100,7 +108,7 @@ def run_diff(args: argparse.Namespace) -> int:
             rel = (c - b) / b
             line = f"{key}: {b:.6g} -> {c:.6g} ms ({rel:+.1%})"
             if rel > args.threshold:
-                if key in gate_fields:
+                if is_gated_field(key, gate_fields):
                     gated_regressions.append(line)
                 elif is_informational_field(key):
                     moved.append(f"{line} (io-noisy family, informational)")
@@ -277,6 +285,22 @@ def self_test() -> int:
                    gate_field=["t_widest_transmit_ms"])
     check("gate-field never gates cross-host", code == 0, f"code={code}")
 
+    # --gate-field is an fnmatch glob: one pattern covers the whole
+    # per-class latency family the serve bench emits...
+    lat_base = {**base, "lat_light_p99_ms": 10.0, "lat_flood_p99_ms": 40.0,
+                "lat_light_p50_ms": 5.0}
+    code, out = diff(lat_base, {**lat_base, "lat_flood_p99_ms": 60.0},
+                     gate_field=["lat_*_p99_ms"])
+    check("gate-field glob matches its field family",
+          code == 1 and "GATED REGRESSION" in out, f"code={code}")
+
+    # ...without capturing fields outside the glob (a p50 regression is an
+    # ordinary warn-only wall delta).
+    code, _ = diff(lat_base, {**lat_base, "lat_light_p50_ms": 9.0},
+                   gate_field=["lat_*_p99_ms"])
+    check("gate-field glob ignores non-matching keys", code == 0,
+          f"code={code}")
+
     # Ingestion wall fields (ingest_*/csr_*) are IO-noisy: informational
     # even under --fail-on-regression...
     ingest_base = {**base, "ingest_bulk_t1_ms": 10.0, "csr_mmap_start_ms": 1.0}
@@ -313,8 +337,9 @@ def main() -> int:
     parser.add_argument("--gate-field", action="append", default=[],
                         metavar="FIELD",
                         help="wall-clock field that gates unconditionally "
-                             "on matching hardware (repeatable), e.g. "
-                             "t_widest_transmit_ms")
+                             "on matching hardware (repeatable; fnmatch "
+                             "globs cover field families), e.g. "
+                             "t_widest_transmit_ms or 'lat_*_p99_ms'")
     parser.add_argument("--self-test", action="store_true",
                         help="run the built-in contract checks and exit")
     args = parser.parse_args()

@@ -104,9 +104,17 @@ if [[ "${DRW_BENCH:-0}" == "1" ]]; then
   # 32-bit payload boundary) and records the arena / generic / SoA
   # per-message costs into BENCH_arena.json for the trajectory diff.
   "$BUILD_DIR/bench_arena" --benchmark_min_time=1x
+  # bench_serve_latency gates the admission front end: under a hot-key
+  # flood, deficit-round-robin admission must hold the light class's p99
+  # latency within 2x of its no-flood baseline while the FIFO baseline
+  # policy measurably violates it (both are same-process latency RATIOS,
+  # so the gate is machine-speed invariant). Per-class percentiles land in
+  # BENCH_serve_latency.json; ci.yml diffs the lat_*_p99_ms family against
+  # the committed baseline via a --gate-field glob.
+  "$BUILD_DIR/bench_serve_latency" --benchmark_min_time=1x
   # The bench-diff contract the trajectory step depends on (new obs_* keys
   # must never fail a diff, steal counts stay informational, gated fields
-  # fail even warn-only diffs, ...).
+  # fail even warn-only diffs, glob gate-fields match families, ...).
   python3 tools/bench_diff.py --self-test
   # Observability gate: a traced single-threaded serve workload must export
   # a Perfetto-loadable trace whose per-shard transmit spans reconcile with
@@ -123,6 +131,12 @@ if [[ "${DRW_BENCH:-0}" == "1" ]]; then
   # inside the csr.commit window of `drw convert` (partial caches are
   # rejected and serving degrades to the text sibling).
   python3 tools/crash_harness.py "$BUILD_DIR/drw"
+  # Live-service smoke: boot `drw serve --listen` on an ephemeral port,
+  # race a mixed-class client against a 40-request flood via `drw
+  # request`, SIGTERM it, and demand the admission-log replay reproduce
+  # every response byte for byte (artifacts land in
+  # server_smoke_artifacts/ for upload on failure).
+  python3 tools/server_smoke.py "$BUILD_DIR/drw"
   # Ingestion gate: every route (legacy per-line, bulk at t=1/2/8, converted
   # + mmap'd CSR) must carry the same graph, the bulk parser must beat the
   # per-line reference >=3x at t=1, and a warm mmap reload must beat the

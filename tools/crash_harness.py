@@ -22,6 +22,11 @@ Scenarios (each against a scratch directory):
      provenance line). A csr.write short_write tears the payload instead --
      the renamed file must fail the CRC and degrade identically, and a
      subsequent clean convert must serve from the CSR (`graph: csr`).
+  6. kill -9 of the LISTENING server mid-batch: a `drw serve --listen`
+     process snapshots after its first served batch, stalls inside the
+     second (service.batch delay failpoint, with a live `drw request`
+     client mid-flight), and is SIGKILLed there. An offline restart with
+     --restore must report a warm restart from the surviving snapshot.
 
 Exit status 0 when every scenario passes, 1 otherwise.
 
@@ -252,6 +257,65 @@ def scenario_kill_mid_convert(drw: str, work: str) -> None:
           "healed cache serves from the mmap (graph: csr)")
 
 
+def scenario_kill_listening_server(drw: str, work: str) -> None:
+    print("scenario 6: kill -9 of the listening server mid-batch")
+    snap = os.path.join(work, "snap_listen.bin")
+    reqs = os.path.join(work, "reqs.txt")
+    serve_args(work)  # ensure reqs.txt exists
+    env = dict(os.environ)
+    # Interactive arrivals drain one request per batch: batch 1 serves and
+    # snapshots normally, batch 2 stalls for 30s -- the kill lands with a
+    # client request admitted and mid-serve.
+    env["DRW_FAILPOINTS"] = "service.batch@2:delay_ms=30000"
+    proc = subprocess.Popen(
+        [drw, "serve", "--graph=regular:64,4", "--seed=7",
+         "--listen=127.0.0.1:0", f"--snapshot={snap}"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        text=True)
+    client = None
+    try:
+        port = None
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            line = proc.stdout.readline()  # banner lines precede listening:
+            if not line:
+                break
+            if line.startswith("listening: "):
+                port = line.strip().rsplit(":", 1)[-1]
+                break
+        check(port is not None,
+              "listening server prints its listening: line")
+        client_env = dict(os.environ)
+        client_env.pop("DRW_FAILPOINTS", None)
+        client = subprocess.Popen(
+            [drw, "request", f"--connect=127.0.0.1:{port}",
+             f"--requests={reqs}"],
+            env=client_env, stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL)
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            if os.path.exists(snap) or proc.poll() is not None:
+                break
+            time.sleep(0.02)
+        check(proc.poll() is None, "server alive inside the stalled batch")
+        check(os.path.exists(snap), "batch-1 snapshot committed before kill")
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        if client is not None:
+            client.kill()
+            client.wait()
+
+    check(os.path.exists(snap), "snapshot survives the SIGKILL")
+    restart = run(drw, work, [f"--snapshot={snap}", "--restore"])
+    check(restart.returncode == 0, "offline restart exits 0")
+    check("snapshot: warm restart" in restart.stdout,
+          "restart after the listening-server kill reports a warm restart")
+
+
 def main() -> int:
     if len(sys.argv) != 2:
         print(__doc__)
@@ -266,6 +330,7 @@ def main() -> int:
         scenario_short_write(drw, work)
         scenario_action_smoke(drw, work)
         scenario_kill_mid_convert(drw, work)
+        scenario_kill_listening_server(drw, work)
     if failures:
         print(f"crash_harness: FAIL ({len(failures)} check(s))")
         return 1

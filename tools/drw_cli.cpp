@@ -35,14 +35,18 @@
 //   drw pagerank --graph=rgg:96,0.2 --alpha=0.15 --tokens=200
 //   drw convert soc.txt soc.txt.csr && drw serve --graph=soc.txt.csr
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/mixing.hpp"
@@ -57,8 +61,11 @@
 #include "graph/spanning.hpp"
 #include "lowerbound/gadget.hpp"
 #include "lowerbound/path_verification.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "service/server.hpp"
 #include "service/walk_service.hpp"
 
 namespace {
@@ -102,8 +109,32 @@ using namespace drw;
                "           [--restore]  (serve: warm-start from --snapshot\n"
                "                         before serving; a missing/corrupt\n"
                "                         snapshot degrades to cold start)\n"
+               "           [--print-results]  (serve: one `result[IDX] ...`\n"
+               "                         line per request in admitted order\n"
+               "                         -- byte-identical to what `drw\n"
+               "                         request` prints for the same log)\n"
+               "           [--no-header]  (file graphs: ignore `# nodes N`\n"
+               "                         headers; node count = max id + 1)\n"
+               "serve --listen (always-on TCP server; SIGTERM = clean stop):\n"
+               "           --listen=[HOST:]PORT  (port 0 = ephemeral; the\n"
+               "                         bound address is printed as\n"
+               "                         `listening: HOST:PORT`)\n"
+               "           [--queue-cap=N] [--drr-quantum=N]\n"
+               "           [--batch-cost=N] [--admission-policy=drr|fifo]\n"
+               "           [--class-quantum=NAME:N]  (repeatable)\n"
+               "           [--admission-log=FILE]  (admitted order +\n"
+               "                         `# batch` markers; replay with\n"
+               "                         serve --requests=FILE\n"
+               "                         --print-results)\n"
+               "           [--io-timeout-ms=N]\n"
+               "       drw request --connect=HOST:PORT --requests=FILE\n"
+               "           [--class=NAME] [--deadline-ms=N]\n"
+               "           (client: sends the file's requests, prints one\n"
+               "            result line per response, admitted order keyed\n"
+               "            by the server's admission index)\n"
                "request file: one `source length count [record]` per line,\n"
-               "              '#' starts a comment\n"
+               "              '#' starts a comment; a `# batch` line forces\n"
+               "              a batch boundary (serve offline mode)\n"
                "graph specs: path:N cycle:N grid:RxC torus:RxC hypercube:D\n"
                "             complete:N star:N lollipop:C,P barbell:C,P\n"
                "             er:N,P regular:N,D powerlaw:N,M rgg:N,R\n"
@@ -138,7 +169,22 @@ struct Args {
   std::uint32_t snapshot_keep = 1;  // serve: generations kept (1 = in place)
   bool restore = false;    // serve: warm-start from --snapshot
   bool no_relabel = false;  // convert: keep user ids as internal ids
+  bool no_header = false;   // file graphs: ignore `# nodes N` headers
   std::vector<std::string> positional;  // convert: IN.txt OUT.csr
+
+  // serve --listen (always-on server) and the `request` client.
+  std::string listen;         // "[HOST:]PORT"; non-empty = listening mode
+  std::string connect;        // request: "HOST[:PORT]"
+  std::string klass;          // request: admission class name
+  std::uint32_t deadline_ms = 0;  // request: per-request deadline
+  std::size_t queue_cap = 4096;
+  std::uint64_t drr_quantum = 2048;
+  std::uint64_t batch_cost = 8192;
+  service::AdmissionPolicy admission_policy = service::AdmissionPolicy::kDrr;
+  std::vector<std::pair<std::string, std::uint64_t>> class_quanta;
+  std::string admission_log;
+  int io_timeout_ms = 30000;
+  bool print_results = false;
 };
 
 std::optional<std::string> flag_value(const char* arg, const char* name) {
@@ -206,10 +252,50 @@ Args parse_args(int argc, char** argv) {
           static_cast<std::uint32_t>(std::strtoul(v->c_str(), nullptr, 10));
     } else if (auto v = flag_value(a, "--snapshot")) {
       args.snapshot = *v;
+    } else if (auto v = flag_value(a, "--listen")) {
+      args.listen = *v;
+    } else if (auto v = flag_value(a, "--connect")) {
+      args.connect = *v;
+    } else if (auto v = flag_value(a, "--class-quantum")) {
+      const auto sep = v->rfind(':');
+      if (sep == std::string::npos || sep == 0) {
+        usage("--class-quantum needs NAME:N");
+      }
+      args.class_quanta.emplace_back(
+          v->substr(0, sep),
+          std::strtoull(v->c_str() + sep + 1, nullptr, 10));
+    } else if (auto v = flag_value(a, "--class")) {
+      args.klass = *v;
+    } else if (auto v = flag_value(a, "--deadline-ms")) {
+      args.deadline_ms =
+          static_cast<std::uint32_t>(std::strtoul(v->c_str(), nullptr, 10));
+    } else if (auto v = flag_value(a, "--queue-cap")) {
+      args.queue_cap = std::strtoull(v->c_str(), nullptr, 10);
+    } else if (auto v = flag_value(a, "--drr-quantum")) {
+      args.drr_quantum = std::strtoull(v->c_str(), nullptr, 10);
+    } else if (auto v = flag_value(a, "--batch-cost")) {
+      args.batch_cost = std::strtoull(v->c_str(), nullptr, 10);
+    } else if (auto v = flag_value(a, "--admission-policy")) {
+      if (*v == "drr") {
+        args.admission_policy = service::AdmissionPolicy::kDrr;
+      } else if (*v == "fifo") {
+        args.admission_policy = service::AdmissionPolicy::kFifo;
+      } else {
+        usage("--admission-policy must be drr or fifo");
+      }
+    } else if (auto v = flag_value(a, "--admission-log")) {
+      args.admission_log = *v;
+    } else if (auto v = flag_value(a, "--io-timeout-ms")) {
+      args.io_timeout_ms =
+          static_cast<int>(std::strtol(v->c_str(), nullptr, 10));
+    } else if (std::strcmp(a, "--print-results") == 0) {
+      args.print_results = true;
     } else if (std::strcmp(a, "--restore") == 0) {
       args.restore = true;
     } else if (std::strcmp(a, "--no-relabel") == 0) {
       args.no_relabel = true;
+    } else if (std::strcmp(a, "--no-header") == 0) {
+      args.no_header = true;
     } else if (a[0] != '-') {
       args.positional.push_back(a);
     } else if (std::strcmp(a, "--paths") == 0) {
@@ -331,7 +417,9 @@ CliGraph load_cli_graph(const Args& args) {
   }
   CliGraph cg;
   if (!file_path.empty()) {
-    cg.lg = csr::load_graph(file_path, args.threads);
+    EdgeListOptions options;
+    options.no_header = args.no_header;
+    cg.lg = csr::load_graph(file_path, args.threads, options);
     cg.from_file = true;
     cg.source_desc = (cg.lg.from_csr ? "csr:" : "text:") + file_path;
   } else {
@@ -400,21 +488,47 @@ int cmd_many(const Args& args, const CliGraph& cg, std::uint32_t diameter) {
   return 0;
 }
 
+/// One request-file line in the user's id space (shared by the offline
+/// serve path, the admission-log replay, and the `drw request` client).
+struct RequestEntry {
+  std::uint64_t source = 0;
+  std::uint64_t length = 0;
+  std::uint32_t count = 1;
+  bool record = false;
+};
+
+struct RequestFileData {
+  std::vector<RequestEntry> entries;
+  /// Entry counts at which a batch ends (from `# batch` marker lines,
+  /// strictly increasing; a final partial batch needs no marker). Empty =
+  /// no markers, the caller chops by --batch-size.
+  std::vector<std::size_t> boundaries;
+};
+
 /// Parses a request file: one `source length count [record]` per line;
-/// blank lines and '#' comments skipped. Sources are user-space ids and
-/// are translated to the internal (possibly relabeled) id space here.
-std::vector<service::WalkRequest> read_request_file(const std::string& path,
-                                                    const CliGraph& cg) {
-  const std::size_t node_count = cg.lg.graph.node_count();
+/// blank lines and '#' comments skipped. A comment line reading exactly
+/// `# batch` marks a batch boundary (the admission log's format), which
+/// plain-comment readers naturally ignore -- old files stay valid.
+RequestFileData parse_request_entries(const std::string& path) {
   std::ifstream in(path);
   if (!in) usage(("cannot open request file: " + path).c_str());
-  std::vector<service::WalkRequest> requests;
+  RequestFileData data;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
     const auto hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
+    if (hash != std::string::npos) {
+      std::istringstream comment(line.substr(hash + 1));
+      std::string word;
+      if (comment >> word && word == "batch" && !(comment >> word) &&
+          !data.entries.empty() &&
+          (data.boundaries.empty() ||
+           data.boundaries.back() != data.entries.size())) {
+        data.boundaries.push_back(data.entries.size());
+      }
+      line.resize(hash);
+    }
     std::istringstream fields(line);
     std::uint64_t source = 0;
     std::uint64_t length = 0;
@@ -432,15 +546,61 @@ std::vector<service::WalkRequest> read_request_file(const std::string& path,
       count = value;
       if (fields >> value) record = value;
     }
-    if (source >= node_count) {
-      usage(("request file line " + std::to_string(line_no) +
+    data.entries.push_back(RequestEntry{
+        source, length, static_cast<std::uint32_t>(count), record != 0});
+  }
+  return data;
+}
+
+struct RequestFile {
+  std::vector<service::WalkRequest> requests;  ///< internal id space
+  std::vector<std::size_t> boundaries;         ///< see RequestFileData
+};
+
+/// parse_request_entries + validation + user->internal source translation.
+RequestFile read_request_file(const std::string& path, const CliGraph& cg) {
+  const RequestFileData data = parse_request_entries(path);
+  RequestFile out;
+  out.boundaries = data.boundaries;
+  for (std::size_t i = 0; i < data.entries.size(); ++i) {
+    const RequestEntry& e = data.entries[i];
+    const NodeId internal =
+        e.source <= std::uint64_t{kInvalidNode}
+            ? cg.lg.to_internal(static_cast<NodeId>(e.source))
+            : kInvalidNode;
+    if (internal == kInvalidNode) {
+      usage(("request file " + path + " entry " + std::to_string(i + 1) +
              ": source out of range").c_str());
     }
-    requests.push_back(service::WalkRequest{
-        cg.lg.to_internal(static_cast<NodeId>(source)), length,
-        static_cast<std::uint32_t>(count), record != 0});
+    out.requests.push_back(
+        service::WalkRequest{internal, e.length, e.count, e.record});
   }
-  return requests;
+  return out;
+}
+
+/// The admitted-order result line(s) shared -- byte for byte -- by the
+/// offline replay (`serve --requests=LOG --print-results`) and the network
+/// client (`drw request`). All node ids are user-space.
+void print_result_lines(std::uint64_t admission_index, std::uint64_t source,
+                        std::uint64_t length, std::uint32_t count,
+                        std::uint8_t status,
+                        const std::vector<std::uint32_t>& destinations,
+                        const std::vector<std::vector<std::uint32_t>>& paths) {
+  std::printf("result[%llu] source=%llu length=%llu count=%u status=%s "
+              "destinations:",
+              static_cast<unsigned long long>(admission_index),
+              static_cast<unsigned long long>(source),
+              static_cast<unsigned long long>(length), count,
+              service::to_string(
+                  static_cast<service::RequestStatus>(status)));
+  for (std::uint32_t d : destinations) std::printf(" %u", d);
+  std::printf("\n");
+  for (const auto& path : paths) {
+    std::printf("result[%llu] path:",
+                static_cast<unsigned long long>(admission_index));
+    for (std::uint32_t node : path) std::printf(" %u", node);
+    std::printf("\n");
+  }
 }
 
 /// A reproducible synthetic workload: random sources, log-uniform lengths.
@@ -495,6 +655,15 @@ void append_batch_report(std::ostringstream& out,
       << ",\"rejected\":" << r.rejected << "}";
 }
 
+/// The running server, for the async-signal-safe SIGTERM/SIGINT path.
+std::atomic<service::WalkServer*> g_server{nullptr};
+
+void handle_stop_signal(int) {
+  if (auto* server = g_server.load(std::memory_order_relaxed)) {
+    server->request_stop();
+  }
+}
+
 int cmd_serve(const Args& args, const CliGraph& cg, std::uint32_t diameter) {
   const Graph& g = cg.lg.graph;
   congest::Network net(g, args.seed);
@@ -521,10 +690,61 @@ int cmd_serve(const Args& args, const CliGraph& cg, std::uint32_t diameter) {
                 warm ? "warm restart" : "cold start (details on stderr)");
   }
 
-  const std::vector<service::WalkRequest> requests =
+  // --stats-json wants the metrics registry's view of the run as well.
+  if (!args.stats_json.empty()) obs::Registry::global().set_enabled(true);
+  std::ostringstream batches_json;
+  unsigned effective_mux = 1;  // widest lane count any batch could open
+
+  if (!args.listen.empty()) {
+    // Always-on mode: serve walk requests over TCP until SIGTERM/SIGINT.
+    service::ServerConfig sc;
+    const auto colon = args.listen.rfind(':');
+    if (colon == std::string::npos) {
+      sc.port = static_cast<std::uint16_t>(
+          std::strtoul(args.listen.c_str(), nullptr, 10));
+    } else {
+      sc.host = args.listen.substr(0, colon);
+      sc.port = static_cast<std::uint16_t>(
+          std::strtoul(args.listen.c_str() + colon + 1, nullptr, 10));
+    }
+    sc.admission.queue_cap = std::max<std::size_t>(1, args.queue_cap);
+    sc.admission.quantum = args.drr_quantum;
+    sc.admission.max_batch_cost = args.batch_cost;
+    sc.admission.policy = args.admission_policy;
+    sc.io_timeout_ms = args.io_timeout_ms;
+    sc.admission_log = args.admission_log;
+    sc.class_quanta = args.class_quanta;
+
+    service::WalkServer server(service, cg.lg, sc);
+    g_server.store(&server, std::memory_order_relaxed);
+    std::signal(SIGTERM, handle_stop_signal);
+    std::signal(SIGINT, handle_stop_signal);
+    server.start();
+    // Machine-greppable: tools/server_smoke.py and the crash harness
+    // parse this line for the (possibly ephemeral) bound port.
+    std::printf("listening: %s:%u\n", sc.host.c_str(),
+                unsigned(server.port()));
+    std::fflush(stdout);
+    server.join();
+    g_server.store(nullptr, std::memory_order_relaxed);
+
+    const service::ServerStats st = server.stats();
+    std::printf(
+        "shutdown: clean | connections=%llu requests=%llu admitted=%llu "
+        "batches=%llu rejected(queue_full=%llu deadline=%llu invalid=%llu)\n",
+        static_cast<unsigned long long>(st.connections),
+        static_cast<unsigned long long>(st.requests),
+        static_cast<unsigned long long>(st.admitted),
+        static_cast<unsigned long long>(st.batches),
+        static_cast<unsigned long long>(st.rejected_queue_full),
+        static_cast<unsigned long long>(st.rejected_deadline),
+        static_cast<unsigned long long>(st.rejected_invalid));
+  } else {
+  const RequestFile rf =
       args.requests_file.empty()
-          ? synthetic_requests(args, g, diameter)
+          ? RequestFile{synthetic_requests(args, g, diameter), {}}
           : read_request_file(args.requests_file, cg);
+  const std::vector<service::WalkRequest>& requests = rf.requests;
   if (requests.empty()) usage("no requests to serve");
   for (const service::WalkRequest& r : requests) {
     if (r.record_positions && !args.paths) {
@@ -533,22 +753,51 @@ int cmd_serve(const Args& args, const CliGraph& cg, std::uint32_t diameter) {
   }
   const std::uint32_t batch_size = std::max(args.batch_size, 1u);
 
-  // --stats-json wants the metrics registry's view of the run as well.
-  if (!args.stats_json.empty()) obs::Registry::global().set_enabled(true);
-  std::ostringstream batches_json;
-  unsigned effective_mux = 1;  // widest lane count any batch could open
-
-  std::size_t batch_no = 0;
-  for (std::size_t at = 0; at < requests.size(); at += batch_size) {
-    for (std::size_t i = at;
-         i < std::min(requests.size(), at + batch_size); ++i) {
-      service.submit(requests[i]);
+  // Batch ends: `# batch` markers from the file (the admission log's
+  // boundaries -- replay must reproduce them exactly), else --batch-size.
+  std::vector<std::size_t> ends = rf.boundaries;
+  if (ends.empty()) {
+    for (std::size_t at = batch_size; at < requests.size();
+         at += batch_size) {
+      ends.push_back(at);
     }
+  }
+  if (ends.empty() || ends.back() != requests.size()) {
+    ends.push_back(requests.size());
+  }
+
+  std::uint64_t admitted_index = 0;
+  std::size_t batch_no = 0;
+  std::size_t at = 0;
+  for (const std::size_t end : ends) {
+    for (std::size_t i = at; i < end; ++i) service.submit(requests[i]);
+    at = end;
     const service::BatchReport report = service.flush();
     effective_mux = std::max(effective_mux, report.mux_width);
     if (!args.stats_json.empty()) {
       if (batch_no != 0) batches_json << ",\n";
       append_batch_report(batches_json, report);
+    }
+    if (args.print_results) {
+      for (const service::RequestResult& r : report.results) {
+        std::vector<std::uint32_t> destinations;
+        destinations.reserve(r.destinations.size());
+        for (NodeId d : r.destinations) {
+          destinations.push_back(cg.lg.to_user(d));
+        }
+        std::vector<std::vector<std::uint32_t>> paths;
+        paths.reserve(r.paths.size());
+        for (const auto& path : r.paths) {
+          std::vector<std::uint32_t> user_path;
+          user_path.reserve(path.size());
+          for (NodeId node : path) user_path.push_back(cg.lg.to_user(node));
+          paths.push_back(std::move(user_path));
+        }
+        print_result_lines(admitted_index++, cg.lg.to_user(r.request.source),
+                           r.request.length, r.request.count,
+                           static_cast<std::uint8_t>(r.status), destinations,
+                           paths);
+      }
     }
     std::printf(
         "batch %zu: %llu req / %llu walks | lambda=%u %s | rounds=%llu "
@@ -568,6 +817,7 @@ int cmd_serve(const Args& args, const CliGraph& cg, std::uint32_t diameter) {
         report.mux_width,
         static_cast<unsigned long long>(report.mux_groups),
         static_cast<unsigned long long>(report.mux_conflicts));
+  }
   }
   const service::ServiceStats& life = service.lifetime();
   std::printf(
@@ -646,6 +896,110 @@ int cmd_serve(const Args& args, const CliGraph& cg, std::uint32_t diameter) {
     tracer.set_meta("threads", double(life.stats.threads));
     tracer.set_meta("mux_width", double(effective_mux));
   }
+  return 0;
+}
+
+/// TCP client for a `drw serve --listen` server: sends the request file,
+/// prints the same `result[IDX] ...` lines an offline replay of the
+/// server's admission log prints (the server-smoke byte-identity check).
+int cmd_request(const Args& args) {
+  if (args.connect.empty()) usage("request needs --connect=HOST:PORT");
+  if (args.requests_file.empty()) usage("request needs --requests=FILE");
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  const auto colon = args.connect.rfind(':');
+  if (colon == std::string::npos) {
+    port = static_cast<std::uint16_t>(
+        std::strtoul(args.connect.c_str(), nullptr, 10));
+  } else {
+    host = args.connect.substr(0, colon);
+    port = static_cast<std::uint16_t>(
+        std::strtoul(args.connect.c_str() + colon + 1, nullptr, 10));
+  }
+  const RequestFileData data = parse_request_entries(args.requests_file);
+  if (data.entries.empty()) usage("no requests to send");
+
+  net::Socket sock = net::tcp_connect(host, port, args.io_timeout_ms);
+  net::HelloFrame hello;
+  hello.klass = args.klass;
+  net::FrameType type{};
+  std::vector<std::uint8_t> payload;
+  if (!net::write_frame(sock, net::FrameType::kHello,
+                        net::encode_hello(hello), args.io_timeout_ms) ||
+      !net::read_frame(sock, &type, &payload, args.io_timeout_ms) ||
+      type != net::FrameType::kHello) {
+    std::fprintf(stderr, "request: HELLO handshake failed\n");
+    return 1;
+  }
+  const auto reply = net::decode_hello(payload.data(), payload.size());
+  if (!reply || reply->version != net::kProtocolVersion) {
+    std::fprintf(stderr, "request: protocol version mismatch\n");
+    return 1;
+  }
+
+  for (std::size_t i = 0; i < data.entries.size(); ++i) {
+    const RequestEntry& e = data.entries[i];
+    net::RequestFrame frame;
+    frame.tag = i;  // response lookup key into data.entries
+    frame.source = e.source;
+    frame.length = e.length;
+    frame.count = e.count;
+    frame.deadline_ms = args.deadline_ms;
+    frame.record = e.record;
+    if (!net::write_frame(sock, net::FrameType::kRequest,
+                          net::encode_request(frame), args.io_timeout_ms)) {
+      std::fprintf(stderr, "request: send failed at request %zu\n", i);
+      return 1;
+    }
+  }
+
+  std::vector<net::ResponseFrame> responses;
+  while (responses.size() < data.entries.size()) {
+    if (!net::read_frame(sock, &type, &payload, args.io_timeout_ms) ||
+        type != net::FrameType::kResponse) {
+      std::fprintf(stderr, "request: connection lost after %zu/%zu responses\n",
+                   responses.size(), data.entries.size());
+      return 1;
+    }
+    auto frame = net::decode_response(payload.data(), payload.size());
+    if (!frame || frame->tag >= data.entries.size()) {
+      std::fprintf(stderr, "request: malformed response\n");
+      return 1;
+    }
+    responses.push_back(std::move(*frame));
+  }
+
+  // Admitted responses in admission order first (the replay-comparable
+  // lines), then pre-admission rejects by tag.
+  std::sort(responses.begin(), responses.end(),
+            [](const net::ResponseFrame& a, const net::ResponseFrame& b) {
+              const bool ra = a.admission_index == net::kNotAdmitted;
+              const bool rb = b.admission_index == net::kNotAdmitted;
+              if (ra != rb) return rb;
+              return ra ? a.tag < b.tag
+                        : a.admission_index < b.admission_index;
+            });
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  for (const net::ResponseFrame& r : responses) {
+    const RequestEntry& e = data.entries[r.tag];
+    if (r.admission_index == net::kNotAdmitted) {
+      ++rejected;
+      std::printf("rejected tag=%llu source=%llu status=%s\n",
+                  static_cast<unsigned long long>(r.tag),
+                  static_cast<unsigned long long>(e.source),
+                  service::to_string(
+                      static_cast<service::RequestStatus>(r.status)));
+      continue;
+    }
+    ++admitted;
+    print_result_lines(r.admission_index, e.source, e.length, e.count,
+                       r.status, r.destinations, r.paths);
+  }
+  std::printf("responses: %llu admitted, %llu rejected (server nodes=%llu)\n",
+              static_cast<unsigned long long>(admitted),
+              static_cast<unsigned long long>(rejected),
+              static_cast<unsigned long long>(reply->node_count));
   return 0;
 }
 
@@ -755,16 +1109,19 @@ int cmd_convert(const Args& args) {
   }
   const std::string& in = args.positional[0];
   const std::string& out = args.positional[1];
+  EdgeListOptions options;
+  options.no_header = args.no_header;
   if (args.no_relabel) {
     ParseStats stats;
-    const Graph g = read_edge_list_file(in, args.threads, &stats);
+    const Graph g = read_edge_list_file(in, args.threads, &stats, options);
     csr::write_csr_file(out, g, {});
     std::printf("converted %s -> %s (no relabel): %s\n", in.c_str(),
                 out.c_str(), g.summary().c_str());
     print_ingest_stats(stats);
   } else {
     const csr::LoadedGraph loaded = csr::convert_edge_list(in, out,
-                                                           args.threads);
+                                                           args.threads,
+                                                           options);
     std::printf("converted %s -> %s: %s\n", in.c_str(), out.c_str(),
                 loaded.graph.summary().c_str());
     std::printf("relabel: degree-ordered (internal id 0 = highest degree); "
@@ -801,6 +1158,7 @@ namespace {
 int run_command(const Args& args) {
   if (args.command == "verify") return cmd_verify(args);
   if (args.command == "convert") return cmd_convert(args);
+  if (args.command == "request") return cmd_request(args);
 
   const CliGraph cg = load_cli_graph(args);
   const Graph& g = cg.lg.graph;

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Live-service smoke for `drw serve --listen` (the always-on TCP server).
+
+Boots a real server process on an ephemeral port, drives it with two
+concurrent `drw request` clients -- a light mixed-class workload (some
+requests recording full paths) racing a 40-request hot-key flood -- then
+stops it with SIGTERM and asserts the serving determinism contract:
+
+  * every client response carries a unique server-assigned admission index;
+  * the admission log + `# batch` markers the server wrote replay through
+    `drw serve --requests=LOG --print-results` (same graph, same seed,
+    fresh process) to the BYTE-IDENTICAL `result[...]` lines the clients
+    printed -- destinations, paths, statuses, ordering;
+  * SIGTERM produces the `shutdown: clean | ...` summary with zero
+    rejections (nothing in this workload should bounce).
+
+Everything the run produced (server stdout, both client transcripts, the
+admission log, the replay output) is left under ./server_smoke_artifacts/
+so CI can upload it when a check fails.
+
+Exit status 0 when every check passes, 1 otherwise.
+
+Usage: tools/server_smoke.py BUILD_DIR/drw
+"""
+
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+
+GRAPH_ARGS = ["--graph=torus:8x8", "--seed=7", "--paths"]
+
+# Mixed light workload: in-range sources on the 64-node torus, two requests
+# recording full trajectories.
+LIGHT_REQUESTS = """\
+0 32 2 1
+5 48 1
+9 24 2
+17 16 1
+63 40 1 1
+"""
+
+failures = []
+
+
+def check(ok: bool, what: str) -> None:
+    print(f"  {'ok' if ok else 'FAIL'}: {what}")
+    if not ok:
+        failures.append(what)
+
+
+def result_lines(text: str) -> list:
+    return [ln for ln in text.splitlines() if ln.startswith("result[")]
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    drw = os.path.abspath(sys.argv[1])
+    if not os.access(drw, os.X_OK):
+        print(f"server_smoke: not executable: {drw}")
+        return 2
+
+    work = os.path.abspath("server_smoke_artifacts")
+    shutil.rmtree(work, ignore_errors=True)
+    os.makedirs(work)
+    adm_log = os.path.join(work, "admission.log")
+    light_req = os.path.join(work, "light.req")
+    flood_req = os.path.join(work, "flood.req")
+    with open(light_req, "w") as f:
+        f.write(LIGHT_REQUESTS)
+    with open(flood_req, "w") as f:
+        for _ in range(40):
+            f.write("7 256 1\n")
+
+    env = dict(os.environ)
+    env.pop("DRW_FAILPOINTS", None)
+
+    print("server_smoke: booting the live server")
+    server = subprocess.Popen(
+        [drw, "serve"] + GRAPH_ARGS +
+        ["--listen=127.0.0.1:0", f"--admission-log={adm_log}"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    server_out = []
+    try:
+        port = None
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            line = server.stdout.readline()
+            if not line:
+                break
+            server_out.append(line)
+            if line.startswith("listening: "):
+                port = line.strip().rsplit(":", 1)[-1]
+                break
+        check(port is not None, "server prints its listening: HOST:PORT line")
+        if port is None:
+            raise RuntimeError("no listening line")
+
+        # Flood first so its backlog is queued when the light class arrives;
+        # DRR admission must still serve the light requests promptly (the
+        # bench gates the latency ratio; here we only need full, correct
+        # responses for both classes).
+        flood = subprocess.Popen(
+            [drw, "request", f"--connect=127.0.0.1:{port}",
+             f"--requests={flood_req}", "--class=flood"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True)
+        light = subprocess.run(
+            [drw, "request", f"--connect=127.0.0.1:{port}",
+             f"--requests={light_req}", "--class=light"],
+            env=env, capture_output=True, text=True, timeout=120)
+        flood_out, _ = flood.communicate(timeout=120)
+        check(light.returncode == 0, "light client exits 0")
+        check(flood.returncode == 0, "flood client exits 0")
+        check("responses: 5 admitted, 0 rejected" in light.stdout,
+              "light client: all 5 requests admitted")
+        check("responses: 40 admitted, 0 rejected" in flood_out,
+              "flood client: all 40 requests admitted")
+        check("result[" in light.stdout and "] path:" in light.stdout,
+              "light client received recorded paths")
+
+        server.send_signal(signal.SIGTERM)
+        rest, _ = server.communicate(timeout=60)
+        server_out.append(rest)
+        check(server.returncode == 0, "SIGTERM: server exits 0")
+        shutdown = [ln for ln in rest.splitlines()
+                    if ln.startswith("shutdown: clean")]
+        check(bool(shutdown), "server prints the clean-shutdown summary")
+        if shutdown:
+            check("requests=45" in shutdown[0] and "admitted=45" in shutdown[0]
+                  and "queue_full=0" in shutdown[0],
+                  f"shutdown summary counts 45/45 admitted ({shutdown[0]})")
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.communicate()
+        with open(os.path.join(work, "server.out"), "w") as f:
+            f.writelines(server_out)
+        with open(os.path.join(work, "light.out"), "w") as f:
+            f.write(light.stdout if 'light' in dir() else "")
+        with open(os.path.join(work, "flood.out"), "w") as f:
+            f.write(flood_out if 'flood_out' in dir() else "")
+
+    # The determinism contract: replaying the admission log through a fresh
+    # offline process reproduces every served line byte for byte.
+    print("server_smoke: replaying the admission log")
+    check(os.path.exists(adm_log), "server wrote the admission log")
+    replay = subprocess.run(
+        [drw, "serve"] + GRAPH_ARGS +
+        [f"--requests={adm_log}", "--print-results"],
+        env=env, capture_output=True, text=True, timeout=120)
+    with open(os.path.join(work, "replay.out"), "w") as f:
+        f.write(replay.stdout)
+    check(replay.returncode == 0, "replay exits 0")
+
+    served = sorted(result_lines(light.stdout) + result_lines(flood_out))
+    replayed = sorted(result_lines(replay.stdout))
+    check(len(served) > 0, "clients printed result lines")
+    check(served == replayed,
+          f"replay is byte-identical to the live responses "
+          f"({len(served)} live vs {len(replayed)} replayed lines)")
+    if served != replayed:
+        for live, rep in zip(served, replayed):
+            if live != rep:
+                print(f"    first divergence:\n      live:   {live}\n"
+                      f"      replay: {rep}")
+                break
+
+    # One `result[IDX] source=...` header per request (`result[IDX] path:`
+    # continuation lines reuse the index of their request).
+    indices = sorted(int(ln.split("]")[0][len("result["):])
+                     for ln in served if " source=" in ln)
+    check(indices == list(range(len(indices))) and len(indices) == 45,
+          "admission indices are a dense 0..44 permutation")
+
+    if failures:
+        print(f"server_smoke: FAIL ({len(failures)} check(s)); artifacts in "
+              f"{work}")
+        return 1
+    print(f"server_smoke: PASS ({len(served)} responses byte-identical "
+          f"to replay)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
