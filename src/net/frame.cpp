@@ -149,8 +149,11 @@ std::optional<ResponseFrame> decode_response(const std::uint8_t* p,
   if (!r.ok || r.left < std::size_t{n_dest} * 4) return std::nullopt;
   f.destinations.resize(n_dest);
   for (std::uint32_t i = 0; i < n_dest; ++i) f.destinations[i] = r.u32();
+  // Each path needs at least its 4-byte length word, so a count beyond
+  // left/4 is a lie -- reject it BEFORE resizing, or a tiny forged frame
+  // could make us allocate ~n_paths empty vectors up front.
   const std::uint32_t n_paths = r.u32();
-  if (!r.ok || n_paths > kMaxFramePayload / 4) return std::nullopt;
+  if (!r.ok || n_paths > r.left / 4) return std::nullopt;
   f.paths.resize(n_paths);
   for (std::uint32_t i = 0; i < n_paths; ++i) {
     const std::uint32_t len = r.u32();

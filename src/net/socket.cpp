@@ -41,6 +41,16 @@ bool wait_fd(int fd, short events, int timeout_ms) {
   }
 }
 
+/// Every data socket runs non-blocking: send/recv return EAGAIN instead of
+/// blocking, so the poll() in send_all/recv_all is the ONLY place a thread
+/// waits -- and it always carries the io timeout. A blocking socket would
+/// make send_all's timeout dead code (::send just parks until the peer
+/// drains its receive window).
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
 }  // namespace
 
 void Socket::close() noexcept {
@@ -96,9 +106,9 @@ Socket tcp_connect(const std::string& host, std::uint16_t port,
                              std::strerror(errno));
   }
   sockaddr_in addr = make_addr(host.empty() ? "127.0.0.1" : host, port);
-  // Non-blocking connect so the timeout actually binds.
-  const int flags = ::fcntl(s.fd(), F_GETFL, 0);
-  ::fcntl(s.fd(), F_SETFL, flags | O_NONBLOCK);
+  // Non-blocking connect so the timeout actually binds; the socket STAYS
+  // non-blocking for its lifetime (see set_nonblocking).
+  set_nonblocking(s.fd());
   const int rc =
       ::connect(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   if (rc != 0 && errno != EINPROGRESS) {
@@ -120,7 +130,6 @@ Socket tcp_connect(const std::string& host, std::uint16_t port,
                                std::strerror(err));
     }
   }
-  ::fcntl(s.fd(), F_SETFL, flags);
   const int one = 1;
   ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return s;
@@ -142,6 +151,7 @@ Socket accept_one(Socket& listener, int wake_fd, int timeout_ms) {
   if (fd < 0) return Socket();  // transient (peer gone, fd pressure)
   Socket s(fd);
   if (resil::failpoint("net.accept")) return Socket();  // injected drop
+  set_nonblocking(s.fd());
   const int one = 1;
   ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return s;
@@ -156,8 +166,15 @@ bool send_all(Socket& s, const void* data, std::size_t n, int timeout_ms) {
     std::size_t sent = 0;
     while (sent < n) {
       const ssize_t w = ::send(s.fd(), p + sent, n - sent, MSG_NOSIGNAL);
-      if (w <= 0) break;
-      sent += static_cast<std::size_t>(w);
+      if (w > 0) {
+        sent += static_cast<std::size_t>(w);
+        continue;
+      }
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (!wait_fd(s.fd(), POLLOUT, timeout_ms)) break;
+        continue;
+      }
+      break;
     }
     return false;
   }

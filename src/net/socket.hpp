@@ -1,8 +1,12 @@
 // drw::net -- minimal POSIX TCP plumbing for the always-on walk server.
 //
-// Everything here is deliberately boring: RAII fds, poll()-based timeouts
-// on every blocking operation (a stuck peer must never wedge a reader or
-// writer thread forever), and a self-pipe so an async-signal-safe
+// Everything here is deliberately boring: RAII fds, non-blocking data
+// sockets (accept_one and tcp_connect both set O_NONBLOCK for the life of
+// the socket) with poll()-based timeouts on every wait -- a stuck peer
+// must never wedge a reader or writer thread forever; a full send buffer
+// surfaces as EAGAIN and the poll carries the timeout, so a dead client
+// marks its connection dead instead of parking ::send -- and a self-pipe
+// so an async-signal-safe
 // request_stop() can wake a poll()ing accept loop. Failpoint sites
 // ("net.accept", "net.read", "net.write" -- see resil/failpoint.hpp) are
 // planted on each path so the crash harness and tests can inject

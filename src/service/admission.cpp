@@ -33,7 +33,9 @@ void AdmissionQueue::set_class_quantum(std::uint32_t class_id,
   }
 }
 
-const std::string& AdmissionQueue::class_name(std::uint32_t class_id) const {
+std::string AdmissionQueue::class_name(std::uint32_t class_id) const {
+  // By value: intern_class (reader threads, any HELLO) can reallocate
+  // class_names_ at any time, so a reference would dangle once mu_ drops.
   std::lock_guard<std::mutex> lock(mu_);
   return class_names_[class_id < class_names_.size() ? class_id : 0];
 }
@@ -43,10 +45,14 @@ RequestStatus AdmissionQueue::enqueue(PendingRequest req) {
   if (closed_ || depth_ >= config_.queue_cap) {
     return RequestStatus::kQueueFull;
   }
-  req.cost = request_cost(req.request);
+  // Clamp to the batch budget: cost >= max_batch_cost already closes a
+  // batch on its own, and an unclamped (saturated) cost would make the
+  // DRR deficit take ~cost/quantum cycles to catch up.
+  req.cost = std::min(request_cost(req.request), config_.max_batch_cost);
   req.seq = next_seq_++;
   Flow& flow = flows_[req.flow];
   flow.class_id = req.class_id;
+  flow.orphaned = false;  // flow ids are unique, but stay safe on reuse
   flow.queue.push_back(std::move(req));
   ++depth_;
   cv_.notify_one();
@@ -91,6 +97,17 @@ std::vector<PendingRequest> AdmissionQueue::drain(
     cost += r.cost;
     out.push_back(std::move(r));
   };
+  // Released flows whose backlog has drained leave the table here, so an
+  // always-on server's flows_ tracks live connections, not history.
+  auto reap_orphans = [&] {
+    for (auto it = flows_.begin(); it != flows_.end();) {
+      if (it->second.orphaned && it->second.queue.empty()) {
+        it = flows_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
 
   if (config_.policy == AdmissionPolicy::kFifo) {
     // The unfair baseline: strict global arrival order, same batch sizing.
@@ -107,6 +124,7 @@ std::vector<PendingRequest> AdmissionQueue::drain(
       if (best == nullptr) break;
       admit_head(*best);
     }
+    reap_orphans();
     return out;
   }
 
@@ -138,6 +156,7 @@ std::vector<PendingRequest> AdmissionQueue::drain(
     if (!admitted_any && !out.empty()) break;
     if (!admitted_any && depth_ == 0) break;
   }
+  reap_orphans();
   return out;
 }
 
@@ -145,6 +164,17 @@ void AdmissionQueue::close() {
   std::lock_guard<std::mutex> lock(mu_);
   closed_ = true;
   cv_.notify_all();
+}
+
+void AdmissionQueue::release_flow(std::uint64_t flow) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) return;
+  if (it->second.queue.empty()) {
+    flows_.erase(it);
+  } else {
+    it->second.orphaned = true;  // drain() erases once the backlog serves
+  }
 }
 
 std::size_t AdmissionQueue::depth() const {
@@ -155,6 +185,11 @@ std::size_t AdmissionQueue::depth() const {
 std::uint64_t AdmissionQueue::admitted_total() const {
   std::lock_guard<std::mutex> lock(mu_);
   return next_admission_index_;
+}
+
+std::size_t AdmissionQueue::flow_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flows_.size();
 }
 
 }  // namespace drw::service

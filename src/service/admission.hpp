@@ -48,6 +48,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <string>
@@ -81,9 +82,18 @@ struct AdmissionConfig {
 
 /// The service cost a request buys: its total walk steps (floored at one
 /// unit so zero-length/zero-count requests still move through the queue).
+/// Saturating: count and length come straight off the wire, so the product
+/// must not wrap to a tiny cost and bypass DRR accounting. enqueue()
+/// additionally clamps the stored cost to max_batch_cost (a request that
+/// costs the whole batch budget fills a batch by itself; anything beyond
+/// that only adds drain cycles).
 inline std::uint64_t request_cost(const WalkRequest& r) {
-  return std::max<std::uint64_t>(1, r.count) *
-         std::max<std::uint64_t>(1, r.length);
+  const std::uint64_t count = std::max<std::uint64_t>(1, r.count);
+  const std::uint64_t length = std::max<std::uint64_t>(1, r.length);
+  if (count > std::numeric_limits<std::uint64_t>::max() / length) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return count * length;
 }
 
 /// One queued (or admitted) request with its admission identity.
@@ -113,7 +123,8 @@ class AdmissionQueue {
   /// pre-interned "default" class with config.quantum.
   std::uint32_t intern_class(const std::string& name);
   void set_class_quantum(std::uint32_t class_id, std::uint64_t quantum);
-  const std::string& class_name(std::uint32_t class_id) const;
+  /// By value: concurrent intern_class calls may reallocate the name table.
+  std::string class_name(std::uint32_t class_id) const;
 
   /// kOk: queued. kQueueFull: rejected, nothing retained -- the caller
   /// responds immediately. Fills req.cost and req.seq.
@@ -134,8 +145,16 @@ class AdmissionQueue {
   /// requests remain drainable so a clean shutdown can serve them.
   void close();
 
+  /// The connection behind `flow` is gone: drop its DRR state. An empty
+  /// flow is erased immediately; a backlogged one is marked orphaned and
+  /// erased by drain() once served (its queued requests still flow through
+  /// admission in order, keeping the admitted-order log replayable).
+  void release_flow(std::uint64_t flow);
+
   std::size_t depth() const;
   std::uint64_t admitted_total() const;
+  /// Flows currently tracked (live connections + orphans awaiting drain).
+  std::size_t flow_count() const;
   const AdmissionConfig& config() const { return config_; }
 
  private:
@@ -143,6 +162,7 @@ class AdmissionQueue {
     std::deque<PendingRequest> queue;
     std::uint64_t deficit = 0;
     std::uint32_t class_id = 0;
+    bool orphaned = false;  ///< connection gone; erase once drained
   };
 
   std::uint64_t quantum_of(const Flow& flow) const {

@@ -105,11 +105,17 @@ ServerStats WalkServer::stats() const {
   return stats_;
 }
 
+std::size_t WalkServer::open_connections() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return conns_.size();
+}
+
 void WalkServer::accept_loop() {
   auto& connections = obs::Registry::global().counter("server.connections");
   while (!stopping()) {
     net::Socket sock =
         net::accept_one(listener_, wake_.read_fd(), /*timeout_ms=*/250);
+    reap_connections();
     if (stopping()) break;
     if (!sock.valid()) continue;
     connections.add(1);
@@ -118,12 +124,39 @@ void WalkServer::accept_loop() {
       ++stats_.connections;
     }
     std::lock_guard<std::mutex> lock(conns_mu_);
-    auto conn = std::make_unique<Conn>();
+    auto conn = std::make_shared<Conn>();
     conn->socket = std::move(sock);
     conn->id = next_conn_id_++;
     Conn* raw = conn.get();
     conns_.push_back(std::move(conn));
     raw->reader = std::thread([this, raw] { reader_loop(raw); });
+  }
+}
+
+void WalkServer::reap_connections() {
+  // Collect under the lock, tear down outside it: readers call respond(),
+  // which takes conns_mu_, so joining a reader under conns_mu_ deadlocks.
+  std::vector<std::shared_ptr<Conn>> dead;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    auto it = conns_.begin();
+    while (it != conns_.end()) {
+      if ((*it)->dead.load(std::memory_order_relaxed)) {
+        dead.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& conn : dead) {
+    // A writer-marked-dead connection may still have its reader parked in
+    // poll(POLLIN); shutdown makes that recv return EOF immediately.
+    conn->socket.shutdown_both();
+    if (conn->reader.joinable()) conn->reader.join();
+    queue_.release_flow(conn->id);
+    // The socket fd closes when the last shared_ptr (possibly one pinned
+    // by an in-flight respond()) drops.
   }
 }
 
@@ -228,12 +261,12 @@ net::ResponseFrame WalkServer::reject_frame(std::uint64_t tag,
 
 void WalkServer::respond(std::uint64_t conn_id,
                          const net::ResponseFrame& frame) {
-  Conn* conn = nullptr;
+  std::shared_ptr<Conn> conn;  // pins the Conn past a concurrent reap
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     for (auto& c : conns_) {
       if (c->id == conn_id) {
-        conn = c.get();
+        conn = c;
         break;
       }
     }

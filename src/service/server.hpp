@@ -105,6 +105,10 @@ class WalkServer {
   std::uint16_t port() const noexcept { return port_; }
   const AdmissionQueue& queue() const noexcept { return queue_; }
   ServerStats stats() const;
+  /// Connections currently tracked (live + dead-but-not-yet-reaped). The
+  /// accept loop sweeps dead connections every poll tick, so this returns
+  /// to the live count shortly after clients disconnect.
+  std::size_t open_connections() const;
 
  private:
   struct Conn {
@@ -125,6 +129,10 @@ class WalkServer {
   void accept_loop();
   void reader_loop(Conn* conn);
   void serve_loop();
+  /// Erases dead connections: unblocks + joins their reader, releases the
+  /// flow's DRR state, closes the socket. Called from the accept loop each
+  /// poll tick so an always-on server's conns_ tracks live connections.
+  void reap_connections();
   /// Serializes and writes one response on the request's connection
   /// (drops it silently if the connection died). Thread-safe per conn.
   void respond(std::uint64_t conn_id, const net::ResponseFrame& frame);
@@ -145,7 +153,9 @@ class WalkServer {
   std::thread accept_thread_;
   std::thread serve_thread_;
   mutable std::mutex conns_mu_;
-  std::vector<std::unique_ptr<Conn>> conns_;  ///< keyed linearly by Conn::id
+  /// shared_ptr so respond() can pin a connection without holding
+  /// conns_mu_ across the network write while the reaper erases it.
+  std::vector<std::shared_ptr<Conn>> conns_;
   std::uint64_t next_conn_id_ = 0;
 
   std::FILE* log_ = nullptr;  ///< admission log (serving thread only)

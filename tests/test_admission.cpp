@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "congest/network.hpp"
@@ -202,6 +203,63 @@ TEST(AdmissionQueue, ReplayingTheAdmittedOrderReproducesServedResults) {
   for (std::size_t i = 0; i < first.size(); ++i) {
     EXPECT_EQ(first[i], second[i]) << "request " << i;
   }
+}
+
+TEST(AdmissionQueue, RequestCostSaturatesInsteadOfWrapping) {
+  // count * length must never wrap to a tiny cost: a flood client could
+  // otherwise slip arbitrarily large requests past the DRR accounting.
+  WalkRequest overflow;
+  overflow.count = 0xffffffffu;
+  overflow.length = std::uint64_t{1} << 33;  // product = 2^65-ish, wraps
+  EXPECT_EQ(request_cost(overflow),
+            std::numeric_limits<std::uint64_t>::max());
+
+  // enqueue clamps the stored cost to the batch budget, so the request
+  // still admits after a bounded number of deficit cycles and fills one
+  // batch by itself.
+  AdmissionConfig config;
+  config.quantum = 8;
+  config.max_batch_cost = 64;
+  AdmissionQueue queue(config);
+  PendingRequest p = make(0, 0, 0);
+  p.request = overflow;
+  ASSERT_EQ(queue.enqueue(std::move(p)), RequestStatus::kOk);
+  ASSERT_EQ(queue.enqueue(make(1, 1, 4)), RequestStatus::kOk);
+  // The light flow admits on the first deficit cycle; the giant has not
+  // accrued enough deficit yet, so the first batch closes without it.
+  const auto first = queue.drain(0.0, nullptr);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].flow, 1u);
+  EXPECT_EQ(first[0].cost, 4u);
+  // The clamped giant then admits after max_batch_cost/quantum deficit
+  // cycles -- bounded, not ~2^64/quantum -- and fills a batch by itself.
+  const auto second = queue.drain(0.0, nullptr);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].flow, 0u);
+  EXPECT_EQ(second[0].cost, config.max_batch_cost);
+}
+
+TEST(AdmissionQueue, ReleaseFlowDropsStateOnceDrained) {
+  AdmissionQueue queue;
+  ASSERT_EQ(queue.enqueue(make(3, 0, 4)), RequestStatus::kOk);
+  ASSERT_EQ(queue.enqueue(make(5, 1, 4)), RequestStatus::kOk);
+  EXPECT_EQ(queue.flow_count(), 2u);
+
+  // Releasing a backlogged flow keeps its queued requests admissible (the
+  // admitted-order log must replay), but the flow leaves the table once
+  // its backlog drains.
+  queue.release_flow(3);
+  EXPECT_EQ(queue.flow_count(), 2u);
+  const auto batch = queue.drain(0.0, nullptr);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].flow, 3u);
+  EXPECT_EQ(queue.flow_count(), 1u);
+
+  // Releasing an idle flow erases it immediately; unknown flows are a
+  // no-op.
+  queue.release_flow(5);
+  queue.release_flow(999);
+  EXPECT_EQ(queue.flow_count(), 0u);
 }
 
 TEST(AdmissionQueue, CloseStopsEnqueuesButDrainsRemainder) {

@@ -7,8 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "congest/network.hpp"
@@ -130,6 +132,24 @@ TEST(NetFrame, DecodeResponseRejectsLyingCounts) {
   EXPECT_FALSE(net::decode_response(bytes.data(), bytes.size()).has_value());
 }
 
+TEST(NetFrame, DecodeResponseRejectsLyingPathCount) {
+  // Same for the path count: a tiny frame claiming millions of paths must
+  // be rejected before f.paths is resized (each path needs at least its
+  // 4-byte length word).
+  net::ResponseFrame f;
+  f.record = true;
+  f.paths = {{1}};
+  auto bytes = net::encode_response(f);
+  // n_paths lives after tag(8) + admission_index(8) + status(1) +
+  // record(1) + n_destinations(4) + 0 destinations.
+  const std::size_t off = 8 + 8 + 1 + 1 + 4;
+  bytes[off + 0] = 0xff;
+  bytes[off + 1] = 0xff;
+  bytes[off + 2] = 0x3f;  // ~4M paths "promised" by an 8-byte tail
+  bytes[off + 3] = 0x00;
+  EXPECT_FALSE(net::decode_response(bytes.data(), bytes.size()).has_value());
+}
+
 TEST(NetFrame, ReadFrameRejectsOversizedAndUnknownFrames) {
   net::Socket listener = net::tcp_listen("127.0.0.1", 0);
   const std::uint16_t port = net::local_port(listener);
@@ -151,6 +171,31 @@ TEST(NetFrame, ReadFrameRejectsOversizedAndUnknownFrames) {
   std::uint8_t unknown[5] = {0, 0, 0, 0, 42};  // len 0, type 42
   ASSERT_TRUE(net::send_all(client2, unknown, sizeof(unknown), 2000));
   EXPECT_FALSE(net::read_frame(server_side2, &type, &payload, 2000));
+}
+
+TEST(NetSocket, SendAllTimesOutInsteadOfBlockingOnStuckPeer) {
+  // A peer that stops reading must surface as a send_all timeout, not an
+  // indefinitely parked ::send (the "one slow client wedges the serving
+  // thread" failure mode). Data sockets are non-blocking, so once the
+  // kernel buffers fill, send returns EAGAIN and the poll carries the
+  // timeout.
+  net::Socket listener = net::tcp_listen("127.0.0.1", 0);
+  net::Socket client = net::tcp_connect("127.0.0.1",
+                                        net::local_port(listener), 2000);
+  net::Socket server_side = net::accept_one(listener, -1, 2000);
+  ASSERT_TRUE(server_side.valid());
+
+  // Nobody reads from `client`, so this can never fully transmit: the
+  // send must give up after the timeout instead of blocking forever.
+  const std::vector<std::uint8_t> big(64u << 20, 0xab);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(net::send_all(server_side, big.data(), big.size(),
+                             /*timeout_ms=*/250));
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed_ms, 10000) << "send_all did not honor its timeout";
 }
 
 // One HELLO handshake + N awaited request/response exchanges on a fresh
@@ -300,6 +345,45 @@ TEST(WalkServerLoopback, InvalidRequestsRejectBeforeAdmission) {
   const ServerStats stats = server.stats();
   EXPECT_EQ(stats.rejected_invalid, 2u);
   EXPECT_EQ(stats.admitted, 0u);
+}
+
+TEST(WalkServerLoopback, ReapsDeadConnectionsAndTheirFlows) {
+  // An always-on server must not accumulate Conn entries (fd + joined
+  // reader thread) or AdmissionQueue flow state for connections that have
+  // come and gone: the accept loop sweeps them every poll tick.
+  csr::LoadedGraph lg;
+  lg.graph = gen::grid(4, 4);
+  congest::Network net_live(lg.graph, 7);
+  WalkService service(net_live, exact_diameter(lg.graph));
+
+  WalkServer server(service, lg, ServerConfig{});
+  server.start();
+
+  for (int round = 0; round < 3; ++round) {
+    net::RequestFrame r;
+    r.tag = 10 + round;
+    r.source = static_cast<std::uint64_t>(round);
+    r.length = 4;
+    const auto exchanges = drive(server, "churn", {r});
+    ASSERT_EQ(exchanges.size(), 1u);
+  }  // drive's socket closes here; the reader sees EOF and marks it dead
+
+  // The sweep runs on the accept loop's 250ms poll tick; give it a few.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while ((server.open_connections() > 0 || server.queue().flow_count() > 0) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_EQ(server.open_connections(), 0u)
+      << "dead connections were never reaped";
+  EXPECT_EQ(server.queue().flow_count(), 0u)
+      << "released flows were never erased";
+
+  server.request_stop();
+  server.join();
+  EXPECT_EQ(server.stats().connections, 3u);
+  EXPECT_EQ(server.stats().admitted, 3u);
 }
 
 }  // namespace
